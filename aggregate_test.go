@@ -1,0 +1,272 @@
+package byteslice_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"byteslice"
+)
+
+func TestSumIntAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(30, 30)) //nolint:gosec
+	n := 5000
+	vals := make([]int64, n)
+	var total int64
+	for i := range vals {
+		vals[i] = int64(rng.IntN(2000)) - 1000
+		total += vals[i]
+	}
+	for _, f := range byteslice.Formats() {
+		col := intColumn(t, "v", vals, -1000, 1000, byteslice.WithFormat(f))
+		tbl, _ := byteslice.NewTable(col)
+		sum, count, err := tbl.SumInt("v", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != total || count != n {
+			t.Fatalf("%s: SumInt = %d (%d rows), want %d (%d)", f, sum, count, total, n)
+		}
+
+		// Filtered sum.
+		res, err := tbl.Filter([]byteslice.Filter{byteslice.IntFilter("v", byteslice.Gt, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		wc := 0
+		for _, v := range vals {
+			if v > 0 {
+				want += v
+				wc++
+			}
+		}
+		sum, count, err = tbl.SumInt("v", res)
+		if err != nil || sum != want || count != wc {
+			t.Fatalf("%s: filtered SumInt = %d/%d, want %d/%d (%v)", f, sum, count, want, wc, err)
+		}
+	}
+}
+
+func TestMinMaxIntAndDecimal(t *testing.T) {
+	vals := []int64{-3, 17, 0, 42, -9, 8}
+	col := intColumn(t, "v", vals, -100, 100)
+	prices := []float64{1.25, 0.10, 9.99, 5.00, 3.33, 2.50}
+	price, err := byteslice.NewDecimalColumn("p", prices, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := byteslice.NewTable(col, price)
+
+	if mn, ok, _ := tbl.MinInt("v", nil); !ok || mn != -9 {
+		t.Fatalf("MinInt = %d (%v)", mn, ok)
+	}
+	if mx, ok, _ := tbl.MaxInt("v", nil); !ok || mx != 42 {
+		t.Fatalf("MaxInt = %d (%v)", mx, ok)
+	}
+	res, _ := tbl.Filter([]byteslice.Filter{byteslice.IntFilter("v", byteslice.Ge, 0)})
+	if mn, ok, _ := tbl.MinInt("v", res); !ok || mn != 0 {
+		t.Fatalf("filtered MinInt = %d (%v)", mn, ok)
+	}
+	// Rows with v ≥ 0 are 1,2,3,5 → prices 0.10, 9.99, 5.00, 2.50.
+	if mn, ok, _ := tbl.MinDecimal("p", res); !ok || mn != 0.10 {
+		t.Fatalf("filtered MinDecimal = %v (%v)", mn, ok)
+	}
+	if mx, ok, _ := tbl.MaxDecimal("p", nil); !ok || mx != 9.99 {
+		t.Fatalf("MaxDecimal = %v (%v)", mx, ok)
+	}
+	sum, count, err := tbl.SumDecimal("p", nil)
+	if err != nil || count != 6 || math.Abs(sum-22.17) > 1e-9 {
+		t.Fatalf("SumDecimal = %v/%d (%v)", sum, count, err)
+	}
+
+	// Empty selection.
+	empty, _ := tbl.Filter([]byteslice.Filter{byteslice.IntFilter("v", byteslice.Gt, 99)})
+	if _, ok, _ := tbl.MinInt("v", empty); ok {
+		t.Fatal("empty selection should report not-ok")
+	}
+	if sum, count, _ := tbl.SumInt("v", empty); sum != 0 || count != 0 {
+		t.Fatalf("empty SumInt = %d/%d", sum, count)
+	}
+}
+
+func TestMinMaxString(t *testing.T) {
+	vals := []string{"pear", "apple", "mango", "fig", "apple"}
+	col, err := byteslice.NewStringColumn("s", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := byteslice.NewTable(col)
+	if mn, ok, _ := tbl.MinString("s", nil); !ok || mn != "apple" {
+		t.Fatalf("MinString = %q", mn)
+	}
+	if mx, ok, _ := tbl.MaxString("s", nil); !ok || mx != "pear" {
+		t.Fatalf("MaxString = %q", mx)
+	}
+	res, _ := tbl.Filter([]byteslice.Filter{byteslice.StringFilter("s", byteslice.Ne, "apple")})
+	if mn, ok, _ := tbl.MinString("s", res); !ok || mn != "fig" {
+		t.Fatalf("filtered MinString = %q", mn)
+	}
+}
+
+func TestAggregatesExcludeNulls(t *testing.T) {
+	vals := []int64{10, 999, 30, 999, 50} // 999 at the NULL positions
+	col := intColumn(t, "v", vals, 0, 1000, byteslice.WithNulls([]int{1, 3}))
+	tbl, _ := byteslice.NewTable(col)
+	sum, count, err := tbl.SumInt("v", nil)
+	if err != nil || sum != 90 || count != 3 {
+		t.Fatalf("SumInt over nullable = %d/%d (%v)", sum, count, err)
+	}
+	if mx, ok, _ := tbl.MaxInt("v", nil); !ok || mx != 50 {
+		t.Fatalf("MaxInt over nullable = %d", mx)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	col := intColumn(t, "v", []int64{1}, 0, 10)
+	tbl, _ := byteslice.NewTable(col)
+	if _, _, err := tbl.SumInt("zzz", nil); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, _, err := tbl.SumDecimal("v", nil); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+	if _, _, err := tbl.MinString("v", nil); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+	if _, _, err := tbl.MaxDecimal("v", nil); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+}
+
+// TestSIMDAggregationCheaperThanLookups verifies the point of the SIMD
+// path: summing via byte slices costs far fewer instructions than
+// looking up every row.
+func TestSIMDAggregationCheaperThanLookups(t *testing.T) {
+	n := 100000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 4096)
+	}
+	bs := intColumn(t, "v", vals, 0, 4095)
+	bp := intColumn(t, "v", vals, 0, 4095, byteslice.WithFormat(byteslice.FormatBitPacked))
+	tbs, _ := byteslice.NewTable(bs)
+	tbp, _ := byteslice.NewTable(bp)
+
+	p1 := byteslice.NewProfile()
+	s1, _, _ := tbs.SumInt("v", nil, byteslice.WithProfile(p1))
+	p2 := byteslice.NewProfile()
+	s2, _, _ := tbp.SumInt("v", nil, byteslice.WithProfile(p2))
+	if s1 != s2 {
+		t.Fatalf("sums differ: %d vs %d", s1, s2)
+	}
+	if float64(p1.Instructions())*3 > float64(p2.Instructions()) {
+		t.Fatalf("SIMD aggregation should be ≥3× cheaper: %d vs %d instructions",
+			p1.Instructions(), p2.Instructions())
+	}
+}
+
+func TestSumByGroups(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 31)) //nolint:gosec
+	n := 20000
+	vals := make([]int64, n)
+	small := make([]string, n) // low cardinality: scan-per-group path
+	big := make([]int64, n)    // high cardinality: per-row fallback
+	words := []string{"A", "N", "R"}
+	for i := 0; i < n; i++ {
+		vals[i] = int64(rng.IntN(1000))
+		small[i] = words[rng.IntN(3)]
+		big[i] = int64(rng.IntN(100000))
+	}
+	sc, err := byteslice.NewStringColumn("flag", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(
+		intColumn(t, "v", vals, 0, 999),
+		sc,
+		intColumn(t, "wide", big, 0, 99999),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Filter([]byteslice.Filter{byteslice.IntFilter("v", byteslice.Ge, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups, err := tbl.SumIntBy("v", "flag", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	wantSum := map[string]float64{}
+	wantCount := map[string]int{}
+	for i := 0; i < n; i++ {
+		if vals[i] >= 500 {
+			wantSum[small[i]] += float64(vals[i])
+			wantCount[small[i]]++
+		}
+	}
+	prev := ""
+	for _, g := range groups {
+		key := g.Key.(string)
+		if key <= prev {
+			t.Fatalf("groups not in ascending key order: %v", groups)
+		}
+		prev = key
+		if g.Sum != wantSum[key] || g.Count != wantCount[key] {
+			t.Fatalf("group %q: %v/%d, want %v/%d", key, g.Sum, g.Count, wantSum[key], wantCount[key])
+		}
+	}
+
+	// High-cardinality group column takes the fallback path; spot check.
+	wide, err := tbl.SumIntBy("v", "wide", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	rows := 0
+	for _, g := range wide {
+		total += g.Sum
+		rows += g.Count
+	}
+	if rows != res.Count() {
+		t.Fatalf("fallback group rows = %d, want %d", rows, res.Count())
+	}
+	sum, _, _ := tbl.SumInt("v", res)
+	if math.Abs(total-float64(sum)) > 1e-6 {
+		t.Fatalf("fallback group total = %v, want %d", total, sum)
+	}
+}
+
+func TestSumDecimalByAndNulls(t *testing.T) {
+	price, err := byteslice.NewDecimalColumn("p", []float64{1.5, 2.5, 3.5, 4.5}, 0, 10, 1,
+		byteslice.WithNulls([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := intColumn(t, "g", []int64{0, 0, 1, 1}, 0, 1, byteslice.WithNulls([]int{3}))
+	tbl, _ := byteslice.NewTable(price, grp)
+	groups, err := tbl.SumDecimalBy("p", "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 (price NULL) and row 3 (group NULL) excluded:
+	// group 0 → {1.5}, group 1 → {3.5}.
+	if len(groups) != 2 || groups[0].Sum != 1.5 || groups[1].Sum != 3.5 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Key.(int64) != 0 || groups[1].Key.(int64) != 1 {
+		t.Fatalf("keys = %+v", groups)
+	}
+
+	if _, err := tbl.SumIntBy("p", "g", nil); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := tbl.SumDecimalBy("p", "zzz", nil); err == nil {
+		t.Fatal("unknown group column accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Command bsbench regenerates the tables and figures of the ByteSlice
+// paper's evaluation (§4 and appendices) on the emulated SIMD engine and
+// cost model.
+//
+// Usage:
+//
+//	bsbench -list
+//	bsbench -exp fig9
+//	bsbench -exp all -n 1048576 -rows 200000
+//
+// Each experiment prints the same rows or series the paper plots; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-versus-reproduction results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"byteslice/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (e.g. fig9, table1, headline), or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		n       = flag.Int("n", 0, "micro-benchmark column length (default 1Mi)")
+		lookups = flag.Int("lookups", 0, "random lookups for the lookup experiments (default 100k)")
+		rows    = flag.Int("rows", 0, "wide-table rows for the query experiments (default 200k)")
+		seed    = flag.Uint64("seed", 0, "data generation seed")
+		quick   = flag.Bool("quick", false, "use the fast smoke-test scale")
+		widths  = flag.String("widths", "", "comma-separated code widths to sweep")
+		format  = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "bsbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *lookups > 0 {
+		cfg.Lookups = *lookups
+	}
+	if *rows > 0 {
+		cfg.TPCHRows = *rows
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *widths != "" {
+		cfg.Widths = cfg.Widths[:0]
+		for _, w := range strings.Split(*widths, ",") {
+			var k int
+			if _, err := fmt.Sscanf(strings.TrimSpace(w), "%d", &k); err != nil || k < 1 || k > 32 {
+				fmt.Fprintf(os.Stderr, "bsbench: bad width %q\n", w)
+				os.Exit(2)
+			}
+			cfg.Widths = append(cfg.Widths, k)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		reports, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsbench:", err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			switch *format {
+			case "csv":
+				fmt.Print(r.CSV())
+				fmt.Println()
+			default:
+				fmt.Println(r)
+			}
+		}
+		if *format != "csv" {
+			fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command bsinspect visualises how a handful of values are laid out under
+// each storage format — an educational companion to §2 and §3 of the paper.
+//
+// Usage:
+//
+//	bsinspect -k 11 -values 1024,129,4,2047
+//	bsinspect -k 11 -values 1024,129 -scan "<" -const 129
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/bp"
+	"byteslice/internal/layout/hbp"
+	"byteslice/internal/layout/vbp"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 11, "code width in bits")
+		vals  = flag.String("values", "1024,129,4,2047,0", "comma-separated code values")
+		scan  = flag.String("scan", "", "optionally evaluate a predicate: one of < <= > >= = <>")
+		konst = flag.Uint64("const", 0, "predicate constant")
+	)
+	flag.Parse()
+
+	codes, err := parseValues(*vals, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsinspect:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%d codes of width k=%d bits\n\n", len(codes), *k)
+	for i, c := range codes {
+		fmt.Printf("  v%-3d = %*b (%d)\n", i+1, *k, c, c)
+	}
+
+	bs := core.New(codes, *k, nil)
+	fmt.Printf("\n— ByteSlice: %d byte slice(s), %d codes per segment, %d bytes —\n",
+		bs.NumSlices(), core.SegmentSize, bs.SizeBytes())
+	for j := 0; j < bs.NumSlices(); j++ {
+		fmt.Printf("  BS%d:", j+1)
+		for i := range codes {
+			fmt.Printf(" %08b", bs.SliceByte(j, i))
+		}
+		fmt.Println()
+	}
+
+	v := vbp.New(codes, *k, nil)
+	fmt.Printf("\n— VBP: %d-code segments, %d words of 256 bits each, %d bytes —\n",
+		vbp.SegmentSize, *k, v.SizeBytes())
+	fmt.Printf("  (word Wi holds bit i of every code; bit j of Wi belongs to code j)\n")
+	for i := 0; i < *k; i++ {
+		fmt.Printf("  W%-3d:", i+1)
+		for _, c := range codes {
+			fmt.Printf(" %d", c>>uint(*k-1-i)&1)
+		}
+		fmt.Println()
+	}
+
+	h := hbp.New(codes, *k, nil)
+	fmt.Printf("\n— HBP: %d-bit fields with delimiter, %d codes per 256-bit word, %d bytes —\n",
+		*k+1, h.PerWord(), h.SizeBytes())
+	perBank := h.PerWord() / 4
+	for b := 0; b*perBank < len(codes); b++ {
+		fmt.Printf("  bank %d:", b)
+		for s := 0; s < perBank && b*perBank+s < len(codes); s++ {
+			fmt.Printf(" [0|%0*b]", *k, codes[b*perBank+s])
+		}
+		fmt.Println("   (delimiter bit | value, low slots first)")
+	}
+
+	b := bp.New(codes, *k, nil)
+	fmt.Printf("\n— Bit-Packed: %d bits used, %d bytes allocated —\n", len(codes)**k, b.SizeBytes())
+
+	if *scan != "" {
+		op, err := parseOp(*scan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsinspect:", err)
+			os.Exit(2)
+		}
+		p := layout.Predicate{Op: op, C1: uint32(*konst)}
+		prof := perf.NewProfileNoCache()
+		out := bitvec.New(len(codes))
+		bs.Scan(simd.New(prof), p, out)
+		fmt.Printf("\nScan %s on ByteSlice:\n", p)
+		for i, c := range codes {
+			mark := " "
+			if out.Get(i) {
+				mark = "✓"
+			}
+			fmt.Printf("  %s v%-3d = %d\n", mark, i+1, c)
+		}
+		fmt.Printf("%d of %d match; %s\n", out.Count(), len(codes), prof)
+	}
+}
+
+func parseValues(s string, k int) ([]uint32, error) {
+	parts := strings.Split(s, ",")
+	codes := make([]uint32, 0, len(parts))
+	max := uint64(1)<<uint(k) - 1
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", p, err)
+		}
+		if v > max {
+			return nil, fmt.Errorf("value %d exceeds %d-bit domain", v, k)
+		}
+		codes = append(codes, uint32(v))
+	}
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("no values")
+	}
+	return codes, nil
+}
+
+func parseOp(s string) (layout.Op, error) {
+	switch s {
+	case "<":
+		return layout.Lt, nil
+	case "<=":
+		return layout.Le, nil
+	case ">":
+		return layout.Gt, nil
+	case ">=":
+		return layout.Ge, nil
+	case "=":
+		return layout.Eq, nil
+	case "<>", "!=":
+		return layout.Ne, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", s)
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"byteslice/internal/layout"
+)
+
+func TestParseValues(t *testing.T) {
+	codes, err := parseValues("1, 2,2047", 11)
+	if err != nil || len(codes) != 3 || codes[2] != 2047 {
+		t.Fatalf("parseValues = %v (%v)", codes, err)
+	}
+	for _, bad := range []string{"", "x", "2048", "-1"} {
+		if _, err := parseValues(bad, 11); err == nil {
+			t.Fatalf("parseValues(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	want := map[string]layout.Op{
+		"<": layout.Lt, "<=": layout.Le, ">": layout.Gt, ">=": layout.Ge,
+		"=": layout.Eq, "<>": layout.Ne, "!=": layout.Ne,
+	}
+	for s, op := range want {
+		got, err := parseOp(s)
+		if err != nil || got != op {
+			t.Fatalf("parseOp(%q) = %v (%v)", s, got, err)
+		}
+	}
+	if _, err := parseOp("between"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

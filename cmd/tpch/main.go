@@ -1,0 +1,98 @@
+// Command tpch runs the TPC-H selection–projection suite (and optionally
+// the skewed and real-data variants) over all four storage layouts,
+// printing per-query speed-ups over Bit-Packed and the scan/lookup time
+// breakdown — the §4.2 evaluation of the paper.
+//
+// Usage:
+//
+//	tpch -rows 200000
+//	tpch -skew 1
+//	tpch -real
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"byteslice/internal/cache"
+	"byteslice/internal/exec"
+	"byteslice/internal/layouts"
+	"byteslice/internal/perf"
+	"byteslice/internal/realdata"
+	"byteslice/internal/table"
+	"byteslice/internal/tpch"
+)
+
+func main() {
+	var (
+		rows     = flag.Int("rows", 200_000, "wide-table rows")
+		skew     = flag.Float64("skew", 0, "Zipf skew factor for the skewed variant (0 = standard)")
+		seed     = flag.Uint64("seed", 0xB17E, "generation seed")
+		real     = flag.Bool("real", false, "run the ADULT/BASEBALL real-data suites instead")
+		validate = flag.Bool("validate", true, "cross-check match counts against the scalar oracle")
+	)
+	flag.Parse()
+
+	if *real {
+		for _, d := range []*realdata.Dataset{realdata.Adult(*seed), realdata.Baseball(*seed)} {
+			fmt.Printf("== %s (%d rows) ==\n", d.Name, len(d.Raw[d.Specs[0].Name]))
+			runSuite(d.Queries, func(name string) *table.Table {
+				return d.Build(layouts.Builders[name], cache.NewArena(64))
+			}, len(d.Raw[d.Specs[0].Name]), nil)
+		}
+		return
+	}
+
+	d := tpch.Generate(tpch.Config{Rows: *rows, Skew: *skew, Seed: *seed})
+	fmt.Printf("== TPC-H wide table: %d rows, skew %.1f ==\n", *rows, *skew)
+	var check func(q tpch.Query, matches int) error
+	if *validate {
+		check = func(q tpch.Query, matches int) error { return tpch.Validate(d, q, matches) }
+	}
+	runSuite(tpch.Queries(d), func(name string) *table.Table {
+		return d.Build(layouts.Builders[name], cache.NewArena(64))
+	}, *rows, check)
+}
+
+func runSuite(queries []tpch.Query, build func(string) *table.Table, n int,
+	check func(tpch.Query, int) error) {
+
+	results := map[string]map[string]tpch.Result{}
+	for _, name := range layouts.Names {
+		tb := build(name)
+		results[name] = map[string]tpch.Result{}
+		for _, q := range queries {
+			strategy := exec.Baseline
+			if name == "ByteSlice" {
+				strategy = exec.ColumnFirst
+			}
+			res, err := tpch.Run(tb, q, strategy, perf.NewProfile())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tpch:", err)
+				os.Exit(1)
+			}
+			if check != nil {
+				if err := check(q, res.Matches); err != nil {
+					fmt.Fprintln(os.Stderr, "tpch: validation failed:", err)
+					os.Exit(1)
+				}
+			}
+			results[name][q.Name] = res
+		}
+	}
+
+	fmt.Printf("\n%-6s  %-10s  %12s  %12s  %12s  %9s  %8s\n",
+		"query", "layout", "scan c/t", "lookup c/t", "total c/t", "speedup", "matches")
+	for _, q := range queries {
+		base := results["BitPacked"][q.Name].TotalCycles()
+		for _, name := range layouts.Names {
+			r := results[name][q.Name]
+			fmt.Printf("%-6s  %-10s  %12.4f  %12.4f  %12.4f  %8.2fx  %8d\n",
+				q.Name, name,
+				r.ScanCycles/float64(n), r.LookupCycles/float64(n),
+				r.TotalCycles()/float64(n), base/r.TotalCycles(), r.Matches)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,294 @@
+package byteslice
+
+import (
+	"fmt"
+
+	"byteslice/internal/bitvec"
+
+	"byteslice/internal/encoding"
+	"byteslice/internal/layout"
+)
+
+// Kind is a column's native value type.
+type Kind int
+
+// Column kinds.
+const (
+	KindInt Kind = iota
+	KindDecimal
+	KindString
+	KindCode
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindDecimal:
+		return "decimal"
+	case KindString:
+		return "string"
+	case KindCode:
+		return "code"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Column is an immutable, encoded, formatted column of values.
+type Column struct {
+	name string
+	kind Kind
+	data layout.Layout
+
+	ints *encoding.IntEncoder
+	decs *encoding.DecimalEncoder
+	dict *encoding.Dictionary
+
+	// nulls marks NULL rows (nil when the column has none); see nulls.go.
+	nulls *bitvec.Vector
+
+	// hist is the build-time equi-width histogram driving selectivity
+	// estimates (histogram.go).
+	hist *histogram
+}
+
+// ColumnOption customises column construction.
+type ColumnOption func(*columnConfig)
+
+type columnConfig struct {
+	format   Format
+	nullRows []int
+	zoneMaps bool
+}
+
+// WithFormat selects the storage layout (default: ByteSlice).
+func WithFormat(f Format) ColumnOption {
+	return func(c *columnConfig) { c.format = f }
+}
+
+// WithZoneMaps builds per-segment first-byte zone maps on ByteSlice
+// columns: scans resolve segments whose zone already decides the predicate
+// without touching the data — most effective on sorted or clustered
+// columns (date-ordered fact tables). Ignored for other formats.
+func WithZoneMaps() ColumnOption {
+	return func(c *columnConfig) { c.zoneMaps = true }
+}
+
+func applyOpts(opts []ColumnOption) columnConfig {
+	var cfg columnConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// finish applies post-build column options (zone maps).
+func (cfg columnConfig) finish(c *Column, err error) (*Column, error) {
+	if err != nil {
+		return nil, err
+	}
+	if cfg.zoneMaps {
+		if bs, ok := byteSliceOf(c.data); ok {
+			bs.BuildZoneMaps()
+		}
+	}
+	return c, nil
+}
+
+// NewIntColumn builds an integer column over the closed domain [min, max]
+// using frame-of-reference encoding. Every value must lie in the domain;
+// filter constants may not.
+func NewIntColumn(name string, values []int64, min, max int64, opts ...ColumnOption) (*Column, error) {
+	cfg := applyOpts(opts)
+	build, err := builderFor(cfg.format)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encoding.NewIntEncoder(min, max)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]uint32, len(values))
+	for i, v := range values {
+		c, err := enc.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("column %s row %d: %w", name, i, err)
+		}
+		codes[i] = c
+	}
+	nulls, err := buildNulls(cfg.nullRows, len(codes))
+	if err != nil {
+		return nil, err
+	}
+	return cfg.finish(&Column{nulls: nulls, name: name, kind: KindInt, ints: enc,
+		hist: buildHistogram(codes, maxCodeFor(enc.Width())),
+		data: build(codes, enc.Width(), arena)}, nil)
+}
+
+// NewDecimalColumn builds a fixed-precision decimal column over [min, max]
+// with the given number of decimal digits, scaled to integer codes.
+func NewDecimalColumn(name string, values []float64, min, max float64, digits int, opts ...ColumnOption) (*Column, error) {
+	cfg := applyOpts(opts)
+	build, err := builderFor(cfg.format)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encoding.NewDecimalEncoder(min, max, digits)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]uint32, len(values))
+	for i, v := range values {
+		c, err := enc.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("column %s row %d: %w", name, i, err)
+		}
+		codes[i] = c
+	}
+	nulls, err := buildNulls(cfg.nullRows, len(codes))
+	if err != nil {
+		return nil, err
+	}
+	return cfg.finish(&Column{nulls: nulls, name: name, kind: KindDecimal, decs: enc,
+		hist: buildHistogram(codes, maxCodeFor(enc.Width())),
+		data: build(codes, enc.Width(), arena)}, nil)
+}
+
+// NewStringColumn builds a string column with an order-preserving sorted
+// dictionary built from the values themselves: string range predicates
+// translate directly to code range predicates.
+func NewStringColumn(name string, values []string, opts ...ColumnOption) (*Column, error) {
+	cfg := applyOpts(opts)
+	build, err := builderFor(cfg.format)
+	if err != nil {
+		return nil, err
+	}
+	dict := encoding.NewDictionary(values)
+	codes := make([]uint32, len(values))
+	for i, v := range values {
+		c, err := dict.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("column %s row %d: %w", name, i, err)
+		}
+		codes[i] = c
+	}
+	nulls, err := buildNulls(cfg.nullRows, len(codes))
+	if err != nil {
+		return nil, err
+	}
+	return cfg.finish(&Column{nulls: nulls, name: name, kind: KindString, dict: dict,
+		hist: buildHistogram(codes, maxCodeFor(dict.Width())),
+		data: build(codes, dict.Width(), arena)}, nil)
+}
+
+// NewCodeColumn builds a column from pre-encoded k-bit codes (for callers
+// that manage their own encoding).
+func NewCodeColumn(name string, codes []uint32, k int, opts ...ColumnOption) (*Column, error) {
+	cfg := applyOpts(opts)
+	build, err := builderFor(cfg.format)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > 32 {
+		return nil, fmt.Errorf("byteslice: column %s: width %d out of range [1,32]", name, k)
+	}
+	for i, c := range codes {
+		if k < 32 && c >= 1<<uint(k) {
+			return nil, fmt.Errorf("byteslice: column %s row %d: code %d exceeds width %d", name, i, c, k)
+		}
+	}
+	nulls, err := buildNulls(cfg.nullRows, len(codes))
+	if err != nil {
+		return nil, err
+	}
+	return cfg.finish(&Column{nulls: nulls, name: name, kind: KindCode,
+		hist: buildHistogram(codes, maxCodeFor(k)),
+		data: build(codes, k, arena)}, nil)
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the column's native value kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.data.Len() }
+
+// Width returns the encoded code width in bits.
+func (c *Column) Width() int { return c.data.Width() }
+
+// Format returns the storage layout name.
+func (c *Column) Format() Format { return Format(c.data.Name()) }
+
+// SizeBytes returns the formatted in-memory footprint.
+func (c *Column) SizeBytes() uint64 { return c.data.SizeBytes() }
+
+// LookupCode reconstructs the stored code of row i (the raw lookup the
+// paper benchmarks). The profile may be nil.
+func (c *Column) LookupCode(p *Profile, i int) uint32 {
+	return c.data.Lookup(p.engine(), i)
+}
+
+// LookupInt decodes row i of an integer column.
+func (c *Column) LookupInt(p *Profile, i int) (int64, error) {
+	if c.kind != KindInt {
+		return 0, fmt.Errorf("byteslice: column %s is %s, not int", c.name, c.kind)
+	}
+	return c.ints.Decode(c.LookupCode(p, i)), nil
+}
+
+// LookupDecimal decodes row i of a decimal column.
+func (c *Column) LookupDecimal(p *Profile, i int) (float64, error) {
+	if c.kind != KindDecimal {
+		return 0, fmt.Errorf("byteslice: column %s is %s, not decimal", c.name, c.kind)
+	}
+	return c.decs.Decode(c.LookupCode(p, i)), nil
+}
+
+// LookupString decodes row i of a string column.
+func (c *Column) LookupString(p *Profile, i int) (string, error) {
+	if c.kind != KindString {
+		return "", fmt.Errorf("byteslice: column %s is %s, not string", c.name, c.kind)
+	}
+	return c.dict.Decode(c.LookupCode(p, i)), nil
+}
+
+// maxCode returns the largest code of the column's domain.
+func (c *Column) maxCode() uint32 { return maxCodeFor(c.data.Width()) }
+
+func maxCodeFor(k int) uint32 {
+	if k == 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(k) - 1
+}
+
+// predicate translates a filter's native constants into a code predicate,
+// or a trivial constant when the filter is decided by the domain alone.
+func (c *Column) predicate(f Filter) (layout.Predicate, *bool, error) {
+	switch c.kind {
+	case KindInt:
+		if f.setInt == nil {
+			return layout.Predicate{}, nil, fmt.Errorf("byteslice: column %s is int; use IntFilter", c.name)
+		}
+		return f.setInt(c)
+	case KindDecimal:
+		if f.setDec == nil {
+			return layout.Predicate{}, nil, fmt.Errorf("byteslice: column %s is decimal; use DecimalFilter", c.name)
+		}
+		return f.setDec(c)
+	case KindString:
+		if f.setStr == nil {
+			return layout.Predicate{}, nil, fmt.Errorf("byteslice: column %s is string; use StringFilter", c.name)
+		}
+		return f.setStr(c)
+	case KindCode:
+		if f.setCode == nil {
+			return layout.Predicate{}, nil, fmt.Errorf("byteslice: column %s is code; use CodeFilter", c.name)
+		}
+		return f.setCode(c)
+	}
+	return layout.Predicate{}, nil, fmt.Errorf("byteslice: column %s has unknown kind", c.name)
+}

@@ -1,0 +1,186 @@
+package byteslice
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVColumn describes how one CSV field maps to a column.
+type CSVColumn struct {
+	// Name is the column name; it must match a header field when the CSV
+	// has a header, otherwise columns bind by position.
+	Name string
+	// Kind selects the value type (KindInt, KindDecimal or KindString).
+	Kind Kind
+	// Digits is the decimal precision (KindDecimal only).
+	Digits int
+	// Nullable treats empty fields as NULL; otherwise empty fields error
+	// (for string columns an empty string is only NULL when Nullable).
+	Nullable bool
+}
+
+// CSVOptions configures ReadCSV.
+type CSVOptions struct {
+	// Header indicates the first record names the fields; columns are then
+	// matched by name (extra fields are ignored).
+	Header bool
+	// Comma is the field delimiter (default ',').
+	Comma rune
+	// Format selects the storage layout for every column.
+	Format Format
+}
+
+// ReadCSV loads CSV data into a table: values are parsed per the schema,
+// integer and decimal domains are inferred from the data, string columns
+// build their dictionary from the data, and each column is encoded and
+// formatted. Empty fields of nullable columns become NULL rows.
+func ReadCSV(r io.Reader, schema []CSVColumn, opts CSVOptions) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("byteslice: empty CSV schema")
+	}
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+
+	// Bind schema columns to field indices.
+	fieldOf := make([]int, len(schema))
+	for i := range fieldOf {
+		fieldOf[i] = i
+	}
+	if opts.Header {
+		header, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("byteslice: reading CSV header: %w", err)
+		}
+		byName := make(map[string]int, len(header))
+		for i, h := range header {
+			byName[h] = i
+		}
+		for i, c := range schema {
+			idx, ok := byName[c.Name]
+			if !ok {
+				return nil, fmt.Errorf("byteslice: CSV has no column %q (header %v)", c.Name, header)
+			}
+			fieldOf[i] = idx
+		}
+	}
+
+	// Accumulate raw fields; domains are inferred after the full read.
+	raw := make([][]string, len(schema))
+	nullRows := make([][]int, len(schema))
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("byteslice: reading CSV row %d: %w", row, err)
+		}
+		for i, c := range schema {
+			if fieldOf[i] >= len(rec) {
+				return nil, fmt.Errorf("byteslice: row %d has %d fields, column %q wants field %d", row, len(rec), c.Name, fieldOf[i])
+			}
+			v := rec[fieldOf[i]]
+			if v == "" && c.Nullable {
+				nullRows[i] = append(nullRows[i], row)
+			}
+			raw[i] = append(raw[i], v)
+		}
+		row++
+	}
+	if row == 0 {
+		return nil, fmt.Errorf("byteslice: CSV has no data rows")
+	}
+
+	cols := make([]*Column, 0, len(schema))
+	for i, c := range schema {
+		colOpts := []ColumnOption{WithNulls(nullRows[i])}
+		if opts.Format != "" {
+			colOpts = append(colOpts, WithFormat(opts.Format))
+		}
+		isNull := make(map[int]bool, len(nullRows[i]))
+		for _, r := range nullRows[i] {
+			isNull[r] = true
+		}
+		col, err := buildCSVColumn(c, raw[i], isNull, colOpts)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	return NewTable(cols...)
+}
+
+func buildCSVColumn(c CSVColumn, raw []string, isNull map[int]bool, opts []ColumnOption) (*Column, error) {
+	switch c.Kind {
+	case KindInt:
+		vals := make([]int64, len(raw))
+		var min, max int64
+		first := true
+		for r, s := range raw {
+			if isNull[r] {
+				continue
+			}
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("byteslice: column %q row %d: %w", c.Name, r, err)
+			}
+			vals[r] = v
+			if first || v < min {
+				min = v
+			}
+			if first || v > max {
+				max = v
+			}
+			first = false
+		}
+		if first {
+			min, max = 0, 0
+		}
+		// NULL placeholders must be in the domain.
+		for r := range isNull {
+			vals[r] = min
+		}
+		return NewIntColumn(c.Name, vals, min, max, opts...)
+
+	case KindDecimal:
+		vals := make([]float64, len(raw))
+		var min, max float64
+		first := true
+		for r, s := range raw {
+			if isNull[r] {
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("byteslice: column %q row %d: %w", c.Name, r, err)
+			}
+			vals[r] = v
+			if first || v < min {
+				min = v
+			}
+			if first || v > max {
+				max = v
+			}
+			first = false
+		}
+		if first {
+			min, max = 0, 0
+		}
+		for r := range isNull {
+			vals[r] = min
+		}
+		return NewDecimalColumn(c.Name, vals, min, max, c.Digits, opts...)
+
+	case KindString:
+		vals := make([]string, len(raw))
+		copy(vals, raw)
+		return NewStringColumn(c.Name, vals, opts...)
+	}
+	return nil, fmt.Errorf("byteslice: column %q: unsupported CSV kind %v", c.Name, c.Kind)
+}

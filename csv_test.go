@@ -1,0 +1,127 @@
+package byteslice_test
+
+import (
+	"strings"
+	"testing"
+
+	"byteslice"
+)
+
+const sampleCSV = `city,temp,rain_mm
+Melbourne,35,1.2
+Sydney,28,0.0
+Perth,,12.5
+Hobart,7,3.75
+`
+
+func TestReadCSVWithHeader(t *testing.T) {
+	schema := []byteslice.CSVColumn{
+		{Name: "city", Kind: byteslice.KindString},
+		{Name: "temp", Kind: byteslice.KindInt, Nullable: true},
+		{Name: "rain_mm", Kind: byteslice.KindDecimal, Digits: 2},
+	}
+	tbl, err := byteslice.ReadCSV(strings.NewReader(sampleCSV), schema, byteslice.CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	temp, _ := tbl.Column("temp")
+	if !temp.Nullable() || !temp.IsNull(2) {
+		t.Fatal("empty field should be NULL")
+	}
+	if v, _ := temp.LookupInt(nil, 0); v != 35 {
+		t.Fatalf("temp[0] = %d", v)
+	}
+	rain, _ := tbl.Column("rain_mm")
+	if v, _ := rain.LookupDecimal(nil, 3); v != 3.75 {
+		t.Fatalf("rain[3] = %v", v)
+	}
+	city, _ := tbl.Column("city")
+	if s, _ := city.LookupString(nil, 1); s != "Sydney" {
+		t.Fatalf("city[1] = %q", s)
+	}
+
+	// A query over the loaded table.
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("temp", byteslice.Gt, 10),
+		byteslice.DecimalFilter("rain_mm", byteslice.Lt, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("rows = %v, want [0 1]", got)
+	}
+}
+
+func TestReadCSVColumnSubsetAndOrder(t *testing.T) {
+	// Schema picks two of three columns, in a different order.
+	schema := []byteslice.CSVColumn{
+		{Name: "rain_mm", Kind: byteslice.KindDecimal, Digits: 1},
+		{Name: "city", Kind: byteslice.KindString},
+	}
+	tbl, err := byteslice.ReadCSV(strings.NewReader(sampleCSV), schema,
+		byteslice.CSVOptions{Header: true, Format: byteslice.FormatHBP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tbl.Column("city")
+	if c.Format() != byteslice.FormatHBP {
+		t.Fatalf("format = %s", c.Format())
+	}
+	if _, err := tbl.Column("temp"); err == nil {
+		t.Fatal("unselected column should not exist")
+	}
+}
+
+func TestReadCSVHeaderless(t *testing.T) {
+	data := "1;alpha\n2;beta\n3;alpha\n"
+	schema := []byteslice.CSVColumn{
+		{Name: "id", Kind: byteslice.KindInt},
+		{Name: "tag", Kind: byteslice.KindString},
+	}
+	tbl, err := byteslice.ReadCSV(strings.NewReader(data), schema, byteslice.CSVOptions{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Filter([]byteslice.Filter{byteslice.StringFilter("tag", byteslice.Eq, "alpha")})
+	if err != nil || res.Count() != 2 {
+		t.Fatalf("count = %d (%v)", res.Count(), err)
+	}
+	id, _ := tbl.Column("id")
+	if id.Width() != 2 { // domain [1,3]: 3 values
+		t.Fatalf("inferred width = %d", id.Width())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	schema := []byteslice.CSVColumn{{Name: "x", Kind: byteslice.KindInt}}
+	cases := []string{
+		"",                  // no rows
+		"x\n",               // header only
+		"x\nnot_a_number\n", // parse error
+	}
+	for i, data := range cases {
+		if _, err := byteslice.ReadCSV(strings.NewReader(data), schema, byteslice.CSVOptions{Header: true}); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := byteslice.ReadCSV(strings.NewReader("a\n1\n"), schema, byteslice.CSVOptions{Header: true}); err == nil {
+		t.Fatal("missing header column accepted")
+	}
+	if _, err := byteslice.ReadCSV(strings.NewReader("1\n"), nil, byteslice.CSVOptions{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	// Non-nullable empty field (encoding/csv skips blank lines, so the
+	// empty field needs a second column to be visible).
+	if _, err := byteslice.ReadCSV(strings.NewReader("x,y\n,5\n"), schema, byteslice.CSVOptions{Header: true}); err == nil {
+		t.Fatal("empty non-nullable field accepted")
+	}
+	// Unsupported kind.
+	bad := []byteslice.CSVColumn{{Name: "x", Kind: byteslice.KindCode}}
+	if _, err := byteslice.ReadCSV(strings.NewReader("x\n1\n"), bad, byteslice.CSVOptions{Header: true}); err == nil {
+		t.Fatal("code kind accepted")
+	}
+}

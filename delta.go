@@ -1,0 +1,236 @@
+package byteslice
+
+import (
+	"fmt"
+
+	"byteslice/internal/bitvec"
+)
+
+// DeltaTable adds appendability to the read-optimised formats, the way
+// main-memory column stores do (the paper's setting stores base data
+// compressed and read-mostly; Krueger et al. [28], cited in §2, maintain a
+// small write-optimised delta next to it and merge periodically):
+//
+//   - a sealed base Table holds the bulk of the data in a scan-optimised
+//     layout;
+//   - appended rows accumulate in a small code-encoded delta, scanned
+//     row-at-a-time during queries (the delta is expected to stay small);
+//   - Merge folds the delta into a fresh sealed Table, rebuilding the
+//     storage layouts.
+//
+// Row numbers are stable: base rows keep their positions, delta rows
+// follow them in append order, and Merge preserves the combined order.
+type DeltaTable struct {
+	base       *Table
+	deltaCodes map[string][]uint32
+	deltaNulls map[string][]bool
+	deltaLen   int
+}
+
+// NewDeltaTable wraps a sealed table for appending.
+func NewDeltaTable(base *Table) *DeltaTable {
+	d := &DeltaTable{
+		base:       base,
+		deltaCodes: make(map[string][]uint32, len(base.cols)),
+		deltaNulls: make(map[string][]bool, len(base.cols)),
+	}
+	for _, c := range base.cols {
+		d.deltaCodes[c.name] = nil
+		d.deltaNulls[c.name] = nil
+	}
+	return d
+}
+
+// Len returns the total number of rows (base + delta).
+func (d *DeltaTable) Len() int { return d.base.n + d.deltaLen }
+
+// DeltaLen returns the number of unmerged appended rows.
+func (d *DeltaTable) DeltaLen() int { return d.deltaLen }
+
+// Base returns the sealed base table.
+func (d *DeltaTable) Base() *Table { return d.base }
+
+// AppendRow appends one row. vals maps column names to native values —
+// int64 for integer columns, float64 for decimal, string for string,
+// uint32 for code columns — or nil for NULL. Every column must be present.
+// Values are encoded immediately, so domain violations fail the append
+// atomically (no partial row is retained).
+func (d *DeltaTable) AppendRow(vals map[string]any) error {
+	if len(vals) != len(d.base.cols) {
+		return fmt.Errorf("byteslice: row has %d values, table has %d columns", len(vals), len(d.base.cols))
+	}
+	codes := make([]uint32, len(d.base.cols))
+	nulls := make([]bool, len(d.base.cols))
+	for i, c := range d.base.cols {
+		v, ok := vals[c.name]
+		if !ok {
+			return fmt.Errorf("byteslice: row is missing column %s", c.name)
+		}
+		if v == nil {
+			nulls[i] = true
+			continue
+		}
+		code, err := c.encodeValue(v)
+		if err != nil {
+			return err
+		}
+		codes[i] = code
+	}
+	for i, c := range d.base.cols {
+		d.deltaCodes[c.name] = append(d.deltaCodes[c.name], codes[i])
+		d.deltaNulls[c.name] = append(d.deltaNulls[c.name], nulls[i])
+	}
+	d.deltaLen++
+	return nil
+}
+
+// encodeValue encodes one native value for the column, type-checked.
+func (c *Column) encodeValue(v any) (uint32, error) {
+	switch c.kind {
+	case KindInt:
+		x, ok := v.(int64)
+		if !ok {
+			return 0, fmt.Errorf("byteslice: column %s wants int64, got %T", c.name, v)
+		}
+		return c.ints.Encode(x)
+	case KindDecimal:
+		x, ok := v.(float64)
+		if !ok {
+			return 0, fmt.Errorf("byteslice: column %s wants float64, got %T", c.name, v)
+		}
+		return c.decs.Encode(x)
+	case KindString:
+		x, ok := v.(string)
+		if !ok {
+			return 0, fmt.Errorf("byteslice: column %s wants string, got %T", c.name, v)
+		}
+		code, err := c.dict.Encode(x)
+		if err != nil {
+			return 0, fmt.Errorf("byteslice: column %s: %w (the dictionary is fixed at build time)", c.name, err)
+		}
+		return code, nil
+	case KindCode:
+		x, ok := v.(uint32)
+		if !ok {
+			return 0, fmt.Errorf("byteslice: column %s wants uint32, got %T", c.name, v)
+		}
+		if x > c.maxCode() {
+			return 0, fmt.Errorf("byteslice: column %s: code %d exceeds width %d", c.name, x, c.Width())
+		}
+		return x, nil
+	}
+	return 0, fmt.Errorf("byteslice: unknown kind %v", c.kind)
+}
+
+// Filter evaluates the conjunction of the filters over base and delta rows.
+// The base is scanned with its storage layouts; the delta row-at-a-time.
+func (d *DeltaTable) Filter(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return d.eval(filters, false, opts)
+}
+
+// FilterAny evaluates the disjunction over base and delta rows.
+func (d *DeltaTable) FilterAny(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return d.eval(filters, true, opts)
+}
+
+func (d *DeltaTable) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Result, error) {
+	var baseRes *Result
+	var err error
+	if disjunct {
+		baseRes, err = d.base.FilterAny(filters, opts...)
+	} else {
+		baseRes, err = d.base.Filter(filters, opts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := bitvec.New(d.Len())
+	out.CopyBits(baseRes.bv)
+
+	// Delta rows: evaluate the resolved predicates row-at-a-time.
+	for r := 0; r < d.deltaLen; r++ {
+		match := !disjunct
+		for _, f := range filters {
+			col, err := d.base.Column(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			pred, trivial, err := col.predicate(f)
+			if err != nil {
+				return nil, err
+			}
+			var m bool
+			switch {
+			case d.deltaNulls[col.name][r]:
+				m = false // comparisons with NULL are never true
+			case trivial != nil:
+				m = *trivial
+			default:
+				m = pred.Eval(d.deltaCodes[col.name][r])
+			}
+			if disjunct {
+				match = match || m
+			} else {
+				match = match && m
+			}
+		}
+		out.Set(d.base.n+r, match)
+	}
+	return &Result{bv: out}, nil
+}
+
+// Merge seals the delta into a new Table (with the base's formats, or the
+// override passed via WithFormat) and returns it. The receiver is left
+// unchanged; typical use is d = NewDeltaTable(merged).
+func (d *DeltaTable) Merge(opts ...ColumnOption) (*Table, error) {
+	override := applyOpts(opts)
+	cols := make([]*Column, 0, len(d.base.cols))
+	for _, c := range d.base.cols {
+		total := d.base.n + d.deltaLen
+		codes := make([]uint32, total)
+		for i := 0; i < d.base.n; i++ {
+			codes[i] = c.data.Lookup(nilProfile.engine(), i)
+		}
+		copy(codes[d.base.n:], d.deltaCodes[c.name])
+
+		var nullRows []int
+		if c.nulls != nil {
+			for _, r := range c.nulls.Positions(nil) {
+				nullRows = append(nullRows, int(r))
+			}
+		}
+		for r, isNull := range d.deltaNulls[c.name] {
+			if isNull {
+				nullRows = append(nullRows, d.base.n+r)
+			}
+		}
+
+		format := c.Format()
+		if override.format != "" {
+			format = override.format
+		}
+		var (
+			col *Column
+			err error
+		)
+		switch c.kind {
+		case KindInt:
+			col, err = rebuildColumn(c.name, KindInt, format, c.Width(), codes,
+				c.ints.Min(), c.ints.Max(), 0, 0, 0, nil, nullRows)
+		case KindDecimal:
+			col, err = rebuildColumn(c.name, KindDecimal, format, c.Width(), codes,
+				0, 0, c.decs.Min(), c.decs.Max(), c.decs.Digits(), nil, nullRows)
+		case KindString:
+			col, err = rebuildColumn(c.name, KindString, format, c.Width(), codes,
+				0, 0, 0, 0, 0, c.dict.Values(), nullRows)
+		default:
+			col, err = rebuildColumn(c.name, KindCode, format, c.Width(), codes,
+				0, 0, 0, 0, 0, nil, nullRows)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	return NewTable(cols...)
+}

@@ -1,0 +1,239 @@
+package byteslice_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"byteslice"
+)
+
+func deltaFixture(t *testing.T) *byteslice.DeltaTable {
+	t.Helper()
+	qty := intColumn(t, "qty", []int64{5, 50, 7}, 0, 100)
+	mode, err := byteslice.NewStringColumn("mode", []string{"AIR", "SHIP", "AIR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(qty, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return byteslice.NewDeltaTable(tbl)
+}
+
+func TestDeltaAppendAndFilter(t *testing.T) {
+	d := deltaFixture(t)
+	if d.Len() != 3 || d.DeltaLen() != 0 {
+		t.Fatalf("fresh delta: len %d/%d", d.Len(), d.DeltaLen())
+	}
+	rows := []map[string]any{
+		{"qty": int64(60), "mode": "SHIP"},
+		{"qty": int64(2), "mode": "AIR"},
+		{"qty": nil, "mode": "SHIP"},
+	}
+	for _, r := range rows {
+		if err := d.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() != 6 || d.DeltaLen() != 3 {
+		t.Fatalf("after appends: len %d/%d", d.Len(), d.DeltaLen())
+	}
+
+	// qty ≥ 50 matches base row 1 and delta row 0 (row number 3).
+	res, err := d.Filter([]byteslice.Filter{byteslice.IntFilter("qty", byteslice.Ge, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("rows = %v, want [1 3]", got)
+	}
+
+	// Conjunction spanning base and delta, with the NULL qty row excluded.
+	res, err = d.Filter([]byteslice.Filter{
+		byteslice.IntFilter("qty", byteslice.Lt, 100), // trivially true — except for NULLs
+		byteslice.StringFilter("mode", byteslice.Eq, "SHIP"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = res.Rows()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("conjunction rows = %v, want [1 3]", got)
+	}
+
+	// Disjunction.
+	res, err = d.FilterAny([]byteslice.Filter{
+		byteslice.IntFilter("qty", byteslice.Lt, 5),
+		byteslice.StringFilter("mode", byteslice.Eq, "SHIP"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = res.Rows()
+	if len(got) != 4 || got[0] != 1 || got[1] != 3 || got[2] != 4 || got[3] != 5 {
+		t.Fatalf("disjunction rows = %v, want [1 3 4 5]", got)
+	}
+}
+
+func TestDeltaAppendValidation(t *testing.T) {
+	d := deltaFixture(t)
+	cases := []map[string]any{
+		{"qty": int64(5)},                        // missing column
+		{"qty": int64(5), "mode": "AIR", "x": 1}, // extra column
+		{"qty": int64(999), "mode": "AIR"},       // out of domain
+		{"qty": "five", "mode": "AIR"},           // wrong type
+		{"qty": int64(5), "mode": "TRUCK"},       // not in dictionary
+		{"qty": int64(5), "mode": 7},             // wrong type
+	}
+	for i, r := range cases {
+		if err := d.AppendRow(r); err == nil {
+			t.Fatalf("case %d: bad row accepted", i)
+		}
+	}
+	if d.DeltaLen() != 0 {
+		t.Fatalf("failed appends must not leave partial rows: %d", d.DeltaLen())
+	}
+}
+
+func TestDeltaMerge(t *testing.T) {
+	d := deltaFixture(t)
+	check(t, d.AppendRow(map[string]any{"qty": int64(60), "mode": "SHIP"}))
+	check(t, d.AppendRow(map[string]any{"qty": nil, "mode": "AIR"}))
+
+	merged, err := d.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 5 {
+		t.Fatalf("merged len = %d", merged.Len())
+	}
+	qty, _ := merged.Column("qty")
+	if v, _ := qty.LookupInt(nil, 3); v != 60 {
+		t.Fatalf("merged row 3 qty = %d", v)
+	}
+	if !qty.IsNull(4) || qty.NullCount() != 1 {
+		t.Fatal("merged nulls wrong")
+	}
+	mode, _ := merged.Column("mode")
+	if s, _ := mode.LookupString(nil, 3); s != "SHIP" {
+		t.Fatalf("merged row 3 mode = %q", s)
+	}
+
+	// Queries on the merged table equal queries on the delta view.
+	f := []byteslice.Filter{byteslice.IntFilter("qty", byteslice.Ge, 7)}
+	want, err := d.Filter(f)
+	check(t, err)
+	got, err := merged.Filter(f)
+	check(t, err)
+	wr, gr := want.Rows(), got.Rows()
+	if len(wr) != len(gr) {
+		t.Fatalf("merged query differs: %v vs %v", gr, wr)
+	}
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Fatalf("merged query differs at %d: %v vs %v", i, gr, wr)
+		}
+	}
+
+	// Merge with a format override.
+	asVBP, err := d.Merge(byteslice.WithFormat(byteslice.FormatVBP))
+	check(t, err)
+	c, _ := asVBP.Column("qty")
+	if c.Format() != byteslice.FormatVBP {
+		t.Fatalf("override ignored: %s", c.Format())
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaModelProperty runs a random sequence of appends, queries and
+// merges against a plain-Go model of the table.
+func TestDeltaModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(120, 120)) //nolint:gosec
+	type row struct {
+		v      int64
+		vNull  bool
+		tagIdx int
+	}
+	tags := []string{"x", "y", "z"}
+
+	// The base rows cover the whole tag vocabulary (a string column's
+	// dictionary is fixed at build time, so appends must reuse it).
+	baseVals := []int64{10, 20, 30, 40, 50, 60}
+	baseTags := []string{"x", "y", "x", "z", "y", "z"}
+	var model []row
+	for i := range baseVals {
+		ti := 0
+		for j, s := range tags {
+			if s == baseTags[i] {
+				ti = j
+			}
+		}
+		model = append(model, row{baseVals[i], false, ti})
+	}
+	vCol := intColumn(t, "v", baseVals, 0, 1000)
+	tCol, err := byteslice.NewStringColumn("tag", baseTags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(vCol, tCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := byteslice.NewDeltaTable(tbl)
+
+	verify := func(step int) {
+		c := int64(rng.IntN(1000))
+		tag := tags[rng.IntN(len(tags))]
+		res, err := d.Filter([]byteslice.Filter{
+			byteslice.IntFilter("v", byteslice.Le, c),
+			byteslice.StringFilter("tag", byteslice.Eq, tag),
+		})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want := 0
+		for _, r := range model {
+			if !r.vNull && r.v <= c && tags[r.tagIdx] == tag {
+				want++
+			}
+		}
+		if res.Count() != want {
+			t.Fatalf("step %d: count %d, want %d (c=%d tag=%s)", step, res.Count(), want, c, tag)
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		switch rng.IntN(10) {
+		case 0, 1, 2, 3, 4, 5: // append
+			r := row{v: int64(rng.IntN(1000)), vNull: rng.IntN(10) == 0, tagIdx: rng.IntN(len(tags))}
+			vals := map[string]any{"v": r.v, "tag": tags[r.tagIdx]}
+			if r.vNull {
+				vals["v"] = nil
+			}
+			if err := d.AppendRow(vals); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			model = append(model, r)
+		case 6, 7, 8: // query
+			verify(step)
+		case 9: // merge
+			merged, err := d.Merge()
+			if err != nil {
+				t.Fatalf("step %d merge: %v", step, err)
+			}
+			d = byteslice.NewDeltaTable(merged)
+		}
+	}
+	verify(9999)
+	if d.Len() != len(model) {
+		t.Fatalf("final length %d, want %d", d.Len(), len(model))
+	}
+}

@@ -1,0 +1,99 @@
+package byteslice_test
+
+import (
+	"fmt"
+	"log"
+
+	"byteslice"
+)
+
+// Example demonstrates the end-to-end flow: typed columns, a filtered
+// table, decoded results.
+func Example() {
+	temps := []int64{12, 35, 28, 41, 7, 33}
+	cities := []string{"Melbourne", "Melbourne", "Sydney", "Perth", "Hobart", "Melbourne"}
+
+	temp, err := byteslice.NewIntColumn("temp_c", temps, -40, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	city, err := byteslice.NewStringColumn("city", cities)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(temp, city)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("temp_c", byteslice.Gt, 30),
+		byteslice.StringFilter("city", byteslice.Eq, "Melbourne"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows() {
+		v, _ := temp.LookupInt(nil, int(row))
+		fmt.Printf("row %d: %d°C\n", row, v)
+	}
+	// Output:
+	// row 1: 35°C
+	// row 5: 33°C
+}
+
+// ExampleTable_FilterAny shows a disjunction with an out-of-domain
+// constant that decides one arm trivially.
+func ExampleTable_FilterAny() {
+	hours := []int64{38, 45, 12, 60, 40}
+	col, _ := byteslice.NewIntColumn("hours", hours, 0, 100)
+	tbl, _ := byteslice.NewTable(col)
+
+	res, _ := tbl.FilterAny([]byteslice.Filter{
+		byteslice.IntFilter("hours", byteslice.Gt, 50),
+		byteslice.IntFilter("hours", byteslice.Lt, -5), // below the domain: matches nothing
+	})
+	fmt.Println(res.Rows())
+	// Output:
+	// [3]
+}
+
+// ExampleTable_SumInt shows filtered SIMD aggregation.
+func ExampleTable_SumInt() {
+	qty, _ := byteslice.NewIntColumn("qty", []int64{5, 50, 7, 90, 3}, 0, 100)
+	tbl, _ := byteslice.NewTable(qty)
+
+	big, _ := tbl.Filter([]byteslice.Filter{byteslice.IntFilter("qty", byteslice.Ge, 10)})
+	sum, count, _ := tbl.SumInt("qty", big)
+	fmt.Printf("%d units across %d large orders\n", sum, count)
+	// Output:
+	// 140 units across 2 large orders
+}
+
+// ExampleWithNulls shows SQL three-valued filter semantics.
+func ExampleWithNulls() {
+	// Row 1's value is a placeholder: the row is NULL.
+	score, _ := byteslice.NewIntColumn("score", []int64{80, 0, 55}, 0, 100,
+		byteslice.WithNulls([]int{1}))
+	tbl, _ := byteslice.NewTable(score)
+
+	// score < 90 is true for every non-NULL value, but NULL rows never match.
+	res, _ := tbl.Filter([]byteslice.Filter{byteslice.IntFilter("score", byteslice.Lt, 90)})
+	fmt.Println(res.Rows(), score.IsNull(1))
+	// Output:
+	// [0 2] true
+}
+
+// ExampleWithFormat compares storage footprints across layouts.
+func ExampleWithFormat() {
+	vals := make([]int64, 1024)
+	for _, f := range byteslice.Formats() {
+		col, _ := byteslice.NewIntColumn("v", vals, 0, 2047, byteslice.WithFormat(f)) // 11-bit codes
+		fmt.Printf("%s: %d bytes\n", f, col.SizeBytes())
+	}
+	// Output:
+	// BitPacked: 1448 bytes
+	// HBP: 1664 bytes
+	// VBP: 1408 bytes
+	// ByteSlice: 2048 bytes
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small table with typed columns, filter it with a
+// conjunction, and decode the matching rows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"byteslice"
+)
+
+func main() {
+	// A tiny product catalogue.
+	names := []string{"anvil", "bucket", "candle", "dynamite", "earmuffs", "fan", "grate", "hammer"}
+	prices := []float64{119.99, 7.50, 2.25, 89.00, 14.99, 34.50, 61.00, 24.99}
+	stock := []int64{3, 120, 560, 12, 44, 9, 0, 75}
+
+	name, err := byteslice.NewStringColumn("name", names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	price, err := byteslice.NewDecimalColumn("price", prices, 0, 1000, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qty, err := byteslice.NewIntColumn("stock", stock, 0, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl, err := byteslice.NewTable(name, price, qty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table: %d rows; price column is %d bits wide in %s format\n",
+		tbl.Len(), price.Width(), price.Format())
+
+	// Affordable products we can actually ship: price ≤ 35 AND stock > 0.
+	prof := byteslice.NewProfile()
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.DecimalFilter("price", byteslice.Le, 35.00),
+		byteslice.IntFilter("stock", byteslice.Gt, 0),
+	}, byteslice.WithProfile(prof))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d matching products:\n", res.Count())
+	for _, row := range res.Rows() {
+		n, _ := name.LookupString(nil, int(row))
+		p, _ := price.LookupDecimal(nil, int(row))
+		s, _ := qty.LookupInt(nil, int(row))
+		fmt.Printf("  %-10s  $%6.2f  %4d in stock\n", n, p, s)
+	}
+	fmt.Printf("\nmodelled execution: %s\n", prof)
+}

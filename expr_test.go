@@ -1,0 +1,145 @@
+package byteslice_test
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"byteslice"
+)
+
+// exprFixture builds a three-column table plus the raw values for a
+// scalar oracle.
+func exprFixture(t *testing.T, n int) (*byteslice.Table, []int64, []int64, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(80, 80)) //nolint:gosec
+	a := make([]int64, n)
+	b := make([]int64, n)
+	s := make([]string, n)
+	words := []string{"red", "green", "blue", "cyan"}
+	for i := 0; i < n; i++ {
+		a[i] = int64(rng.IntN(1000))
+		b[i] = int64(rng.IntN(1000))
+		s[i] = words[rng.IntN(len(words))]
+	}
+	sc, err := byteslice.NewStringColumn("s", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(
+		intColumn(t, "a", a, 0, 999),
+		intColumn(t, "b", b, 0, 999),
+		sc,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, a, b, s
+}
+
+// TestExprQ19Shape evaluates a Q19-style DNF of conjunctions against a
+// scalar oracle.
+func TestExprQ19Shape(t *testing.T) {
+	tbl, a, b, s := exprFixture(t, 4000)
+	expr := byteslice.Any(
+		byteslice.AllFilters(
+			byteslice.StringFilter("s", byteslice.Eq, "red"),
+			byteslice.IntFilter("a", byteslice.Between, 100, 300),
+		),
+		byteslice.AllFilters(
+			byteslice.StringFilter("s", byteslice.Eq, "blue"),
+			byteslice.IntFilter("a", byteslice.Between, 200, 400),
+			byteslice.IntFilter("b", byteslice.Lt, 500),
+		),
+	)
+	res, err := tbl.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range a {
+		m := (s[i] == "red" && a[i] >= 100 && a[i] <= 300) ||
+			(s[i] == "blue" && a[i] >= 200 && a[i] <= 400 && b[i] < 500)
+		if m {
+			want++
+			if !res.Contains(i) {
+				t.Fatalf("row %d should match", i)
+			}
+		}
+	}
+	if res.Count() != want {
+		t.Fatalf("count = %d, want %d", res.Count(), want)
+	}
+}
+
+// TestExprMixedNesting combines leaves and nested groups under one parent.
+func TestExprMixedNesting(t *testing.T) {
+	tbl, a, b, s := exprFixture(t, 3000)
+	// a < 500 AND (s = "red" OR b ≥ 900) AND b < 950
+	expr := byteslice.All(
+		byteslice.Leaf(byteslice.IntFilter("a", byteslice.Lt, 500)),
+		byteslice.Any(
+			byteslice.Leaf(byteslice.StringFilter("s", byteslice.Eq, "red")),
+			byteslice.Leaf(byteslice.IntFilter("b", byteslice.Ge, 900)),
+		),
+		byteslice.Leaf(byteslice.IntFilter("b", byteslice.Lt, 950)),
+	)
+	for _, strat := range []byteslice.Strategy{byteslice.StrategyBaseline, byteslice.StrategyColumnFirst, byteslice.StrategyPredicateFirst} {
+		res, err := tbl.Query(expr, byteslice.WithStrategy(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := range a {
+			if a[i] < 500 && (s[i] == "red" || b[i] >= 900) && b[i] < 950 {
+				want++
+			}
+		}
+		if res.Count() != want {
+			t.Fatalf("strategy %d: count = %d, want %d", strat, res.Count(), want)
+		}
+	}
+}
+
+func TestExprSingleLeafAndErrors(t *testing.T) {
+	tbl, a, _, _ := exprFixture(t, 500)
+	res, err := tbl.Query(byteslice.Leaf(byteslice.IntFilter("a", byteslice.Ge, 500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range a {
+		if v >= 500 {
+			want++
+		}
+	}
+	if res.Count() != want {
+		t.Fatalf("leaf query count = %d, want %d", res.Count(), want)
+	}
+
+	if _, err := tbl.Query(byteslice.Expr{}); err == nil {
+		t.Fatal("empty expression should error")
+	}
+	if _, err := tbl.Query(byteslice.All()); err == nil {
+		t.Fatal("empty AND should error")
+	}
+	if _, err := tbl.Query(byteslice.Leaf(byteslice.IntFilter("zzz", byteslice.Lt, 1))); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := byteslice.All(
+		byteslice.Leaf(byteslice.IntFilter("a", byteslice.Lt, 1)),
+		byteslice.Any(
+			byteslice.Leaf(byteslice.IntFilter("b", byteslice.Eq, 2)),
+			byteslice.Leaf(byteslice.IntFilter("c", byteslice.Gt, 3)),
+		),
+	)
+	s := e.String()
+	for _, want := range []string{"AND", "OR", "a", "b", "c"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

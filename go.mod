@@ -1,0 +1,3 @@
+module byteslice
+
+go 1.22

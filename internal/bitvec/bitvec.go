@@ -1,0 +1,249 @@
+// Package bitvec implements the result bit vectors that column scans
+// produce: fixed-length vectors of one bit per record, with the logical
+// operations needed to combine predicates and convert matches into record
+// numbers.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-length bit vector. Bit i corresponds to record i; the
+// scan kernels append results in record order. Bits at positions ≥ Len()
+// are always zero (operations maintain this invariant), so Count and
+// Positions are exact even though scans emit whole 32- or 256-bit blocks.
+type Vector struct {
+	words []uint64
+	n     int
+	// pos is the append cursor in bits.
+	pos int
+}
+
+// New returns a zeroed vector of n bits positioned for appending at bit 0.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of record bits.
+func (v *Vector) Len() int { return v.n }
+
+// Reset zeroes the vector and rewinds the append cursor.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	v.pos = 0
+}
+
+// Append32 appends the low 32 bits of r (bit j of r becomes record pos+j).
+// Bits spilling past Len are discarded, which is how scans emit their final
+// partial segment.
+func (v *Vector) Append32(r uint32) {
+	v.appendBits(uint64(r), 32)
+}
+
+// Append64 appends the low width bits of r (width ≤ 64).
+func (v *Vector) Append64(r uint64, width int) {
+	if width < 0 || width > 64 {
+		panic("bitvec: bad append width")
+	}
+	v.appendBits(r, width)
+}
+
+func (v *Vector) appendBits(r uint64, width int) {
+	if width == 0 {
+		return
+	}
+	if rem := v.n - v.pos; rem <= 0 {
+		v.pos += width
+		return
+	} else if rem < width {
+		r &= (1 << uint(rem)) - 1
+		if rem < 64 && width > rem {
+			// keep only in-range bits
+			r &= 1<<uint(rem) - 1
+		}
+	} else if width < 64 {
+		r &= 1<<uint(width) - 1
+	}
+	w, off := v.pos>>6, uint(v.pos&63)
+	v.words[w] |= r << off
+	if off != 0 && w+1 < len(v.words) {
+		v.words[w+1] |= r >> (64 - off)
+	}
+	v.pos += width
+}
+
+// Append256 appends 256 bits given as four little-endian 64-bit lanes (bit
+// j of the block is lane j/64, bit j%64), as the VBP scan emits per segment.
+func (v *Vector) Append256(lanes [4]uint64) {
+	for _, l := range lanes {
+		v.appendBits(l, 64)
+	}
+}
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set sets bit i to b.
+func (v *Vector) Set(i int, b bool) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	if b {
+		v.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Word32 returns the 32-bit block starting at bit i (i must be a multiple
+// of 32). The column-first pipelined scan reads the previous predicate's
+// result segment-by-segment through this.
+func (v *Vector) Word32(i int) uint32 {
+	if i&31 != 0 {
+		panic("bitvec: Word32 index not 32-bit aligned")
+	}
+	if i >= v.n {
+		return 0
+	}
+	return uint32(v.words[i>>6] >> (uint(i) & 63))
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And replaces v with v AND o. The vectors must have equal length.
+func (v *Vector) And(o *Vector) {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Or replaces v with v OR o. The vectors must have equal length.
+func (v *Vector) Or(o *Vector) {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// AndNot replaces v with v AND NOT o. The vectors must have equal length.
+func (v *Vector) AndNot(o *Vector) {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// Not complements every record bit in place (tail bits stay zero).
+func (v *Vector) Not() {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.clearTail()
+}
+
+// Fill sets every record bit.
+func (v *Vector) Fill() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clearTail()
+}
+
+// Clone returns an independent copy of v (append cursor included).
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	w.pos = v.pos
+	return w
+}
+
+// Equal reports whether v and o have identical length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Positions appends the record numbers of all set bits to dst and returns
+// it. This is the scan-to-lookup conversion step: the result bit vector
+// becomes a list of record numbers.
+func (v *Vector) Positions(dst []int32) []int32 {
+	for wi, w := range v.words {
+		base := int32(wi * 64)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+func (v *Vector) sameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+func (v *Vector) clearTail() {
+	if tail := uint(v.n & 63); tail != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= 1<<tail - 1
+	}
+}
+
+// SetWord32 overwrites the 32-bit block starting at bit i (i must be a
+// multiple of 32), truncating bits past Len. It writes without the append
+// cursor, so disjoint blocks can be filled concurrently — parallel scans
+// give each worker an aligned range of segments.
+func (v *Vector) SetWord32(i int, w uint32) {
+	if i&31 != 0 {
+		panic("bitvec: SetWord32 index not 32-bit aligned")
+	}
+	if i >= v.n {
+		return
+	}
+	if rem := v.n - i; rem < 32 {
+		w &= 1<<uint(rem) - 1
+	}
+	word, off := i>>6, uint(i&63)
+	v.words[word] = v.words[word]&^(uint64(0xFFFFFFFF)<<off) | uint64(w)<<off
+}
+
+// CopyBits overwrites v's first min(v.Len, o.Len) bits with o's. Used when
+// a shorter result (e.g. over a table's sealed base rows) is embedded into
+// a longer one (base + delta rows).
+func (v *Vector) CopyBits(o *Vector) {
+	n := v.n
+	if o.n < n {
+		n = o.n
+	}
+	words := n / 64
+	copy(v.words[:words], o.words[:words])
+	for i := words * 64; i < n; i++ {
+		v.Set(i, o.Get(i))
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/simd"
+)
+
+// SIMD aggregation over ByteSlice columns. The paper's §5 points at
+// companion work ([16], Feng and Lo, ICDE 2015) that computes aggregates
+// with intra-cycle parallelism directly on bit-parallel layouts; the
+// byte-parallel analogue here works slice-wise:
+//
+//   - Sum: the sum of the codes equals Σⱼ 256^(nb−1−j) · (sum of slice j's
+//     bytes), and a slice's bytes are summed 32 at a time with the SAD
+//     instruction (vpsadbw), masked by the filter's result bit vector.
+//   - Min/Max: resolved byte-lexicographically, one slice at a time: find
+//     the extreme byte of the current candidate set with vpminub/vpmaxub,
+//     narrow the candidates to the rows achieving it, recurse into the
+//     next slice. At most ⌈k/8⌉ passes over the (shrinking) candidates.
+//
+// All three honour an optional selection mask, so filtered aggregation
+// composes with scans without materialising matching rows.
+
+// Sum returns the sum of the codes of the rows set in mask (every row when
+// mask is nil) and the number of rows aggregated.
+func (b *ByteSlice) Sum(e *simd.Engine, mask *bitvec.Vector) (sum uint64, count int) {
+	if mask != nil && mask.Len() != b.n {
+		panic("core: aggregate mask length mismatch")
+	}
+	count = b.n
+	if mask != nil {
+		count = mask.Count()
+	}
+	accs := make([]simd.Vec, b.nb)
+	skipSite := e.P.Pred.Site()
+	for seg := 0; seg < b.Segments(); seg++ {
+		e.Scalar(segmentOverhead)
+		off := seg * SegmentSize
+		var m simd.Vec
+		haveMask := mask != nil
+		if haveMask {
+			var r uint32
+			if off < b.n {
+				r = mask.Word32(off)
+			}
+			e.Scalar(1)
+			if e.P.Branch(skipSite, r == 0) {
+				continue
+			}
+			m = InverseMovemask(e, r)
+		}
+		for j := 0; j < b.nb; j++ {
+			w := e.Load(b.slices[j][off:], b.addrs[j]+uint64(off))
+			if haveMask {
+				w = e.And(w, m)
+			} else if off+SegmentSize > b.n {
+				// The final partial segment: mask out padding rows.
+				var tail simd.Vec
+				for lane := 0; lane < b.n-off; lane++ {
+					tail = tail.SetByte(lane, 0xFF)
+				}
+				w = e.And(w, tail)
+			}
+			accs[j] = e.Add64(accs[j], e.Sad8(w))
+		}
+	}
+	var padded uint64
+	for j := 0; j < b.nb; j++ {
+		var laneSum uint64
+		for lane := 0; lane < 4; lane++ {
+			laneSum += accs[j].U64(lane)
+		}
+		e.Scalar(4)
+		padded += laneSum << uint(8*(b.nb-1-j))
+	}
+	return padded >> b.pad, count
+}
+
+// Min returns the smallest code among the rows set in mask (all rows when
+// nil). ok is false when no row is selected.
+func (b *ByteSlice) Min(e *simd.Engine, mask *bitvec.Vector) (min uint32, ok bool) {
+	return b.extreme(e, mask, true)
+}
+
+// Max returns the largest code among the rows set in mask (all rows when
+// nil). ok is false when no row is selected.
+func (b *ByteSlice) Max(e *simd.Engine, mask *bitvec.Vector) (max uint32, ok bool) {
+	return b.extreme(e, mask, false)
+}
+
+func (b *ByteSlice) extreme(e *simd.Engine, mask *bitvec.Vector, isMin bool) (uint32, bool) {
+	if mask != nil && mask.Len() != b.n {
+		panic("core: aggregate mask length mismatch")
+	}
+	// Candidate rows: the mask, or every real row.
+	cand := bitvec.New(b.n)
+	if mask != nil {
+		cand.Or(mask) // copy
+	} else {
+		cand.Fill()
+	}
+	if cand.Count() == 0 {
+		return 0, false
+	}
+
+	var result uint32
+	next := bitvec.New(b.n)
+	for j := 0; j < b.nb; j++ {
+		// Pass 1: the extreme byte of slice j among candidates. Masked-out
+		// lanes are forced to the identity (0xFF for min, 0x00 for max).
+		best := byte(0xFF)
+		if !isMin {
+			best = 0
+		}
+		identity := e.Broadcast8(best)
+		acc := identity
+		for seg := 0; seg < b.Segments(); seg++ {
+			off := seg * SegmentSize
+			var r uint32
+			if off < b.n {
+				r = cand.Word32(off)
+			}
+			e.Scalar(2)
+			if r == 0 {
+				continue
+			}
+			m := InverseMovemask(e, r)
+			w := e.Load(b.slices[j][off:], b.addrs[j]+uint64(off))
+			if isMin {
+				w = e.Or(w, e.Not(m)) // masked-out lanes → 0xFF
+				acc = e.MinU8(acc, w)
+			} else {
+				w = e.And(w, m)
+				acc = e.MaxU8(acc, w)
+			}
+		}
+		// Horizontal reduction of the 32 lanes (a short vpminub/vpmaxub
+		// tree on hardware; charged as four ops).
+		e.Scalar(4)
+		for lane := 0; lane < simd.Bytes; lane++ {
+			v := acc.Byte(lane)
+			if isMin && v < best || !isMin && v > best {
+				best = v
+			}
+		}
+		result = result<<8 | uint32(best)
+
+		// Pass 2: narrow candidates to rows whose slice-j byte equals the
+		// extreme (an equality scan restricted to candidates).
+		if j < b.nb-1 {
+			next.Reset()
+			wc := e.Broadcast8(best)
+			for seg := 0; seg < b.Segments(); seg++ {
+				off := seg * SegmentSize
+				var r uint32
+				if off < b.n {
+					r = cand.Word32(off)
+				}
+				e.Scalar(2)
+				if r == 0 {
+					next.Append32(0)
+					continue
+				}
+				w := e.Load(b.slices[j][off:], b.addrs[j]+uint64(off))
+				eqm := e.Movemask8(e.CmpEq8(w, wc))
+				e.Scalar(1)
+				next.Append32(eqm & r)
+			}
+			cand, next = next, cand
+		}
+	}
+	return result >> b.pad, true
+}

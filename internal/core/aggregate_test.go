@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+)
+
+func randMask(rng *rand.Rand, n int, density float64) *bitvec.Vector {
+	m := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			m.Set(i, true)
+		}
+	}
+	return m
+}
+
+func TestSumAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20, 20)) //nolint:gosec
+	for _, k := range []int{1, 7, 8, 11, 16, 21, 32} {
+		for _, n := range []int{1, 31, 32, 1000, 4099} {
+			codes := layouttest.RandomCodes(rng, n, k, "uniform")
+			if k == 32 {
+				// Keep the exact sum within uint64 headroom for the oracle.
+				for i := range codes {
+					codes[i] &= 0x00FFFFFF
+				}
+			}
+			b := core.New(codes, k, nil)
+			e := layouttest.Engine()
+
+			var want uint64
+			for _, c := range codes {
+				want += uint64(c)
+			}
+			got, count := b.Sum(e, nil)
+			if got != want || count != n {
+				t.Fatalf("k=%d n=%d: Sum = %d (count %d), want %d (%d)", k, n, got, count, want, n)
+			}
+
+			for _, density := range []float64{0, 0.01, 0.5, 1} {
+				mask := randMask(rng, n, density)
+				want = 0
+				for i, c := range codes {
+					if mask.Get(i) {
+						want += uint64(c)
+					}
+				}
+				got, count = b.Sum(e, mask)
+				if got != want || count != mask.Count() {
+					t.Fatalf("k=%d n=%d density=%.2f: masked Sum = %d, want %d", k, n, density, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMinMaxAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 21)) //nolint:gosec
+	for _, k := range []int{1, 5, 8, 13, 24, 32} {
+		for _, dist := range []string{"uniform", "edges", "runs"} {
+			n := 2500
+			codes := layouttest.RandomCodes(rng, n, k, dist)
+			b := core.New(codes, k, nil)
+			e := layouttest.Engine()
+
+			wantMin, wantMax := codes[0], codes[0]
+			for _, c := range codes {
+				if c < wantMin {
+					wantMin = c
+				}
+				if c > wantMax {
+					wantMax = c
+				}
+			}
+			if got, ok := b.Min(e, nil); !ok || got != wantMin {
+				t.Fatalf("k=%d %s: Min = %d (%v), want %d", k, dist, got, ok, wantMin)
+			}
+			if got, ok := b.Max(e, nil); !ok || got != wantMax {
+				t.Fatalf("k=%d %s: Max = %d (%v), want %d", k, dist, got, ok, wantMax)
+			}
+
+			mask := randMask(rng, n, 0.05)
+			haveAny := mask.Count() > 0
+			var mMin, mMax uint32
+			first := true
+			for i, c := range codes {
+				if !mask.Get(i) {
+					continue
+				}
+				if first || c < mMin {
+					mMin = c
+				}
+				if first || c > mMax {
+					mMax = c
+				}
+				first = false
+			}
+			gotMin, okMin := b.Min(e, mask)
+			gotMax, okMax := b.Max(e, mask)
+			if okMin != haveAny || okMax != haveAny {
+				t.Fatalf("k=%d %s: ok flags wrong", k, dist)
+			}
+			if haveAny && (gotMin != mMin || gotMax != mMax) {
+				t.Fatalf("k=%d %s: masked min/max = %d/%d, want %d/%d", k, dist, gotMin, gotMax, mMin, mMax)
+			}
+		}
+	}
+}
+
+func TestMinMaxEmptyMask(t *testing.T) {
+	b := core.New([]uint32{5, 6, 7}, 4, nil)
+	e := layouttest.Engine()
+	if _, ok := b.Min(e, bitvec.New(3)); ok {
+		t.Fatal("empty mask should report not-ok")
+	}
+	if _, ok := b.Max(e, bitvec.New(3)); ok {
+		t.Fatal("empty mask should report not-ok")
+	}
+	if sum, count := b.Sum(e, bitvec.New(3)); sum != 0 || count != 0 {
+		t.Fatalf("empty-mask Sum = %d/%d", sum, count)
+	}
+}
+
+// TestAggregateComposesWithScan is the integration the feature exists for:
+// SUM/MIN/MAX of the rows matching a predicate, without materialising them.
+func TestAggregateComposesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 22)) //nolint:gosec
+	n, k := 10000, 14
+	codes := layouttest.RandomCodes(rng, n, k, "uniform")
+	b := core.New(codes, k, nil)
+	e := layouttest.Engine()
+	p := layout.Predicate{Op: layout.Between, C1: 2000, C2: 9000}
+	match := bitvec.New(n)
+	b.Scan(e, p, match)
+
+	var wantSum uint64
+	wantMin, wantMax := uint32(1<<k), uint32(0)
+	wantCount := 0
+	for _, c := range codes {
+		if p.Eval(c) {
+			wantSum += uint64(c)
+			wantCount++
+			if c < wantMin {
+				wantMin = c
+			}
+			if c > wantMax {
+				wantMax = c
+			}
+		}
+	}
+	sum, count := b.Sum(e, match)
+	mn, _ := b.Min(e, match)
+	mx, _ := b.Max(e, match)
+	if sum != wantSum || count != wantCount || mn != wantMin || mx != wantMax {
+		t.Fatalf("filtered aggregates: sum %d/%d count %d/%d min %d/%d max %d/%d",
+			sum, wantSum, count, wantCount, mn, wantMin, mx, wantMax)
+	}
+}
+
+func TestAggregateMaskLengthPanics(t *testing.T) {
+	b := core.New([]uint32{1, 2}, 4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Sum(layouttest.Engine(), bitvec.New(3))
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// Segment16 is the number of codes per segment of the 16-bit variant:
+// one 16-bit bank per code in a 256-bit word.
+const Segment16 = simd.Bytes / 2
+
+// ByteSlice16 is the 16-bit-bank-width variant studied in Appendix A:
+// codes are sliced into ⌈k/16⌉ 16-bit chunks, so a 256-bit word carries
+// chunks of only 16 codes (16-way parallelism instead of 32-way). The
+// paper concludes 8-bit banks dominate for real-world widths (k ≤ 24);
+// this type exists to reproduce Figure 15.
+type ByteSlice16 struct {
+	k         int
+	ns        int // number of 16-bit slices, ⌈k/16⌉
+	n         int
+	pad       uint // 16·ns − k
+	slices    [][]byte
+	addrs     []uint64
+	earlyStop bool
+}
+
+var _ layout.Layout = (*ByteSlice16)(nil)
+
+// New16 builds the 16-bit-slice column.
+func New16(codes []uint32, k int, arena *cache.Arena) *ByteSlice16 {
+	layout.CheckArgs(codes, k)
+	ns := (k + 15) / 16
+	n := len(codes)
+	padded := (n + Segment16 - 1) / Segment16 * Segment16
+	if padded == 0 {
+		padded = Segment16
+	}
+	b := &ByteSlice16{
+		k:         k,
+		ns:        ns,
+		n:         n,
+		pad:       uint(16*ns - k),
+		slices:    make([][]byte, ns),
+		addrs:     make([]uint64, ns),
+		earlyStop: true,
+	}
+	for j := 0; j < ns; j++ {
+		b.slices[j] = make([]byte, 2*padded)
+		if arena != nil {
+			b.addrs[j] = arena.Alloc(uint64(2 * padded))
+		}
+	}
+	for i, v := range codes {
+		p := v << b.pad
+		for j := 0; j < ns; j++ {
+			chunk := uint16(p >> uint(16*(ns-1-j)))
+			b.slices[j][2*i] = byte(chunk)
+			b.slices[j][2*i+1] = byte(chunk >> 8)
+		}
+	}
+	return b
+}
+
+// New16Builder adapts New16 to the layout.Builder signature.
+func New16Builder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+	return New16(codes, k, arena)
+}
+
+// Name implements layout.Layout.
+func (b *ByteSlice16) Name() string { return "16-Bit-Slice" }
+
+// Width implements layout.Layout.
+func (b *ByteSlice16) Width() int { return b.k }
+
+// Len implements layout.Layout.
+func (b *ByteSlice16) Len() int { return b.n }
+
+// SizeBytes implements layout.Layout.
+func (b *ByteSlice16) SizeBytes() uint64 {
+	var s uint64
+	for _, sl := range b.slices {
+		s += uint64(len(sl))
+	}
+	return s
+}
+
+// SetEarlyStop toggles the early-stopping check.
+func (b *ByteSlice16) SetEarlyStop(on bool) { b.earlyStop = on }
+
+// Segments returns the number of 16-code segments.
+func (b *ByteSlice16) Segments() int { return len(b.slices[0]) / (2 * Segment16) }
+
+func (b *ByteSlice16) chunkConst(c uint32, j int) uint16 {
+	return uint16(c << b.pad >> uint(16*(b.ns-1-j)))
+}
+
+// Scan implements layout.Layout: Algorithm 1 over 16-bit banks.
+func (b *ByteSlice16) Scan(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	layout.CheckPredicate(p, b.k)
+	out.Reset()
+	wc1 := make([]simd.Vec, b.ns)
+	wc2 := make([]simd.Vec, b.ns)
+	for j := 0; j < b.ns; j++ {
+		wc1[j] = e.Broadcast16(b.chunkConst(p.C1, j))
+		if p.Op == layout.Between {
+			wc2[j] = e.Broadcast16(b.chunkConst(p.C2, j))
+		}
+	}
+	esSites := make([]int, b.ns)
+	for j := range esSites {
+		esSites[j] = e.P.Pred.Site()
+	}
+	for seg := 0; seg < b.Segments(); seg++ {
+		e.Scalar(segmentOverhead)
+		off := 2 * seg * Segment16
+		var res simd.Vec
+		switch p.Op {
+		case layout.Eq, layout.Ne:
+			meq := simd.Ones()
+			for j := 0; j < b.ns; j++ {
+				if b.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero(meq)) {
+					break
+				}
+				w := e.Load(b.slices[j][off:], b.addrs[j]+uint64(off))
+				meq = e.And(meq, e.CmpEq16(w, wc1[j]))
+			}
+			res = meq
+			if p.Op == layout.Ne {
+				res = e.Not(meq)
+			}
+		case layout.Lt, layout.Le, layout.Gt, layout.Ge:
+			meq := simd.Ones()
+			mcmp := simd.Zero()
+			lt := p.Op == layout.Lt || p.Op == layout.Le
+			for j := 0; j < b.ns; j++ {
+				if b.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero(meq)) {
+					break
+				}
+				w := e.Load(b.slices[j][off:], b.addrs[j]+uint64(off))
+				var cmp simd.Vec
+				if lt {
+					cmp = e.CmpLtU16(w, wc1[j])
+				} else {
+					cmp = e.CmpGtU16(w, wc1[j])
+				}
+				mcmp = e.Or(mcmp, e.And(meq, cmp))
+				meq = e.And(meq, e.CmpEq16(w, wc1[j]))
+			}
+			res = mcmp
+			if p.Op == layout.Le || p.Op == layout.Ge {
+				res = e.Or(mcmp, meq)
+			}
+		case layout.Between:
+			meq1, meq2 := simd.Ones(), simd.Ones()
+			mgt1, mlt2 := simd.Zero(), simd.Zero()
+			for j := 0; j < b.ns; j++ {
+				if b.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero(e.Or(meq1, meq2))) {
+					break
+				}
+				w := e.Load(b.slices[j][off:], b.addrs[j]+uint64(off))
+				mgt1 = e.Or(mgt1, e.And(meq1, e.CmpGtU16(w, wc1[j])))
+				meq1 = e.And(meq1, e.CmpEq16(w, wc1[j]))
+				mlt2 = e.Or(mlt2, e.And(meq2, e.CmpLtU16(w, wc2[j])))
+				meq2 = e.And(meq2, e.CmpEq16(w, wc2[j]))
+			}
+			res = e.And(e.Or(mgt1, meq1), e.Or(mlt2, meq2))
+		}
+		r := e.Movemask16(res)
+		e.Scalar(1)
+		out.Append64(uint64(r), Segment16)
+	}
+}
+
+// Lookup implements layout.Layout: stitch ⌈k/16⌉ 16-bit chunks, with the
+// independent slice loads overlapped as in the 8-bit variant.
+func (b *ByteSlice16) Lookup(e *simd.Engine, i int) uint32 {
+	var spans [2]perf.Span
+	for j := 0; j < b.ns; j++ {
+		spans[j] = perf.Span{Addr: b.addrs[j] + uint64(2*i), Size: 2}
+	}
+	e.ScalarLoadGroup(spans[:b.ns])
+	var v uint32
+	for j := 0; j < b.ns; j++ {
+		e.Scalar(2)
+		chunk := uint32(b.slices[j][2*i]) | uint32(b.slices[j][2*i+1])<<8
+		v = v<<16 + chunk
+	}
+	e.Scalar(1)
+	return v >> b.pad
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// Segment512 is the number of codes per segment of the AVX-512 variant:
+// one byte per code in a 512-bit word.
+const Segment512 = simd.Bytes512
+
+// ByteSlice512 is ByteSlice on 512-bit registers — the §2/§3.1.1
+// projection onto the next SIMD generation: 64-way byte parallelism with
+// segments of 64 codes. It exists to test the paper's prediction that
+// wider registers widen ByteSlice's advantage over VBP (whose early
+// stopping requires all S codes of a segment to settle).
+type ByteSlice512 struct {
+	k         int
+	nb        int
+	n         int
+	pad       uint
+	slices    [][]byte
+	addrs     []uint64
+	earlyStop bool
+}
+
+var _ layout.Layout = (*ByteSlice512)(nil)
+
+// New512 builds the AVX-512 ByteSlice column.
+func New512(codes []uint32, k int, arena *cache.Arena) *ByteSlice512 {
+	layout.CheckArgs(codes, k)
+	nb := (k + 7) / 8
+	n := len(codes)
+	padded := (n + Segment512 - 1) / Segment512 * Segment512
+	if padded == 0 {
+		padded = Segment512
+	}
+	b := &ByteSlice512{
+		k:         k,
+		nb:        nb,
+		n:         n,
+		pad:       uint(8*nb - k),
+		slices:    make([][]byte, nb),
+		addrs:     make([]uint64, nb),
+		earlyStop: true,
+	}
+	for j := 0; j < nb; j++ {
+		b.slices[j] = make([]byte, padded)
+		if arena != nil {
+			b.addrs[j] = arena.Alloc(uint64(padded))
+		}
+	}
+	for i, v := range codes {
+		p := v << b.pad
+		for j := 0; j < nb; j++ {
+			b.slices[j][i] = byte(p >> uint(8*(nb-1-j)))
+		}
+	}
+	return b
+}
+
+// New512Builder adapts New512 to the layout.Builder signature.
+func New512Builder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+	return New512(codes, k, arena)
+}
+
+// Name implements layout.Layout.
+func (b *ByteSlice512) Name() string { return "ByteSlice-512" }
+
+// Width implements layout.Layout.
+func (b *ByteSlice512) Width() int { return b.k }
+
+// Len implements layout.Layout.
+func (b *ByteSlice512) Len() int { return b.n }
+
+// SizeBytes implements layout.Layout.
+func (b *ByteSlice512) SizeBytes() uint64 {
+	var s uint64
+	for _, sl := range b.slices {
+		s += uint64(len(sl))
+	}
+	return s
+}
+
+// SetEarlyStop toggles the early-stopping check.
+func (b *ByteSlice512) SetEarlyStop(on bool) { b.earlyStop = on }
+
+// Segments returns the number of 64-code segments.
+func (b *ByteSlice512) Segments() int { return len(b.slices[0]) / Segment512 }
+
+// Scan implements layout.Layout: Algorithm 1 over 64 byte banks.
+func (b *ByteSlice512) Scan(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	layout.CheckPredicate(p, b.k)
+	out.Reset()
+	wc1 := make([]simd.Vec512, b.nb)
+	wc2 := make([]simd.Vec512, b.nb)
+	c1 := p.C1 << b.pad
+	c2 := p.C2 << b.pad
+	for j := 0; j < b.nb; j++ {
+		sh := uint(8 * (b.nb - 1 - j))
+		wc1[j] = e.Broadcast8x512(byte(c1 >> sh))
+		if p.Op == layout.Between {
+			wc2[j] = e.Broadcast8x512(byte(c2 >> sh))
+		}
+	}
+	esSites := make([]int, b.nb)
+	for j := range esSites {
+		esSites[j] = e.P.Pred.Site()
+	}
+
+	for seg := 0; seg < b.Segments(); seg++ {
+		e.Scalar(segmentOverhead)
+		off := seg * Segment512
+		var res simd.Vec512
+		switch p.Op {
+		case layout.Eq, layout.Ne:
+			meq := simd.Ones512()
+			for j := 0; j < b.nb; j++ {
+				if b.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero512(meq)) {
+					break
+				}
+				w := e.Load512(b.slices[j][off:], b.addrs[j]+uint64(off))
+				meq = e.And512(meq, e.CmpEq8x512(w, wc1[j]))
+			}
+			res = meq
+			if p.Op == layout.Ne {
+				res = e.Not512(meq)
+			}
+		case layout.Lt, layout.Le, layout.Gt, layout.Ge:
+			meq := simd.Ones512()
+			mcmp := simd.Zero512()
+			lt := p.Op == layout.Lt || p.Op == layout.Le
+			for j := 0; j < b.nb; j++ {
+				if b.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero512(meq)) {
+					break
+				}
+				w := e.Load512(b.slices[j][off:], b.addrs[j]+uint64(off))
+				var cmp simd.Vec512
+				if lt {
+					cmp = e.CmpLtU8x512(w, wc1[j])
+				} else {
+					cmp = e.CmpGtU8x512(w, wc1[j])
+				}
+				mcmp = e.Or512(mcmp, e.And512(meq, cmp))
+				meq = e.And512(meq, e.CmpEq8x512(w, wc1[j]))
+			}
+			res = mcmp
+			if p.Op == layout.Le || p.Op == layout.Ge {
+				res = e.Or512(mcmp, meq)
+			}
+		case layout.Between:
+			meq1, meq2 := simd.Ones512(), simd.Ones512()
+			mgt1, mlt2 := simd.Zero512(), simd.Zero512()
+			for j := 0; j < b.nb; j++ {
+				if b.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero512(e.Or512(meq1, meq2))) {
+					break
+				}
+				w := e.Load512(b.slices[j][off:], b.addrs[j]+uint64(off))
+				mgt1 = e.Or512(mgt1, e.And512(meq1, e.CmpGtU8x512(w, wc1[j])))
+				meq1 = e.And512(meq1, e.CmpEq8x512(w, wc1[j]))
+				mlt2 = e.Or512(mlt2, e.And512(meq2, e.CmpLtU8x512(w, wc2[j])))
+				meq2 = e.And512(meq2, e.CmpEq8x512(w, wc2[j]))
+			}
+			res = e.And512(e.Or512(mgt1, meq1), e.Or512(mlt2, meq2))
+		}
+		r := e.Movemask8x512(res)
+		e.Scalar(1)
+		out.Append64(r, Segment512)
+	}
+}
+
+// Lookup implements layout.Layout, identically to the 256-bit variant.
+func (b *ByteSlice512) Lookup(e *simd.Engine, i int) uint32 {
+	var spans [4]perf.Span
+	for j := 0; j < b.nb; j++ {
+		spans[j] = perf.Span{Addr: b.addrs[j] + uint64(i), Size: 1}
+	}
+	e.ScalarLoadGroup(spans[:b.nb])
+	var v uint32
+	for j := 0; j < b.nb; j++ {
+		e.Scalar(2)
+		v = v<<8 + uint32(b.slices[j][i])
+	}
+	e.Scalar(1)
+	return v >> b.pad
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+)
+
+// FuzzScan decodes arbitrary bytes into (width, operator, constants, codes)
+// and checks every ByteSlice variant's scan against the predicate's scalar
+// definition, and lookups against the input codes. Run with
+// `go test -fuzz FuzzScan ./internal/core` for continuous fuzzing; the
+// seed corpus runs in ordinary `go test`.
+func FuzzScan(f *testing.F) {
+	f.Add([]byte{11, 0, 0x80, 0x02, 0x00, 0x04, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{32, 4, 0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0xBB, 0xCC, 0xDD})
+	f.Add([]byte{1, 6, 0, 0, 0, 1, 0xF0})
+	f.Add([]byte{8, 2, 42, 0, 99, 0, 42, 41, 43, 42})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 7 {
+			return
+		}
+		k := int(data[0])%32 + 1
+		op := layout.Ops[int(data[1])%len(layout.Ops)]
+		max := uint32(uint64(1)<<uint(k) - 1)
+		c1 := binary.LittleEndian.Uint16(data[2:])
+		c2 := binary.LittleEndian.Uint16(data[4:])
+		dom := uint64(max) + 1
+		p := layout.Predicate{
+			Op: op,
+			C1: uint32(uint64(c1) % dom),
+			C2: uint32(uint64(c2) % dom),
+		}
+		if p.Op == layout.Between && p.C1 > p.C2 {
+			p.C1, p.C2 = p.C2, p.C1
+		}
+		// Remaining bytes become codes (little-endian 32-bit windows,
+		// truncated to the width).
+		body := data[6:]
+		codes := make([]uint32, 0, len(body))
+		for i := range body {
+			var w [4]byte
+			copy(w[:], body[i:])
+			codes = append(codes, uint32(uint64(binary.LittleEndian.Uint32(w[:]))%dom))
+		}
+		if len(codes) == 0 {
+			return
+		}
+
+		variants := []layout.Layout{
+			core.New(codes, k, nil),
+			core.New16(codes, k, nil),
+			core.New512(codes, k, nil),
+		}
+		for _, l := range variants {
+			e := layouttest.Engine()
+			out := bitvec.New(len(codes))
+			l.Scan(e, p, out)
+			for i, v := range codes {
+				if out.Get(i) != p.Eval(v) {
+					t.Fatalf("%s k=%d %v: row %d (code %d) got %v", l.Name(), k, p, i, v, out.Get(i))
+				}
+			}
+			for i, v := range codes {
+				if got := l.Lookup(e, i); got != v {
+					t.Fatalf("%s k=%d: lookup(%d) = %d, want %d", l.Name(), k, i, got, v)
+				}
+			}
+		}
+
+		// Aggregates agree with scalar reference on the fuzzed data.
+		b := core.New(codes, k, nil)
+		e := layouttest.Engine()
+		var wantSum uint64
+		wantMin, wantMax := codes[0], codes[0]
+		for _, v := range codes {
+			wantSum += uint64(v)
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		if sum, n := b.Sum(e, nil); sum != wantSum || n != len(codes) {
+			t.Fatalf("k=%d: Sum = %d/%d, want %d/%d", k, sum, n, wantSum, len(codes))
+		}
+		if mn, ok := b.Min(e, nil); !ok || mn != wantMin {
+			t.Fatalf("k=%d: Min = %d, want %d", k, mn, wantMin)
+		}
+		if mx, ok := b.Max(e, nil); !ok || mx != wantMax {
+			t.Fatalf("k=%d: Max = %d, want %d", k, mx, wantMax)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// SuperSegment is the number of codes per Option-2 tail segment: the tail
+// bits of 256 codes share one set of VBP words (Figure 5b).
+const SuperSegment = simd.Width
+
+// Option2 is the ByteSlice variant that stores the ⌊k/8⌋ full bytes of
+// each code as byte slices and the remaining k mod 8 bits in VBP format
+// (§3, Figure 5b, "Option 2"). The paper recommends Option 1 instead: this
+// variant needs a branch to switch evaluation modes, and lookups must
+// gather the tail bits one by one. It exists to reproduce that ablation.
+type Option2 struct {
+	k         int
+	fb        int // full byte slices, ⌊k/8⌋
+	t         int // tail bits, k mod 8
+	n         int
+	bs        [][]byte // byte slices, as in ByteSlice
+	bsAddrs   []uint64
+	tail      []byte // VBP words: tail bit i of supersegment s at (s·t+i)·32
+	tailAddr  uint64
+	earlyStop bool
+}
+
+var _ layout.Layout = (*Option2)(nil)
+
+// NewOption2 builds the Option-2 column. For k that is a multiple of 8 the
+// layout degenerates to plain ByteSlice (no tail words); for k ≤ 7 it
+// degenerates to VBP, as the paper notes.
+func NewOption2(codes []uint32, k int, arena *cache.Arena) *Option2 {
+	layout.CheckArgs(codes, k)
+	n := len(codes)
+	o := &Option2{k: k, fb: k / 8, t: k % 8, n: n, earlyStop: true}
+
+	padded := (n + SegmentSize - 1) / SegmentSize * SegmentSize
+	if padded == 0 {
+		padded = SegmentSize
+	}
+	o.bs = make([][]byte, o.fb)
+	o.bsAddrs = make([]uint64, o.fb)
+	for j := 0; j < o.fb; j++ {
+		o.bs[j] = make([]byte, padded)
+		if arena != nil {
+			o.bsAddrs[j] = arena.Alloc(uint64(padded))
+		}
+	}
+	if o.t > 0 {
+		supers := (n + SuperSegment - 1) / SuperSegment
+		if supers == 0 {
+			supers = 1
+		}
+		o.tail = make([]byte, supers*o.t*simd.Bytes)
+		if arena != nil {
+			o.tailAddr = arena.Alloc(uint64(len(o.tail)))
+		}
+	}
+	for i, v := range codes {
+		for j := 0; j < o.fb; j++ {
+			o.bs[j][i] = byte(v >> uint(8*(o.fb-1-j)+o.t))
+		}
+		if o.t > 0 {
+			ss, j := i/SuperSegment, i%SuperSegment
+			for bi := 0; bi < o.t; bi++ {
+				if v>>uint(o.t-1-bi)&1 == 1 {
+					off := (ss*o.t+bi)*simd.Bytes + j>>3
+					o.tail[off] |= 1 << (uint(j) & 7)
+				}
+			}
+		}
+	}
+	return o
+}
+
+// NewOption2Builder adapts NewOption2 to the layout.Builder signature.
+func NewOption2Builder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+	return NewOption2(codes, k, arena)
+}
+
+// Name implements layout.Layout.
+func (o *Option2) Name() string { return "ByteSlice-Opt2" }
+
+// Width implements layout.Layout.
+func (o *Option2) Width() int { return o.k }
+
+// Len implements layout.Layout.
+func (o *Option2) Len() int { return o.n }
+
+// SizeBytes implements layout.Layout.
+func (o *Option2) SizeBytes() uint64 {
+	var s uint64
+	for _, sl := range o.bs {
+		s += uint64(len(sl))
+	}
+	return s + uint64(len(o.tail))
+}
+
+// SetEarlyStop toggles early stopping.
+func (o *Option2) SetEarlyStop(on bool) { o.earlyStop = on }
+
+// Scan implements layout.Layout. BETWEEN is intentionally unsupported
+// (evaluate it as a conjunction of ≥ and ≤ scans); all other comparison
+// operators are evaluated byte-phase first, then — for segments not early
+// stopped — bit-phase over the VBP tail words.
+func (o *Option2) Scan(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	if p.Op == layout.Between {
+		panic("core: Option2 does not support BETWEEN; use two scans")
+	}
+	out.Reset()
+	// Byte-phase constants: the high ⌊k/8⌋ bytes of the constant.
+	wc := make([]simd.Vec, o.fb)
+	for j := 0; j < o.fb; j++ {
+		wc[j] = e.Broadcast8(byte(p.C1 >> uint(8*(o.fb-1-j)+o.t)))
+	}
+	// Bit-phase constants: all-ones/zero words per tail bit of c.
+	tc := make([]simd.Vec, o.t)
+	for bi := 0; bi < o.t; bi++ {
+		if p.C1>>uint(o.t-1-bi)&1 == 1 {
+			tc[bi] = simd.Ones()
+		}
+	}
+	esSites := make([]int, o.fb)
+	for j := range esSites {
+		esSites[j] = e.P.Pred.Site()
+	}
+	tailSite := e.P.Pred.Site()
+	lt := p.Op == layout.Lt || p.Op == layout.Le
+	eqOnly := p.Op == layout.Eq || p.Op == layout.Ne
+
+	var supers int
+	if o.fb > 0 {
+		supers = (len(o.bs[0])/SegmentSize + 7) / 8
+	} else {
+		supers = len(o.tail) / (o.t * simd.Bytes)
+	}
+	for ss := 0; ss < supers; ss++ {
+		// Byte phase: up to eight 32-code segments share this tail block.
+		var meqBits, mcmpBits [4]uint64
+		for sub := 0; sub < 8; sub++ {
+			seg := ss*8 + sub
+			meq := simd.Ones()
+			mcmp := simd.Zero()
+			if o.fb > 0 {
+				e.Scalar(segmentOverhead)
+				off := seg * SegmentSize
+				if off >= len(o.bs[0]) {
+					break
+				}
+				for j := 0; j < o.fb; j++ {
+					if o.earlyStop && j > 0 && e.P.Branch(esSites[j], e.TestZero(meq)) {
+						break
+					}
+					w := e.Load(o.bs[j][off:], o.bsAddrs[j]+uint64(off))
+					if !eqOnly {
+						var cmp simd.Vec
+						if lt {
+							cmp = e.CmpLtU8(w, wc[j])
+						} else {
+							cmp = e.CmpGtU8(w, wc[j])
+						}
+						mcmp = e.Or(mcmp, e.And(meq, cmp))
+					}
+					meq = e.And(meq, e.CmpEq8(w, wc[j]))
+				}
+			}
+			// Condense this sub-segment's masks into the supersegment's
+			// bit-level state (one movemask each — the mode-switch cost
+			// the paper holds against Option 2).
+			mb := uint64(e.Movemask8(meq))
+			cb := uint64(e.Movemask8(mcmp))
+			e.Scalar(2)
+			lane, sh := sub/2, uint(sub%2*32)
+			meqBits[lane] |= mb << sh
+			mcmpBits[lane] |= cb << sh
+		}
+
+		meqV := simd.Vec(meqBits)
+		mcmpV := simd.Vec(mcmpBits)
+		if o.t > 0 {
+			allDone := e.TestZero(meqV)
+			if !e.P.Branch(tailSite, allDone) {
+				// Bit phase over the tail VBP words.
+				for bi := 0; bi < o.t; bi++ {
+					off := (ss*o.t + bi) * simd.Bytes
+					w := e.Load(o.tail[off:], o.tailAddr+uint64(off))
+					c := tc[bi]
+					if !eqOnly {
+						var m simd.Vec
+						if lt {
+							m = e.AndNot(w, c)
+						} else {
+							m = e.AndNot(c, w)
+						}
+						mcmpV = e.Or(mcmpV, e.And(meqV, m))
+					}
+					meqV = e.AndNot(e.Xor(w, c), meqV)
+				}
+			}
+		}
+		var res simd.Vec
+		switch p.Op {
+		case layout.Lt, layout.Gt:
+			res = mcmpV
+		case layout.Le, layout.Ge:
+			res = e.Or(mcmpV, meqV)
+		case layout.Eq:
+			res = meqV
+		case layout.Ne:
+			res = e.Not(meqV)
+		}
+		out.Append256([4]uint64{res[0], res[1], res[2], res[3]})
+		e.Scalar(4)
+	}
+}
+
+// Lookup implements layout.Layout: stitch the full bytes, then gather each
+// tail bit from its VBP word — the higher reconstruction cost of Option 2.
+// All addresses are known upfront, so the loads are charged as one
+// overlapped group.
+func (o *Option2) Lookup(e *simd.Engine, i int) uint32 {
+	spans := make([]perf.Span, 0, o.fb+o.t)
+	for j := 0; j < o.fb; j++ {
+		spans = append(spans, perf.Span{Addr: o.bsAddrs[j] + uint64(i), Size: 1})
+	}
+	ss, j := i/SuperSegment, i%SuperSegment
+	for bi := 0; bi < o.t; bi++ {
+		off := (ss*o.t+bi)*simd.Bytes + j>>3
+		spans = append(spans, perf.Span{Addr: o.tailAddr + uint64(off), Size: 1})
+	}
+	e.ScalarLoadGroup(spans)
+
+	var v uint32
+	for sj := 0; sj < o.fb; sj++ {
+		e.Scalar(2)
+		v = v<<8 | uint32(o.bs[sj][i])
+	}
+	for bi := 0; bi < o.t; bi++ {
+		off := (ss*o.t+bi)*simd.Bytes + j>>3
+		e.Scalar(3)
+		bit := o.tail[off] >> (uint(j) & 7) & 1
+		v = v<<1 | uint32(bit)
+	}
+	return v
+}

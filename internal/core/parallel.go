@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/layout"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// Parallel scans (§4.1.4). The paper parallelises scans by partitioning
+// the data into chunks, one per thread; because ByteSlice segments are
+// mutually independent and a segment's 32 result bits land in an aligned
+// 32-bit block of the result vector, workers can scan disjoint segment
+// ranges of the *same* column concurrently with no synchronisation beyond
+// the final join.
+
+// ScanRange evaluates p over segments [segLo, segHi), writing each
+// segment's 32 result bits into the aligned block of out via SetWord32.
+// Ranges must not overlap across concurrent callers.
+func (b *ByteSlice) ScanRange(e *simd.Engine, p layout.Predicate, segLo, segHi int, out *bitvec.Vector) {
+	layout.CheckPredicate(p, b.k)
+	sc := b.prepare(e, p)
+	ones := simd.Ones()
+	for seg := segLo; seg < segHi; seg++ {
+		e.Scalar(segmentOverhead)
+		res := b.scanSegment(e, sc, seg, ones, false)
+		r := e.Movemask8(res)
+		e.Scalar(1)
+		out.SetWord32(seg*SegmentSize, r)
+	}
+}
+
+// ParallelScan evaluates p over the whole column with the given number of
+// worker goroutines, each counting instructions and branches independently
+// (the returned per-worker profiles skip cache simulation, which would
+// serialise the wall-clock win the workers exist for; callers that need
+// memory modelling drive ScanRange with their own cache-profiled engines).
+// out must have length Len() and is overwritten.
+func (b *ByteSlice) ParallelScan(p layout.Predicate, workers int, out *bitvec.Vector) []*perf.Profile {
+	if workers < 1 {
+		workers = 1
+	}
+	if out.Len() != b.n {
+		panic("core: result vector length mismatch")
+	}
+	segs := b.Segments()
+	if workers > segs {
+		workers = segs
+	}
+	profiles := make([]*perf.Profile, workers)
+	// Two segments share one 64-bit word of the result vector; aligning
+	// chunk boundaries to even segment numbers keeps each word owned by
+	// exactly one worker (no write races).
+	chunk := ((segs+workers-1)/workers + 1) &^ 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > segs {
+			hi = segs
+		}
+		if lo >= hi {
+			profiles[w] = perf.NewProfileNoCache()
+			continue
+		}
+		prof := perf.NewProfileNoCache()
+		profiles[w] = prof
+		wg.Add(1)
+		go func(lo, hi int, prof *perf.Profile) {
+			defer wg.Done()
+			b.ScanRange(simd.New(prof), p, lo, hi, out)
+		}(lo, hi, prof)
+	}
+	wg.Wait()
+	return profiles
+}

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+)
+
+// TestParallelScanMatchesSerial runs worker counts that do and do not
+// divide the segment count (run with -race in CI to catch sharing bugs).
+func TestParallelScanMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(40, 40)) //nolint:gosec
+	for _, n := range []int{1, 33, 64, 10_000, 100_001} {
+		codes := layouttest.RandomCodes(rng, n, 17, "uniform")
+		b := core.New(codes, 17, nil)
+		p := layout.Predicate{Op: layout.Between, C1: 10_000, C2: 90_000}
+
+		want := bitvec.New(n)
+		b.Scan(layouttest.Engine(), p, want)
+
+		for _, workers := range []int{1, 2, 3, 7, 16, 1000} {
+			got := bitvec.New(n)
+			profiles := b.ParallelScan(p, workers, got)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d workers=%d: parallel scan differs (got %d, want %d matches)",
+					n, workers, got.Count(), want.Count())
+			}
+			var instr uint64
+			for _, prof := range profiles {
+				instr += prof.Instructions()
+			}
+			if instr == 0 {
+				t.Fatalf("n=%d workers=%d: no work recorded", n, workers)
+			}
+		}
+	}
+}
+
+func TestScanRangePartial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 41)) //nolint:gosec
+	n := 3200
+	codes := layouttest.RandomCodes(rng, n, 9, "uniform")
+	b := core.New(codes, 9, nil)
+	p := layout.Predicate{Op: layout.Ge, C1: 256}
+
+	out := bitvec.New(n)
+	// Fill only the middle half of the segments.
+	b.ScanRange(layouttest.Engine(), p, 25, 75, out)
+	for i := 0; i < n; i++ {
+		want := false
+		if i >= 25*core.SegmentSize && i < 75*core.SegmentSize {
+			want = p.Eval(codes[i])
+		}
+		if out.Get(i) != want {
+			t.Fatalf("row %d: got %v want %v", i, out.Get(i), want)
+		}
+	}
+}
+
+func TestParallelScanLengthPanics(t *testing.T) {
+	b := core.New([]uint32{1, 2, 3}, 4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.ParallelScan(layout.Predicate{Op: layout.Lt, C1: 2}, 2, bitvec.New(5))
+}

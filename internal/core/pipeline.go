@@ -1,0 +1,161 @@
+package core
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/layout"
+	"byteslice/internal/simd"
+)
+
+// ScanConjunctionPredicateFirst evaluates a conjunction of column-scalar
+// predicates with the predicate-first pipelining of §3.1.2 (Figure 6c):
+// for each segment of 32 rows, all predicates are evaluated before moving
+// to the next segment, and the 256-bit bank mask Meq is pipelined from one
+// predicate to the next without any movemask round trips. Columns and
+// predicates correspond pairwise; all columns must have equal length.
+//
+// This strategy trades movemask instructions for locality: it switches
+// columns every 32 values, so columns in different memory regions contend
+// for the same cache sets (the L2-miss effect Figure 12b measures).
+func ScanConjunctionPredicateFirst(e *simd.Engine, cols []*ByteSlice, preds []layout.Predicate, out *bitvec.Vector) {
+	n, segs := checkMulti(cols, preds, out)
+	_ = n
+	scs := make([]*scanConsts, len(cols))
+	for i, c := range cols {
+		scs[i] = c.prepare(e, preds[i])
+	}
+	skipSite := e.P.Pred.Site()
+	ones := simd.Ones()
+	for seg := 0; seg < segs; seg++ {
+		e.Scalar(segmentOverhead)
+		m := ones
+		for i, c := range cols {
+			if i > 0 && e.P.Branch(skipSite, e.TestZero(m)) {
+				break
+			}
+			m = c.scanSegment(e, scs[i], seg, m, i > 0)
+		}
+		r := e.Movemask8(m)
+		e.Scalar(1)
+		out.Append32(r)
+	}
+}
+
+// ScanDisjunctionPredicateFirst is the disjunctive counterpart: a
+// predicate only considers the rows that did not satisfy any previous
+// predicate (Appendix E), pipelining the still-unsatisfied bank mask.
+func ScanDisjunctionPredicateFirst(e *simd.Engine, cols []*ByteSlice, preds []layout.Predicate, out *bitvec.Vector) {
+	_, segs := checkMulti(cols, preds, out)
+	scs := make([]*scanConsts, len(cols))
+	for i, c := range cols {
+		scs[i] = c.prepare(e, preds[i])
+	}
+	skipSite := e.P.Pred.Site()
+	for seg := 0; seg < segs; seg++ {
+		e.Scalar(segmentOverhead)
+		sat := simd.Zero()
+		live := simd.Ones()
+		for i, c := range cols {
+			if i > 0 && e.P.Branch(skipSite, e.TestZero(live)) {
+				break
+			}
+			res := c.scanSegment(e, scs[i], seg, live, i > 0)
+			sat = e.Or(sat, res)
+			live = e.AndNot(sat, simd.Ones())
+		}
+		r := e.Movemask8(sat)
+		e.Scalar(1)
+		out.Append32(r)
+	}
+}
+
+func checkMulti(cols []*ByteSlice, preds []layout.Predicate, out *bitvec.Vector) (n, segs int) {
+	if len(cols) == 0 || len(cols) != len(preds) {
+		panic("core: predicate-first scan needs one predicate per column")
+	}
+	n = cols[0].Len()
+	segs = cols[0].Segments()
+	for _, c := range cols[1:] {
+		if c.Len() != n {
+			panic("core: predicate-first scan over columns of different length")
+		}
+	}
+	if out.Len() != n {
+		panic("core: result vector length mismatch")
+	}
+	out.Reset()
+	return n, segs
+}
+
+// ScanPipelinedExpand is the rejected design of §3.1.2's column-first
+// pipelining: instead of condensing Meq with movemask inside the early-stop
+// test (Algorithm 2), it expands the previous predicate's 32-bit segment
+// result into a 256-bit bank mask with the three-instruction inverse-
+// movemask simulation of Figure 7 and seeds the segment evaluation with
+// it. The paper measured the expansion overhead to nullify early-stopping
+// gains; this method exists so the ablation benchmark can quantify that.
+// Conjunctive semantics only (output = prev AND result).
+func (b *ByteSlice) ScanPipelinedExpand(e *simd.Engine, p layout.Predicate, prev *bitvec.Vector, out *bitvec.Vector) {
+	if prev.Len() != b.n {
+		panic("core: pipelined scan with mismatched previous result length")
+	}
+	out.Reset()
+	sc := b.prepare(e, p)
+	for seg := 0; seg < b.Segments(); seg++ {
+		e.Scalar(segmentOverhead)
+		var rprev uint32
+		if off := seg * SegmentSize; off < b.n {
+			rprev = prev.Word32(off)
+		}
+		e.Scalar(1)
+		initMeq := InverseMovemask(e, rprev)
+		res := b.scanSegment(e, sc, seg, initMeq, true)
+		r := e.Movemask8(res)
+		e.Scalar(1)
+		out.Append32(r & rprev)
+		e.Scalar(1)
+	}
+}
+
+// InverseMovemask expands a 32-bit condensed result into a 256-bit bank
+// mask using the three-instruction shuffle/and/cmpeq sequence of Figure 7.
+// AVX2 has no native inverse movemask; the paper shows this simulation and
+// then rejects it in favour of condensing Meq instead (Algorithm 2). It is
+// kept here for the ablation benchmark that quantifies that choice.
+func InverseMovemask(e *simd.Engine, r uint32) simd.Vec {
+	// Byte i of the register must become 0xFF iff bit i of r is set.
+	// Step 1: shuffle the four bytes of r so byte i holds bits 8⌊i/8⌋..+7.
+	var src simd.Vec
+	src = src.SetU32(0, r) // register holding r (modelled as already set)
+	var idx simd.Vec
+	for i := 0; i < simd.Bytes; i++ {
+		idx = idx.SetByte(i, byte(i/8))
+	}
+	shuffled := e.Shuffle(src, idx)
+	// Step 2: AND with a mask isolating bit i%8 in byte i.
+	var bitMask simd.Vec
+	for i := 0; i < simd.Bytes; i++ {
+		bitMask = bitMask.SetByte(i, 1<<(uint(i)&7))
+	}
+	masked := e.And(shuffled, bitMask)
+	// Step 3: compare-equal against the same mask to widen to 0xFF/0x00.
+	return e.CmpEq8(masked, bitMask)
+}
+
+// Materialize builds a new ByteSlice column from the selected rows of src
+// — §6's vision of ByteSlice as the representation of intermediate query
+// results: instead of scattering looked-up codes into a plain array, the
+// survivors of a filter become a (smaller) ByteSlice column that
+// downstream operators scan, partition, sort or join with the same SIMD
+// kernels.
+func Materialize(e *simd.Engine, src *ByteSlice, rows *bitvec.Vector) *ByteSlice {
+	if rows.Len() != src.Len() {
+		panic("core: materialize mask length mismatch")
+	}
+	ids := rows.Positions(nil)
+	codes := make([]uint32, len(ids))
+	for i, r := range ids {
+		codes[i] = src.Lookup(e, int(r))
+		e.Scalar(1) // store into the new column's build buffer
+	}
+	return New(codes, src.Width(), nil)
+}

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// TestScanZonedMatchesScan checks zone-pruned scans against plain scans on
+// uniform, clustered and sorted data for every operator.
+func TestScanZonedMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 100)) //nolint:gosec
+	for _, k := range []int{4, 8, 12, 17, 24, 32} {
+		for _, shape := range []string{"uniform", "sorted", "runs"} {
+			codes := layouttest.RandomCodes(rng, 4321, k, "uniform")
+			if shape == "sorted" {
+				sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+			}
+			if shape == "runs" {
+				codes = layouttest.RandomCodes(rng, 4321, k, "runs")
+			}
+			b := core.New(codes, k, nil)
+			if b.HasZoneMaps() {
+				t.Fatal("zone maps before build")
+			}
+			b.BuildZoneMaps()
+			b.BuildZoneMaps() // idempotent
+			if !b.HasZoneMaps() {
+				t.Fatal("zone maps missing after build")
+			}
+			max := uint32(uint64(1)<<uint(k) - 1)
+			e := layouttest.Engine()
+			for _, op := range layout.Ops {
+				for _, c := range []uint32{0, max / 4, max / 2, max} {
+					p := layout.Predicate{Op: op, C1: c, C2: c}
+					if op == layout.Between {
+						p.C2 = max - max/4
+						if p.C1 > p.C2 {
+							p.C1, p.C2 = p.C2, p.C1
+						}
+					}
+					want := bitvec.New(len(codes))
+					b.Scan(e, p, want)
+					got := bitvec.New(len(codes))
+					b.ScanZoned(e, p, got)
+					if !got.Equal(want) {
+						t.Fatalf("k=%d %s %v: zoned scan differs", k, shape, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestZoneMapsSaveWorkOnSortedData pins the feature's value: on sorted
+// data a selective range scan should resolve most segments from the zone
+// map alone.
+func TestZoneMapsSaveWorkOnSortedData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 101)) //nolint:gosec
+	codes := layouttest.RandomCodes(rng, 1<<16, 20, "uniform")
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	b := core.New(codes, 20, nil)
+	b.BuildZoneMaps()
+	p := layout.Predicate{Op: layout.Between, C1: 100_000, C2: 150_000}
+
+	run := func(zoned bool) uint64 {
+		prof := perf.NewProfileNoCache()
+		out := bitvec.New(len(codes))
+		if zoned {
+			b.ScanZoned(simd.New(prof), p, out)
+		} else {
+			b.Scan(simd.New(prof), p, out)
+		}
+		return prof.C.SIMD
+	}
+	zoned, plain := run(true), run(false)
+	if zoned*3 > plain {
+		t.Fatalf("zone maps saved too little on sorted data: %d vs %d SIMD ops", zoned, plain)
+	}
+}
+
+func TestScanZonedWithoutBuildPanics(t *testing.T) {
+	b := core.New([]uint32{1, 2}, 4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.ScanZoned(layouttest.Engine(), layout.Predicate{Op: layout.Lt, C1: 2}, bitvec.New(2))
+}

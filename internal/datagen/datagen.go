@@ -1,0 +1,100 @@
+// Package datagen produces the deterministic synthetic code distributions
+// the paper's micro-benchmarks use: uniform columns and Zipfian-skewed
+// columns with a configurable skew factor (§4.1, Figure 11).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// NewRand returns the deterministic generator used throughout the
+// benchmark suite.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)) //nolint:gosec // reproducible workloads
+}
+
+// Uniform returns n codes drawn uniformly from [0, 2^k).
+func Uniform(rng *rand.Rand, n, k int) []uint32 {
+	if k < 1 || k > 32 {
+		panic(fmt.Sprintf("datagen: width %d out of range", k))
+	}
+	max := uint64(1) << uint(k)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(rng.Uint64N(max))
+	}
+	return out
+}
+
+// maxZipfWidth bounds the CDF table the Zipf sampler builds.
+const maxZipfWidth = 22
+
+// Zipf samples n codes from [0, 2^k) under a Zipfian distribution with
+// skew factor s: P(v) ∝ 1/(v+1)^s, so density is highest at small values
+// (the shape the Figure 11 experiments rely on). s = 0 degenerates to
+// uniform. Widths above 22 bits are rejected — the paper's skew
+// experiments use k = 12.
+func Zipf(rng *rand.Rand, n, k int, s float64) []uint32 {
+	if s == 0 {
+		return Uniform(rng, n, k)
+	}
+	z := NewZipfSampler(k, s)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = z.Sample(rng)
+	}
+	return out
+}
+
+// ZipfSampler draws Zipf-distributed codes by inverse-CDF lookup.
+type ZipfSampler struct {
+	cdf []float64
+}
+
+// NewZipfSampler precomputes the CDF for the domain [0, 2^k).
+func NewZipfSampler(k int, s float64) *ZipfSampler {
+	if k < 1 || k > maxZipfWidth {
+		panic(fmt.Sprintf("datagen: zipf width %d out of range [1,%d]", k, maxZipfWidth))
+	}
+	if s < 0 {
+		panic("datagen: negative skew")
+	}
+	domain := 1 << uint(k)
+	cdf := make([]float64, domain)
+	sum := 0.0
+	for v := 0; v < domain; v++ {
+		sum += math.Pow(float64(v+1), -s)
+		cdf[v] = sum
+	}
+	for v := range cdf {
+		cdf[v] /= sum
+	}
+	return &ZipfSampler{cdf: cdf}
+}
+
+// Sample draws one code.
+func (z *ZipfSampler) Sample(rng *rand.Rand) uint32 {
+	u := rng.Float64()
+	return uint32(sort.SearchFloat64s(z.cdf, u))
+}
+
+// SelectivityConstant returns the comparison constant c such that the
+// predicate "v < c" selects approximately the requested fraction of codes,
+// for the empirical distribution of the given column. This is how the
+// benchmark harness controls selectivity (§4.1.2).
+func SelectivityConstant(codes []uint32, sel float64) uint32 {
+	if sel <= 0 {
+		return 0
+	}
+	sorted := make([]uint32, len(codes))
+	copy(sorted, codes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(sel * float64(len(sorted)))
+	if idx >= len(sorted) {
+		return sorted[len(sorted)-1] + 1
+	}
+	return sorted[idx]
+}

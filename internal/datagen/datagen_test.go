@@ -1,0 +1,139 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformRangeAndDeterminism(t *testing.T) {
+	a := Uniform(NewRand(1), 10000, 9)
+	b := Uniform(NewRand(1), 10000, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same data")
+		}
+		if a[i] >= 512 {
+			t.Fatalf("code %d out of 9-bit range", a[i])
+		}
+	}
+	c := Uniform(NewRand(2), 10000, 9)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 500 {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestUniformCoversDomain(t *testing.T) {
+	codes := Uniform(NewRand(3), 4096, 4)
+	var seen [16]int
+	for _, c := range codes {
+		seen[c]++
+	}
+	for v, n := range seen {
+		if n < 150 || n > 400 { // expect ≈256 each
+			t.Fatalf("value %d appeared %d times; not uniform", v, n)
+		}
+	}
+}
+
+func TestZipfSkewShape(t *testing.T) {
+	codes := Zipf(NewRand(4), 50000, 12, 1)
+	var low, high int
+	for _, c := range codes {
+		if c < 410 { // first 10% of the domain
+			low++
+		} else if c >= 3686 { // last 10%
+			high++
+		}
+	}
+	if low < 10*high {
+		t.Fatalf("zipf=1 should concentrate at small values: low=%d high=%d", low, high)
+	}
+	// Higher skew concentrates harder.
+	codes2 := Zipf(NewRand(4), 50000, 12, 2)
+	zero2 := 0
+	for _, c := range codes2 {
+		if c == 0 {
+			zero2++
+		}
+	}
+	if float64(zero2)/50000 < 0.5 {
+		t.Fatalf("zipf=2 should put most mass at 0: %d", zero2)
+	}
+}
+
+func TestZipfZeroIsUniform(t *testing.T) {
+	a := Zipf(NewRand(5), 100, 8, 0)
+	b := Uniform(NewRand(5), 100, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("s=0 should match uniform exactly")
+		}
+	}
+}
+
+func TestZipfSamplerCDF(t *testing.T) {
+	z := NewZipfSampler(3, 1) // domain 8, harmonic weights
+	r := NewRand(6)
+	counts := make([]int, 8)
+	for i := 0; i < 80000; i++ {
+		counts[z.Sample(r)]++
+	}
+	h8 := 0.0
+	for v := 1; v <= 8; v++ {
+		h8 += 1 / float64(v)
+	}
+	for v := 0; v < 8; v++ {
+		want := 80000 / float64(v+1) / h8
+		if math.Abs(float64(counts[v])-want) > 0.15*want+30 {
+			t.Fatalf("value %d: count %d, want ≈%.0f", v, counts[v], want)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfSampler(23, 1) },
+		func() { NewZipfSampler(0, 1) },
+		func() { NewZipfSampler(8, -1) },
+		func() { Uniform(NewRand(1), 1, 0) },
+		func() { Uniform(NewRand(1), 1, 33) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSelectivityConstant(t *testing.T) {
+	codes := Uniform(NewRand(7), 100000, 16)
+	for _, sel := range []float64{0.01, 0.1, 0.5, 0.9} {
+		c := SelectivityConstant(codes, sel)
+		matched := 0
+		for _, v := range codes {
+			if v < c {
+				matched++
+			}
+		}
+		got := float64(matched) / float64(len(codes))
+		if math.Abs(got-sel) > 0.01 {
+			t.Fatalf("sel %.2f: constant %d gives %.4f", sel, c, got)
+		}
+	}
+	if SelectivityConstant(codes, 0) != 0 {
+		t.Fatal("sel 0 should give 0")
+	}
+	if c := SelectivityConstant(codes, 2); c <= codes[0] {
+		t.Fatal("sel > 1 should exceed every code")
+	}
+}

@@ -1,0 +1,196 @@
+// Package encoding implements the order-preserving, fixed-length code
+// encodings that main-memory column stores apply before formatting data
+// (§2 of the paper): sorted-dictionary encoding for strings, frame of
+// reference for integers, and scaled-decimal encoding for fixed-precision
+// floating point values. All encoders map native values to k-bit unsigned
+// integer codes such that value order equals code order, so range
+// predicates on values translate directly to range predicates on codes.
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Width returns the number of bits needed to represent codes 0..n-1
+// (minimum 1).
+func Width(n uint64) int {
+	k := 1
+	for uint64(1)<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+// IntEncoder encodes int64 values with frame-of-reference: code = v − min.
+type IntEncoder struct {
+	min, max int64
+	k        int
+}
+
+// NewIntEncoder builds an encoder for the closed domain [min, max].
+func NewIntEncoder(min, max int64) (*IntEncoder, error) {
+	if min > max {
+		return nil, fmt.Errorf("encoding: empty domain [%d,%d]", min, max)
+	}
+	span := uint64(max-min) + 1
+	if max-min < 0 || span == 0 {
+		return nil, fmt.Errorf("encoding: domain [%d,%d] too wide", min, max)
+	}
+	k := Width(span)
+	if k > 32 {
+		return nil, fmt.Errorf("encoding: domain [%d,%d] needs %d bits (max 32)", min, max, k)
+	}
+	return &IntEncoder{min: min, max: max, k: k}, nil
+}
+
+// Width returns the code width in bits.
+func (e *IntEncoder) Width() int { return e.k }
+
+// Min returns the smallest encodable value.
+func (e *IntEncoder) Min() int64 { return e.min }
+
+// Max returns the largest encodable value.
+func (e *IntEncoder) Max() int64 { return e.max }
+
+// Encode maps a value to its code; values outside the domain error.
+func (e *IntEncoder) Encode(v int64) (uint32, error) {
+	if v < e.min || v > e.max {
+		return 0, fmt.Errorf("encoding: %d outside domain [%d,%d]", v, e.min, e.max)
+	}
+	return uint32(v - e.min), nil
+}
+
+// EncodeClamped maps a predicate constant into code space, clamping values
+// outside the domain to its edges — the standard trick for evaluating
+// range predicates whose constant is not itself a column value.
+func (e *IntEncoder) EncodeClamped(v int64) uint32 {
+	if v < e.min {
+		return 0
+	}
+	if v > e.max {
+		return uint32(e.max - e.min)
+	}
+	return uint32(v - e.min)
+}
+
+// Decode maps a code back to its value.
+func (e *IntEncoder) Decode(c uint32) int64 { return e.min + int64(c) }
+
+// DecimalEncoder encodes fixed-precision decimals by scaling them to
+// integers (e.g. prices with two decimal digits scale by 100), per [14].
+type DecimalEncoder struct {
+	scale  float64
+	digits int
+	ints   *IntEncoder
+}
+
+// NewDecimalEncoder builds an encoder for [min, max] with the given number
+// of decimal digits of precision.
+func NewDecimalEncoder(min, max float64, digits int) (*DecimalEncoder, error) {
+	if digits < 0 || digits > 9 {
+		return nil, fmt.Errorf("encoding: unsupported precision %d", digits)
+	}
+	scale := math.Pow(10, float64(digits))
+	ie, err := NewIntEncoder(int64(math.Round(min*scale)), int64(math.Round(max*scale)))
+	if err != nil {
+		return nil, err
+	}
+	return &DecimalEncoder{scale: scale, digits: digits, ints: ie}, nil
+}
+
+// Digits returns the encoder's decimal precision.
+func (e *DecimalEncoder) Digits() int { return e.digits }
+
+// Width returns the code width in bits.
+func (e *DecimalEncoder) Width() int { return e.ints.Width() }
+
+// Min returns the smallest encodable value.
+func (e *DecimalEncoder) Min() float64 { return float64(e.ints.Min()) / e.scale }
+
+// Max returns the largest encodable value.
+func (e *DecimalEncoder) Max() float64 { return float64(e.ints.Max()) / e.scale }
+
+// Encode maps a decimal to its code.
+func (e *DecimalEncoder) Encode(v float64) (uint32, error) {
+	return e.ints.Encode(int64(math.Round(v * e.scale)))
+}
+
+// EncodeClamped maps a predicate constant into code space.
+func (e *DecimalEncoder) EncodeClamped(v float64) uint32 {
+	return e.ints.EncodeClamped(int64(math.Round(v * e.scale)))
+}
+
+// Decode maps a code back to its decimal value.
+func (e *DecimalEncoder) Decode(c uint32) float64 {
+	return float64(e.ints.Decode(c)) / e.scale
+}
+
+// Dictionary encodes strings with a sorted, order-preserving dictionary
+// [7, 28]: code order equals lexicographic string order, so string range
+// predicates (and equality) evaluate directly on codes.
+type Dictionary struct {
+	values []string
+	codes  map[string]uint32
+	k      int
+}
+
+// NewDictionary builds a dictionary over the distinct values in vocab.
+func NewDictionary(vocab []string) *Dictionary {
+	seen := make(map[string]struct{}, len(vocab))
+	uniq := make([]string, 0, len(vocab))
+	for _, s := range vocab {
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	d := &Dictionary{
+		values: uniq,
+		codes:  make(map[string]uint32, len(uniq)),
+		k:      Width(uint64(len(uniq))),
+	}
+	for i, s := range uniq {
+		d.codes[s] = uint32(i)
+	}
+	return d
+}
+
+// Width returns the code width in bits.
+func (d *Dictionary) Width() int { return d.k }
+
+// Cardinality returns the number of distinct values.
+func (d *Dictionary) Cardinality() int { return len(d.values) }
+
+// Encode maps a string to its code.
+func (d *Dictionary) Encode(s string) (uint32, error) {
+	c, ok := d.codes[s]
+	if !ok {
+		return 0, fmt.Errorf("encoding: %q not in dictionary", s)
+	}
+	return c, nil
+}
+
+// EncodeLowerBound returns the code of the smallest dictionary entry ≥ s,
+// or Cardinality() if none — the translation for range predicates whose
+// constant is not a dictionary member.
+func (d *Dictionary) EncodeLowerBound(s string) uint32 {
+	return uint32(sort.SearchStrings(d.values, s))
+}
+
+// Values returns the dictionary's entries in code order (a copy).
+func (d *Dictionary) Values() []string {
+	out := make([]string, len(d.values))
+	copy(out, d.values)
+	return out
+}
+
+// Decode maps a code back to its string.
+func (d *Dictionary) Decode(c uint32) string {
+	if int(c) >= len(d.values) {
+		panic(fmt.Sprintf("encoding: code %d out of dictionary range %d", c, len(d.values)))
+	}
+	return d.values[c]
+}

@@ -1,0 +1,187 @@
+package encoding
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	cases := map[uint64]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 256: 8, 257: 9, 1 << 20: 20}
+	for n, want := range cases {
+		if got := Width(n); got != want {
+			t.Fatalf("Width(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIntEncoderRoundTrip(t *testing.T) {
+	e, err := NewIntEncoder(-50, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Width() != 11 { // 1051 values
+		t.Fatalf("Width = %d", e.Width())
+	}
+	for _, v := range []int64{-50, -1, 0, 999, 1000} {
+		c, err := e.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Decode(c) != v {
+			t.Fatalf("round trip %d → %d → %d", v, c, e.Decode(c))
+		}
+	}
+	if _, err := e.Encode(-51); err == nil {
+		t.Fatal("out-of-domain encode should fail")
+	}
+	if _, err := e.Encode(1001); err == nil {
+		t.Fatal("out-of-domain encode should fail")
+	}
+}
+
+func TestIntEncoderOrderPreserving(t *testing.T) {
+	e, _ := NewIntEncoder(-32768, 32767)
+	prop := func(a, b int16) bool {
+		ca, err1 := e.Encode(int64(a))
+		cb, err2 := e.Encode(int64(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (a < b) == (ca < cb) && (a == b) == (ca == cb)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntEncoderClamped(t *testing.T) {
+	e, _ := NewIntEncoder(10, 20)
+	if e.EncodeClamped(5) != 0 {
+		t.Fatal("below-domain constant should clamp to 0")
+	}
+	if e.EncodeClamped(100) != 10 {
+		t.Fatal("above-domain constant should clamp to max code")
+	}
+	if e.EncodeClamped(15) != 5 {
+		t.Fatal("in-domain constant wrong")
+	}
+}
+
+func TestIntEncoderErrors(t *testing.T) {
+	if _, err := NewIntEncoder(5, 4); err == nil {
+		t.Fatal("empty domain should error")
+	}
+	if _, err := NewIntEncoder(0, 1<<33); err == nil {
+		t.Fatal("over-wide domain should error")
+	}
+	if _, err := NewIntEncoder(0, 1<<32-1); err != nil {
+		t.Fatalf("32-bit domain should work: %v", err)
+	}
+}
+
+func TestDecimalEncoder(t *testing.T) {
+	e, err := NewDecimalEncoder(0, 10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Width() != 20 { // 1,000,001 scaled values
+		t.Fatalf("Width = %d", e.Width())
+	}
+	for _, v := range []float64{0, 0.01, 99.99, 10000} {
+		c, err := e.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Decode(c) != v {
+			t.Fatalf("round trip %v → %v", v, e.Decode(c))
+		}
+	}
+	// Order preservation at two-decimal granularity.
+	a, _ := e.Encode(1.23)
+	b, _ := e.Encode(1.24)
+	if a >= b {
+		t.Fatal("order not preserved")
+	}
+	if _, err := NewDecimalEncoder(0, 1, 12); err == nil {
+		t.Fatal("absurd precision should error")
+	}
+}
+
+func TestDictionaryOrderPreserving(t *testing.T) {
+	d := NewDictionary([]string{"MAIL", "SHIP", "AIR", "RAIL", "TRUCK", "AIR", "FOB"})
+	if d.Cardinality() != 6 {
+		t.Fatalf("Cardinality = %d", d.Cardinality())
+	}
+	if d.Width() != 3 {
+		t.Fatalf("Width = %d", d.Width())
+	}
+	// Codes must sort like strings.
+	words := []string{"AIR", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"}
+	var prev uint32
+	for i, w := range words {
+		c, err := d.Encode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && c <= prev {
+			t.Fatalf("dictionary order violated at %q", w)
+		}
+		if d.Decode(c) != w {
+			t.Fatalf("decode(%d) = %q", c, d.Decode(c))
+		}
+		prev = c
+	}
+	if _, err := d.Encode("TRAIN"); err == nil {
+		t.Fatal("unknown string should error")
+	}
+}
+
+func TestDictionaryLowerBound(t *testing.T) {
+	d := NewDictionary([]string{"b", "d", "f"})
+	cases := map[string]uint32{"a": 0, "b": 0, "c": 1, "d": 1, "e": 2, "f": 2, "g": 3}
+	for s, want := range cases {
+		if got := d.EncodeLowerBound(s); got != want {
+			t.Fatalf("EncodeLowerBound(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestDictionaryRandomised(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 11)) //nolint:gosec
+	vocab := make([]string, 500)
+	letters := []byte("abcdefghij")
+	for i := range vocab {
+		b := make([]byte, 1+r.IntN(8))
+		for j := range b {
+			b[j] = letters[r.IntN(len(letters))]
+		}
+		vocab[i] = string(b)
+	}
+	d := NewDictionary(vocab)
+	for _, s := range vocab {
+		c, err := d.Encode(s)
+		if err != nil || d.Decode(c) != s {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	}
+	// Pairwise order check on a sample.
+	for i := 0; i < 1000; i++ {
+		a, b := vocab[r.IntN(len(vocab))], vocab[r.IntN(len(vocab))]
+		ca, _ := d.Encode(a)
+		cb, _ := d.Encode(b)
+		if (a < b) != (ca < cb) {
+			t.Fatalf("order violated: %q vs %q", a, b)
+		}
+	}
+}
+
+func TestDictionaryDecodePanics(t *testing.T) {
+	d := NewDictionary([]string{"x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range decode should panic")
+		}
+	}()
+	d.Decode(7)
+}

@@ -1,0 +1,235 @@
+// Package exec evaluates selection–projection query kernels over tables:
+// complex predicates (conjunctions and disjunctions of column-scalar
+// comparisons) with the paper's three evaluation strategies (§3.1.2), the
+// scan-to-lookup conversion, projection lookups into standard arrays, and
+// the aggregation needed by the TPC-H kernels.
+package exec
+
+import (
+	"fmt"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/simd"
+	"byteslice/internal/table"
+)
+
+// Filter is one column-scalar predicate of a complex predicate.
+type Filter struct {
+	Col  string
+	Pred layout.Predicate
+}
+
+// Strategy selects how a complex predicate is evaluated.
+type Strategy int
+
+const (
+	// Baseline evaluates every predicate independently over its whole
+	// column and combines the result bit vectors (Figure 6a).
+	Baseline Strategy = iota
+	// ColumnFirst pipelines the condensed result bit vector of each
+	// predicate into the next column's scan (Figure 6b, Algorithm 2).
+	// Requires layouts implementing layout.Pipelined; others fall back to
+	// Baseline, as in the paper's comparison.
+	ColumnFirst
+	// PredicateFirst evaluates all predicates segment-by-segment,
+	// pipelining the uncondensed 256-bit mask (Figure 6c). Only ByteSlice
+	// columns support it; others fall back to Baseline.
+	PredicateFirst
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case ColumnFirst:
+		return "Column-First"
+	case PredicateFirst:
+		return "Predicate-First"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Conjunction evaluates filter₁ AND filter₂ AND … over t.
+func Conjunction(e *simd.Engine, t *table.Table, filters []Filter, s Strategy) (*bitvec.Vector, error) {
+	return evalComplex(e, t, filters, s, false)
+}
+
+// Disjunction evaluates filter₁ OR filter₂ OR … over t.
+func Disjunction(e *simd.Engine, t *table.Table, filters []Filter, s Strategy) (*bitvec.Vector, error) {
+	return evalComplex(e, t, filters, s, true)
+}
+
+func evalComplex(e *simd.Engine, t *table.Table, filters []Filter, s Strategy, disjunct bool) (*bitvec.Vector, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("exec: empty predicate")
+	}
+	cols := make([]layout.Layout, len(filters))
+	for i, f := range filters {
+		c, err := t.Column(f.Col)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c.Data
+	}
+
+	if s == PredicateFirst {
+		if bs, ok := allByteSlice(cols); ok {
+			out := bitvec.New(t.N)
+			preds := make([]layout.Predicate, len(filters))
+			for i, f := range filters {
+				preds[i] = f.Pred
+			}
+			if disjunct {
+				core.ScanDisjunctionPredicateFirst(e, bs, preds, out)
+			} else {
+				core.ScanConjunctionPredicateFirst(e, bs, preds, out)
+			}
+			return out, nil
+		}
+		s = Baseline
+	}
+
+	acc := bitvec.New(t.N)
+	cur := bitvec.New(t.N)
+	for i, f := range filters {
+		if i == 0 {
+			cols[0].Scan(e, f.Pred, acc)
+			continue
+		}
+		if s == ColumnFirst {
+			if p, ok := cols[i].(layout.Pipelined); ok {
+				p.ScanPipelined(e, f.Pred, acc, disjunct, cur)
+				acc, cur = cur, acc
+				continue
+			}
+		}
+		cols[i].Scan(e, f.Pred, cur)
+		if disjunct {
+			acc.Or(cur)
+		} else {
+			acc.And(cur)
+		}
+	}
+	return acc, nil
+}
+
+func allByteSlice(cols []layout.Layout) ([]*core.ByteSlice, bool) {
+	bs := make([]*core.ByteSlice, len(cols))
+	for i, c := range cols {
+		b, ok := c.(*core.ByteSlice)
+		if !ok {
+			return nil, false
+		}
+		bs[i] = b
+	}
+	return bs, true
+}
+
+// Projection is the output of Project: per requested column, the looked-up
+// codes of every matching row, in an array of a standard data type — the
+// intermediate-result representation existing column stores use (§2).
+type Projection struct {
+	Rows    []int32
+	Columns map[string][]uint32
+}
+
+// Project converts the result bit vector into record numbers and looks up
+// the requested columns.
+func Project(e *simd.Engine, t *table.Table, cols []string, matches *bitvec.Vector) (*Projection, error) {
+	rows := matches.Positions(make([]int32, 0, matches.Count()))
+	p := &Projection{Rows: rows, Columns: make(map[string][]uint32, len(cols))}
+	for _, name := range cols {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]uint32, len(rows))
+		for i, r := range rows {
+			vals[i] = c.Data.Lookup(e, int(r))
+		}
+		p.Columns[name] = vals
+	}
+	return p, nil
+}
+
+// Aggregate computes per-group sums of an expression over projected
+// columns. The expression receives the decoded values of the listed
+// columns for one row. groupBy may be empty (one global group). These
+// operators read the standard-array intermediates, not the base columns,
+// so they are layout independent (§2) — they exist to complete the TPC-H
+// kernels.
+type Aggregate struct {
+	// Exprs names each aggregate expression.
+	Exprs []string
+	// Eval computes all expressions for one row of decoded values.
+	Eval func(vals map[string]float64) []float64
+	// Inputs are the projected columns the expressions read.
+	Inputs []string
+	// GroupBy are projected columns whose codes form the group key.
+	GroupBy []string
+}
+
+// GroupResult is one output group.
+type GroupResult struct {
+	Key  string
+	Sums []float64
+	Rows int
+}
+
+// Run evaluates the aggregate over the projection using t's decoders.
+func (a *Aggregate) Run(t *table.Table, p *Projection) ([]GroupResult, error) {
+	decoders := make(map[string]func(uint32) float64, len(a.Inputs))
+	for _, in := range a.Inputs {
+		c, err := t.Column(in)
+		if err != nil {
+			return nil, err
+		}
+		if c.Decode == nil {
+			return nil, fmt.Errorf("exec: column %s has no decoder", in)
+		}
+		decoders[in] = c.Decode
+		if _, ok := p.Columns[in]; !ok {
+			return nil, fmt.Errorf("exec: column %s not projected", in)
+		}
+	}
+	for _, g := range a.GroupBy {
+		if _, ok := p.Columns[g]; !ok {
+			return nil, fmt.Errorf("exec: group-by column %s not projected", g)
+		}
+	}
+
+	groups := make(map[string]*GroupResult)
+	order := make([]string, 0, 8)
+	vals := make(map[string]float64, len(a.Inputs))
+	for i := range p.Rows {
+		key := ""
+		for _, g := range a.GroupBy {
+			key += fmt.Sprintf("%d|", p.Columns[g][i])
+		}
+		for _, in := range a.Inputs {
+			vals[in] = decoders[in](p.Columns[in][i])
+		}
+		sums := a.Eval(vals)
+		gr, ok := groups[key]
+		if !ok {
+			gr = &GroupResult{Key: key, Sums: make([]float64, len(sums))}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		if len(sums) != len(gr.Sums) {
+			return nil, fmt.Errorf("exec: Eval returned inconsistent arity")
+		}
+		for j, s := range sums {
+			gr.Sums[j] += s
+		}
+		gr.Rows++
+	}
+	out := make([]GroupResult, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out, nil
+}

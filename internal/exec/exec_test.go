@@ -1,0 +1,193 @@
+package exec_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/exec"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/bp"
+	"byteslice/internal/layout/hbp"
+	"byteslice/internal/layout/vbp"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+	"byteslice/internal/table"
+)
+
+func engine() *simd.Engine { return simd.New(perf.NewProfileNoCache()) }
+
+// buildTable makes a three-column table with known contents.
+func buildTable(t *testing.T, build layout.Builder, n int) (*table.Table, [][]uint32) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(21, 12)) //nolint:gosec
+	raw := make([][]uint32, 3)
+	specs := make([]table.ColumnSpec, 3)
+	names := []string{"a", "b", "c"}
+	widths := []int{12, 17, 6}
+	for i := range specs {
+		codes := make([]uint32, n)
+		for j := range codes {
+			codes[j] = uint32(rng.Uint64N(1 << uint(widths[i])))
+		}
+		raw[i] = codes
+		specs[i] = table.ColumnSpec{
+			Name: names[i], K: widths[i], Codes: codes,
+			Decode: func(c uint32) float64 { return float64(c) },
+		}
+	}
+	tb, err := table.Build("t", specs, build, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, raw
+}
+
+func refComplex(raw [][]uint32, preds []layout.Predicate, disjunct bool) *bitvec.Vector {
+	n := len(raw[0])
+	out := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		acc := !disjunct
+		for p, pr := range preds {
+			m := pr.Eval(raw[p][i])
+			if disjunct {
+				acc = acc || m
+			} else {
+				acc = acc && m
+			}
+		}
+		out.Set(i, acc)
+	}
+	return out
+}
+
+// TestStrategiesAgree checks all three strategies produce identical results
+// on every layout (falling back where unsupported), for conjunction and
+// disjunction.
+func TestStrategiesAgree(t *testing.T) {
+	builders := map[string]layout.Builder{
+		"ByteSlice": core.NewBuilder,
+		"VBP":       vbp.NewBuilder,
+		"HBP":       hbp.NewBuilder,
+		"BitPacked": bp.NewBuilder,
+	}
+	filters := []exec.Filter{
+		{Col: "a", Pred: layout.Predicate{Op: layout.Lt, C1: 2000}},
+		{Col: "b", Pred: layout.Predicate{Op: layout.Gt, C1: 60000}},
+		{Col: "c", Pred: layout.Predicate{Op: layout.Between, C1: 10, C2: 40}},
+	}
+	preds := []layout.Predicate{filters[0].Pred, filters[1].Pred, filters[2].Pred}
+	for name, b := range builders {
+		tb, raw := buildTable(t, b, 4567)
+		for _, disjunct := range []bool{false, true} {
+			want := refComplex(raw, preds, disjunct)
+			for _, s := range []exec.Strategy{exec.Baseline, exec.ColumnFirst, exec.PredicateFirst} {
+				var got *bitvec.Vector
+				var err error
+				if disjunct {
+					got, err = exec.Disjunction(engine(), tb, filters, s)
+				} else {
+					got, err = exec.Conjunction(engine(), tb, filters, s)
+				}
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, s, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%s/%s disjunct=%v: wrong result (got %d want %d matches)",
+						name, s, disjunct, got.Count(), want.Count())
+				}
+			}
+		}
+	}
+}
+
+func TestSingleFilterAndErrors(t *testing.T) {
+	tb, raw := buildTable(t, core.NewBuilder, 1000)
+	f := []exec.Filter{{Col: "a", Pred: layout.Predicate{Op: layout.Ge, C1: 100}}}
+	got, err := exec.Conjunction(engine(), tb, f, exec.ColumnFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refComplex(raw[:1], []layout.Predicate{f[0].Pred}, false)
+	if !got.Equal(want) {
+		t.Fatal("single filter wrong")
+	}
+
+	if _, err := exec.Conjunction(engine(), tb, nil, exec.Baseline); err == nil {
+		t.Fatal("empty predicate should error")
+	}
+	if _, err := exec.Conjunction(engine(), tb, []exec.Filter{{Col: "zzz"}}, exec.Baseline); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestProjectAndAggregate(t *testing.T) {
+	specs := []table.ColumnSpec{
+		{Name: "grp", K: 2, Codes: []uint32{0, 1, 0, 1, 2, 0}, Decode: func(c uint32) float64 { return float64(c) }},
+		{Name: "val", K: 8, Codes: []uint32{10, 20, 30, 40, 50, 60}, Decode: func(c uint32) float64 { return float64(c) }},
+		{Name: "flag", K: 1, Codes: []uint32{1, 1, 1, 1, 1, 0}},
+	}
+	tb := table.MustBuild("t", specs, core.NewBuilder, nil)
+	e := engine()
+	match, err := exec.Conjunction(e, tb, []exec.Filter{{Col: "flag", Pred: layout.Predicate{Op: layout.Eq, C1: 1}}}, exec.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := exec.Project(e, tb, []string{"grp", "val"}, match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Rows) != 5 {
+		t.Fatalf("rows = %v", proj.Rows)
+	}
+	if proj.Columns["val"][2] != 30 {
+		t.Fatalf("projected val wrong: %v", proj.Columns["val"])
+	}
+
+	agg := &exec.Aggregate{
+		Exprs:   []string{"sum_val", "sum_sq"},
+		Inputs:  []string{"val"},
+		GroupBy: []string{"grp"},
+		Eval: func(v map[string]float64) []float64 {
+			return []float64{v["val"], v["val"] * v["val"]}
+		},
+	}
+	groups, err := agg.Run(tb, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups in first-seen order: 0 → {10,30}, 1 → {20,40}, 2 → {50}.
+	if len(groups) != 3 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Sums[0] != 40 || groups[0].Rows != 2 {
+		t.Fatalf("group 0 wrong: %+v", groups[0])
+	}
+	if groups[1].Sums[0] != 60 || groups[2].Sums[0] != 50 {
+		t.Fatalf("groups wrong: %+v", groups)
+	}
+	if math.Abs(groups[1].Sums[1]-(400+1600)) > 1e-9 {
+		t.Fatalf("second expression wrong: %+v", groups[1])
+	}
+
+	// Missing projection and missing decoder must error.
+	if _, err := agg.Run(tb, &exec.Projection{Columns: map[string][]uint32{}}); err == nil {
+		t.Fatal("missing projected column should error")
+	}
+	bad := &exec.Aggregate{Inputs: []string{"flag"}, Eval: func(map[string]float64) []float64 { return nil }}
+	if _, err := bad.Run(tb, proj); err == nil {
+		t.Fatal("missing decoder should error")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[exec.Strategy]string{
+		exec.Baseline: "Baseline", exec.ColumnFirst: "Column-First", exec.PredicateFirst: "Predicate-First",
+	} {
+		if s.String() != want {
+			t.Fatalf("String = %q", s.String())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/core"
+	"byteslice/internal/datagen"
+	"byteslice/internal/exec"
+	"byteslice/internal/layout"
+	"byteslice/internal/layouts"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+	"byteslice/internal/table"
+)
+
+func init() {
+	register("fig12", func(c Config) []*Report { return complexPredicate(c, false) })
+	register("fig19", func(c Config) []*Report { return complexPredicate(c, true) })
+}
+
+// complexPredicate reproduces Figures 12 (conjunction) and 19
+// (disjunction): a two-column complex predicate evaluated with the
+// baseline strategy on every layout and with the three ByteSlice
+// strategies, reporting cycles/tuple and L2 misses/tuple as the first
+// predicate's selectivity varies. The second predicate is fixed at 50%.
+func complexPredicate(cfg Config, disjunct bool) []*Report {
+	const k = 12
+	rng := datagen.NewRand(cfg.Seed + 12)
+	codes1 := datagen.Uniform(rng, cfg.N, k)
+	codes2 := datagen.Uniform(rng, cfg.N, k)
+	specs := []table.ColumnSpec{
+		{Name: "col1", K: k, Codes: codes1},
+		{Name: "col2", K: k, Codes: codes2},
+	}
+
+	id, title, op := "Fig12", "Conjunction", "AND"
+	sels := []float64{0.5, 0.1, 0.05, 0.01, 0.005, 0.001}
+	if disjunct {
+		id, title, op = "Fig19", "Disjunction", "OR"
+		sels = []float64{0.999, 0.99, 0.95, 0.90, 0.50, 0.10}
+	}
+	series := []string{"Bit-Packed", "HBP", "VBP", "BS(Baseline)", "BS(Predicate-First)", "BS(Column-First)"}
+	rc := &Report{ID: id, Title: title + " col1 < c1 " + op + " col2 > c2 — cycles/tuple",
+		Columns: append([]string{"sel(col1)"}, series...)}
+	rm := &Report{ID: id, Title: title + " — L2 cache misses/tuple",
+		Columns: append([]string{"sel(col1)"}, series...)}
+
+	type combo struct {
+		builder  layout.Builder
+		strategy exec.Strategy
+	}
+	combos := []combo{
+		{layouts.Builders["BitPacked"], exec.Baseline},
+		{layouts.Builders["HBP"], exec.Baseline},
+		{layouts.Builders["VBP"], exec.Baseline},
+		{core.NewBuilder, exec.Baseline},
+		{core.NewBuilder, exec.PredicateFirst},
+		{core.NewBuilder, exec.ColumnFirst},
+	}
+
+	// Pre-build one table per distinct builder.
+	tables := map[string]*table.Table{}
+	for i, name := range []string{"BitPacked", "HBP", "VBP", "ByteSlice"} {
+		_ = i
+		tables[name] = table.MustBuild("t", specs, layouts.Builders[name], cache.NewArena(64))
+	}
+	tableFor := func(i int) *table.Table {
+		switch i {
+		case 0:
+			return tables["BitPacked"]
+		case 1:
+			return tables["HBP"]
+		case 2:
+			return tables["VBP"]
+		default:
+			return tables["ByteSlice"]
+		}
+	}
+
+	for _, sel := range sels {
+		filters := []exec.Filter{
+			{Col: "col1", Pred: layout.Predicate{Op: layout.Lt, C1: datagen.SelectivityConstant(codes1, sel)}},
+			{Col: "col2", Pred: layout.Predicate{Op: layout.Gt, C1: datagen.SelectivityConstant(codes2, 0.5)}},
+		}
+		cyc := []string{fpct(sel)}
+		mis := []string{fpct(sel)}
+		for i, cb := range combos {
+			tb := tableFor(i)
+			run := func() (*bitvec.Vector, *perf.Profile) {
+				prof := perf.NewProfile()
+				e := simd.New(prof)
+				var out *bitvec.Vector
+				var err error
+				if disjunct {
+					out, err = exec.Disjunction(e, tb, filters, cb.strategy)
+				} else {
+					out, err = exec.Conjunction(e, tb, filters, cb.strategy)
+				}
+				if err != nil {
+					panic(err)
+				}
+				return out, prof
+			}
+			run() // warm-up: trains predictor, warms cache
+			out, prof := run()
+			_ = out
+			cyc = append(cyc, ff(prof.Cycles()/float64(cfg.N)))
+			st := prof.Cache.Stats()
+			l2 := st.MissesBelow(cache.L2)
+			mis = append(mis, ff(float64(l2)/float64(cfg.N)))
+		}
+		rc.AddRow(cyc...)
+		rm.AddRow(mis...)
+	}
+	return []*Report{rc, rm}
+}

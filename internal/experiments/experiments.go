@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§4 and the appendices). Each experiment is a named
+// function that runs the relevant workload through the storage layouts and
+// formats the same rows or series the paper plots. The cmd/bsbench binary
+// and the repository's bench_test.go both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config scales the suite. The paper's micro-benchmarks use a one-
+// billion-row table on real hardware; the emulated default is scaled down
+// so the full suite runs on a laptop in minutes while preserving every
+// ratio the figures report.
+type Config struct {
+	// N is the micro-benchmark column length.
+	N int
+	// Lookups is the number of random lookups for the lookup experiments.
+	Lookups int
+	// Widths are the code widths swept in the per-k figures.
+	Widths []int
+	// TPCHRows is the wide-table size for the query experiments.
+	TPCHRows int
+	// Seed drives all data generation.
+	Seed uint64
+}
+
+// Default returns the standard laptop-scale configuration.
+func Default() Config {
+	return Config{
+		N:        1 << 20,
+		Lookups:  100_000,
+		Widths:   []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32},
+		TPCHRows: 200_000,
+		Seed:     0xB17E,
+	}
+}
+
+// Quick returns a fast smoke-test configuration used by integration tests.
+func Quick() Config {
+	return Config{
+		N:        1 << 16,
+		Lookups:  5_000,
+		Widths:   []int{4, 8, 12, 17, 24, 32},
+		TPCHRows: 20_000,
+		Seed:     0xB17E,
+	}
+}
+
+// Report is one regenerated table or figure as labelled rows.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// CSV renders the report as comma-separated rows (header first), with a
+// leading comment line carrying the id and title — the format plotting
+// scripts consume.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", r.ID, r.Title)
+	esc := func(cell string) string {
+		if strings.ContainsAny(cell, ",\"\n") {
+			return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+		}
+		return cell
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces the reports of one experiment.
+type Runner func(Config) []*Report
+
+// registry maps experiment ids to runners. Populated by the per-area files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) ([]*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg), nil
+}
+
+func ff(v float64) string   { return fmt.Sprintf("%.4f", v) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func fi(v uint64) string    { return fmt.Sprintf("%d", v) }
+func fpct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

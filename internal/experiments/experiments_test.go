@@ -1,0 +1,496 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete pins the experiment inventory: every table/figure
+// of the paper's evaluation has a registered regenerator.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table1-empirical",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+		"headline", "ablation-tail", "ablation-tau", "ablation-inverse-movemask", "avx512",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func cell(t *testing.T, r *Report, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(r.Rows[row][col], "x")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d of %s (%q): %v", row, col, r.ID, r.Rows[row][col], err)
+	}
+	return v
+}
+
+func colIndex(t *testing.T, r *Report, name string) int {
+	t.Helper()
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("%s has no column %q (have %v)", r.ID, name, r.Columns)
+	return -1
+}
+
+// TestTable1MatchesPaper checks the analytic probabilities against the
+// values printed in the paper.
+func TestTable1MatchesPaper(t *testing.T) {
+	within := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+	if !within(PVBP(8, 256), 0.3671597549, 1e-9) {
+		t.Fatalf("PVBP(8) = %v", PVBP(8, 256))
+	}
+	if !within(PBS(8, 256), 0.8822809129, 1e-9) {
+		t.Fatalf("PBS(8) = %v", PBS(8, 256))
+	}
+	if !within(PVBP(12, 256), 0.9394058945, 1e-9) {
+		t.Fatalf("PVBP(12) = %v", PVBP(12, 256))
+	}
+	if !within(PBS(16, 256), 0.9995118342, 1e-9) {
+		t.Fatalf("PBS(16) = %v", PBS(16, 256))
+	}
+	ev := ExpectedBits(32, 4, func(tt int) float64 { return PVBP(tt, 256) })
+	eb := ExpectedBits(32, 8, func(tt int) float64 { return PBS(tt, 256) })
+	if !within(ev, 10.79, 0.02) || !within(eb, 8.94, 0.02) {
+		t.Fatalf("expected bits: VBP %.3f (want 10.79), BS %.3f (want 8.94)", ev, eb)
+	}
+	// §3.1.1's S=512 projection: 11.96 and 9.78.
+	ev512 := ExpectedBits(32, 4, func(tt int) float64 { return PVBP(tt, 512) })
+	eb512 := ExpectedBits(32, 8, func(tt int) float64 { return PBS(tt, 512) })
+	if !within(ev512, 11.96, 0.03) || !within(eb512, 9.78, 0.03) {
+		t.Fatalf("S=512 expected bits: VBP %.3f (want 11.96), BS %.3f (want 9.78)", ev512, eb512)
+	}
+}
+
+// TestTable1Empirical checks the instrumented scans agree with the model.
+func TestTable1Empirical(t *testing.T) {
+	reports, err := Run("table1-empirical", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	for i := range r.Rows {
+		analytic, measured := cell(t, r, i, 1), cell(t, r, i, 2)
+		if math.Abs(analytic-measured) > 0.8 {
+			t.Fatalf("%s: analytic %.2f vs measured %.2f bits/code", r.Rows[i][0], analytic, measured)
+		}
+	}
+}
+
+// TestFig8Shape pins the lookup figure's qualitative content: VBP lookup
+// cost grows with k and dwarfs the others, which stay within a small
+// constant factor of each other.
+func TestFig8Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Widths = []int{8, 16, 32} // the lookup columns have a 4M-row floor; keep the sweep small
+	cfg.Lookups = 3000
+	reports, err := Run("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := reports[0]
+	vbpCol := colIndex(t, cyc, "VBP")
+	bsCol := colIndex(t, cyc, "ByteSlice")
+	last := len(cyc.Rows) - 1
+	if cell(t, cyc, last, vbpCol) < 4*cell(t, cyc, last, bsCol) {
+		t.Fatalf("VBP lookups at k=32 should be far slower than ByteSlice: %v", cyc.Rows[last])
+	}
+	if cell(t, cyc, last, vbpCol) < 2*cell(t, cyc, 1, vbpCol) {
+		t.Fatalf("VBP lookup cost should grow with k: %v vs %v", cyc.Rows[1], cyc.Rows[last])
+	}
+	// ByteSlice stays within ~3x of HBP (the paper: "comparable").
+	hbpCol := colIndex(t, cyc, "HBP")
+	for i := range cyc.Rows {
+		if cell(t, cyc, i, bsCol) > 3.5*cell(t, cyc, i, hbpCol)+1 {
+			t.Fatalf("ByteSlice lookup should be comparable to HBP: row %v", cyc.Rows[i])
+		}
+	}
+}
+
+// TestFig9Shape pins the scan figure: ByteSlice is the fastest (or ties
+// within 5%) at every width, and the early-stopping layouts beat the
+// non-stopping ones for wide codes.
+func TestFig9Shape(t *testing.T) {
+	reports, err := Run("fig9", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := 0; ri < 2; ri++ { // cycles + instructions for OP <
+		r := reports[ri]
+		bs := colIndex(t, r, "ByteSlice")
+		for i := range r.Rows {
+			if k := cell(t, r, i, 0); k < 8 {
+				// Sub-byte widths are outside the paper's focus ("our
+				// focus is actually more on columns with k > 8", §3.1.1);
+				// there a single VBP pass over 256 codes can win.
+				continue
+			}
+			bsv := cell(t, r, i, bs)
+			for _, other := range []string{"BitPacked", "HBP", "VBP"} {
+				ov := cell(t, r, i, colIndex(t, r, other))
+				if bsv > 1.05*ov {
+					t.Fatalf("%s row %v: ByteSlice (%v) slower than %s (%v)", r.Title, r.Rows[i][0], bsv, other, ov)
+				}
+			}
+		}
+	}
+}
+
+// TestHeadline asserts the paper's headline number holds in the model.
+func TestHeadline(t *testing.T) {
+	reports, err := Run("headline", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	for i := range r.Rows {
+		if c := cell(t, r, i, 1); c >= 0.5 {
+			t.Fatalf("ByteSlice scan at k=%s costs %.3f cycles/code (headline claims < 0.5)", r.Rows[i][0], c)
+		}
+	}
+}
+
+// TestFig12Shape pins the complex-predicate experiment: column-first is
+// the best ByteSlice strategy at high selectivity, and predicate-first has
+// more L2 misses than column-first.
+func TestFig12Shape(t *testing.T) {
+	reports, err := Run("fig12", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, mis := reports[0], reports[1]
+	cf := colIndex(t, cyc, "BS(Column-First)")
+	pf := colIndex(t, cyc, "BS(Predicate-First)")
+	base := colIndex(t, cyc, "BS(Baseline)")
+	last := len(cyc.Rows) - 1 // most selective P1
+	if cell(t, cyc, last, cf) > cell(t, cyc, last, base) {
+		t.Fatalf("column-first should beat baseline at 0.1%% selectivity: %v", cyc.Rows[last])
+	}
+	var pfMiss, cfMiss float64
+	for i := range mis.Rows {
+		pfMiss += cell(t, mis, i, pf)
+		cfMiss += cell(t, mis, i, cf)
+	}
+	if pfMiss < cfMiss {
+		t.Fatalf("predicate-first should incur more L2 misses (%.4f vs %.4f)", pfMiss, cfMiss)
+	}
+}
+
+// TestFig13Shape pins multithreaded scaling: throughput grows with thread
+// count for every layout, and ByteSlice has the highest throughput.
+func TestFig13Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Widths = []int{8, 16, 24} // keep the goroutine sweep fast
+	reports, err := Run("fig13", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	bs := colIndex(t, r, "ByteSlice")
+	for col := 1; col < len(r.Columns); col++ {
+		if cell(t, r, len(r.Rows)-1, col) < cell(t, r, 0, col) {
+			t.Fatalf("%s throughput should scale with threads: %v vs %v", r.Columns[col], r.Rows[0], r.Rows[len(r.Rows)-1])
+		}
+	}
+	for col := 1; col < len(r.Columns); col++ {
+		if col == bs {
+			continue
+		}
+		if cell(t, r, len(r.Rows)-1, bs) < cell(t, r, len(r.Rows)-1, col) {
+			t.Fatalf("ByteSlice should have the top throughput at 8 threads: %v", r.Rows[len(r.Rows)-1])
+		}
+	}
+}
+
+// TestFig14Shape pins the TPC-H result: ByteSlice is at least as fast as
+// every other layout on every query, and meaningfully faster than
+// Bit-Packed overall.
+func TestFig14Shape(t *testing.T) {
+	reports, err := Run("fig14", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	bs := colIndex(t, r, "ByteSlice")
+	product := 1.0
+	for i := range r.Rows {
+		bsv := cell(t, r, i, bs)
+		product *= bsv
+		for col := 1; col < len(r.Columns); col++ {
+			if cell(t, r, i, col) > 1.1*bsv {
+				t.Fatalf("query %s: %s (%vx) beats ByteSlice (%vx)", r.Rows[i][0], r.Columns[col], r.Rows[i][col], bsv)
+			}
+		}
+	}
+	gmean := math.Pow(product, 1/float64(len(r.Rows)))
+	if gmean < 1.5 {
+		t.Fatalf("ByteSlice geometric-mean speed-up over Bit-Packed is only %.2fx", gmean)
+	}
+}
+
+// TestFig22Shape pins the real-data result: ByteSlice wins on both
+// datasets.
+func TestFig22Shape(t *testing.T) {
+	reports, err := Run("fig22", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !strings.Contains(r.Title, "speed-up") {
+			continue
+		}
+		bs := colIndex(t, r, "ByteSlice")
+		for i := range r.Rows {
+			bsv := cell(t, r, i, bs)
+			for col := 1; col < len(r.Columns); col++ {
+				if cell(t, r, i, col) > 1.1*bsv {
+					t.Fatalf("%s %s: %s beats ByteSlice: %v", r.Title, r.Rows[i][0], r.Columns[col], r.Rows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReportString smoke-tests the renderer.
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo", Columns: []string{"a", "bbbb"}}
+	r.AddRow("1", "2")
+	r.Notes = append(r.Notes, "n")
+	s := r.String()
+	for _, want := range []string{"X", "demo", "bbbb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFig10Shape pins the early-stopping ablation: disabling ES hurts VBP
+// grossly at wide codes, and ES keeps both layouts' cost nearly flat in k.
+func TestFig10Shape(t *testing.T) {
+	reports, err := Run("fig10", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := reports[0]
+	vbpES := colIndex(t, cyc, "VBP")
+	vbpNo := colIndex(t, cyc, "VBP w/o ES")
+	bsES := colIndex(t, cyc, "ByteSlice")
+	last := len(cyc.Rows) - 1 // k = 32
+	if cell(t, cyc, last, vbpNo) < 1.5*cell(t, cyc, last, vbpES) {
+		t.Fatalf("VBP w/o ES at k=32 should be ≫ with ES: %v", cyc.Rows[last])
+	}
+	// With ES, ByteSlice's cost at k=32 stays within 2.5x of k=8.
+	k8 := -1
+	for i := range cyc.Rows {
+		if cyc.Rows[i][0] == "8" {
+			k8 = i
+		}
+	}
+	if k8 < 0 {
+		t.Fatal("no k=8 row")
+	}
+	if cell(t, cyc, last, bsES) > 2.5*cell(t, cyc, k8, bsES) {
+		t.Fatalf("ByteSlice cost should be nearly flat in k: %v vs %v", cyc.Rows[k8], cyc.Rows[last])
+	}
+}
+
+// TestFig11Shape pins the skew experiment: higher skew with a fixed small
+// constant makes early-stopping layouts faster, and under uniform data the
+// cost is selectivity independent.
+func TestFig11Shape(t *testing.T) {
+	reports, err := Run("fig11", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := reports[0]
+	bs := colIndex(t, ra, "ByteSlice")
+	if cell(t, ra, 2, bs) > cell(t, ra, 0, bs) {
+		t.Fatalf("zipf=2 should not be slower than uniform for ByteSlice: %v vs %v", ra.Rows[0], ra.Rows[2])
+	}
+	rc := reports[2] // uniform selectivity sweep
+	first, last := cell(t, rc, 0, bs), cell(t, rc, len(rc.Rows)-1, bs)
+	if first == 0 || last/first > 1.3 || first/last > 1.3 {
+		t.Fatalf("uniform-data scan cost should not vary with selectivity: %v", rc.Rows)
+	}
+}
+
+// TestFig15Shape pins Appendix A: the 8-bit bank width scans at least as
+// fast as the 16-bit variant for k > 8, with comparable lookups.
+func TestFig15Shape(t *testing.T) {
+	reports, err := Run("fig15", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := reports[1]
+	b8 := colIndex(t, scan, "ByteSlice")
+	b16 := colIndex(t, scan, "16-Bit-Slice")
+	for i := range scan.Rows {
+		if k := cell(t, scan, i, 0); k <= 8 {
+			continue
+		}
+		if cell(t, scan, i, b8) > 1.1*cell(t, scan, i, b16) {
+			t.Fatalf("8-bit banks should scan at least as fast: %v", scan.Rows[i])
+		}
+	}
+	lu := reports[0]
+	for i := range lu.Rows {
+		r8, r16 := cell(t, lu, i, colIndex(t, lu, "ByteSlice")), cell(t, lu, i, colIndex(t, lu, "16-Bit-Slice"))
+		if r8 > 2.5*r16+1 {
+			t.Fatalf("8-bit lookup should stay comparable to 16-bit: %v", lu.Rows[i])
+		}
+	}
+}
+
+// TestFig16to18RunAndKeepOrdering smoke-runs the remaining scan sweeps.
+func TestFig16to18RunAndKeepOrdering(t *testing.T) {
+	cfg := Quick()
+	cfg.Widths = []int{12, 24}
+	for _, id := range []string{"fig16", "fig17", "fig18"} {
+		reports, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := reports[0]
+		bs := colIndex(t, r, "ByteSlice")
+		for i := range r.Rows {
+			bsv := cell(t, r, i, bs)
+			for col := 1; col < len(r.Columns); col++ {
+				if cell(t, r, i, col) > 0 && bsv > 1.1*cell(t, r, i, col) {
+					t.Fatalf("%s row %v: ByteSlice not fastest", id, r.Rows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAblationShapes pins the design-choice ablations qualitatively.
+func TestAblationShapes(t *testing.T) {
+	cfg := Quick()
+	// Inverse-movemask expansion must not beat the condense trick.
+	reports, err := Run("ablation-inverse-movemask", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	for i := range r.Rows {
+		if cell(t, r, i, 2) < 0.95*cell(t, r, i, 1) {
+			t.Fatalf("Figure-7 expansion should not win: %v", r.Rows[i])
+		}
+	}
+	// Option 2 lookups must not beat Option 1 (the reason the paper
+	// recommends Option 1).
+	reports, err = Run("ablation-tail", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = reports[0]
+	var o1, o2 float64
+	for i := range r.Rows {
+		o1 += cell(t, r, i, 3)
+		o2 += cell(t, r, i, 4)
+	}
+	if o2 < o1 {
+		t.Fatalf("Option 2 lookups should cost more on aggregate: %.1f vs %.1f", o2, o1)
+	}
+	// τ sweep: τ=4 should be within 10%% of the best measured τ.
+	reports, err = Run("ablation-tau", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = reports[0]
+	best := cell(t, r, 0, 1)
+	var tau4 float64
+	for i := range r.Rows {
+		v := cell(t, r, i, 1)
+		if v < best {
+			best = v
+		}
+		if r.Rows[i][0] == "4" {
+			tau4 = v
+		}
+	}
+	if tau4 > 1.1*best {
+		t.Fatalf("τ=4 should be near-optimal: τ4=%.4f best=%.4f", tau4, best)
+	}
+}
+
+// TestFig19Shape pins the disjunction experiment: column-first remains the
+// best ByteSlice strategy, and a highly selective first predicate (which
+// satisfies almost nothing) leaves more work than one that satisfies almost
+// everything.
+func TestFig19Shape(t *testing.T) {
+	reports, err := Run("fig19", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := reports[0]
+	cf := colIndex(t, cyc, "BS(Column-First)")
+	base := colIndex(t, cyc, "BS(Baseline)")
+	for i := range cyc.Rows {
+		// A disjunction can only skip a segment once every row in it is
+		// already satisfied, which needs first-predicate selectivity near
+		// one (0.5³² ≈ 0 at 50%). Below that, pipelining adds only its
+		// per-segment gate overhead; require clear wins where skipping is
+		// actually possible.
+		tol := 1.15
+		if cell(t, cyc, i, 0) >= 95 {
+			tol = 1.0
+		}
+		if cell(t, cyc, i, cf) > tol*cell(t, cyc, i, base) {
+			t.Fatalf("column-first should not lose to baseline: %v", cyc.Rows[i])
+		}
+	}
+	// At 99.9% first-predicate selectivity nearly every row is already
+	// satisfied, so the second scan is nearly free.
+	if cell(t, cyc, 0, cf) > cell(t, cyc, len(cyc.Rows)-1, cf) {
+		t.Fatalf("high first-predicate selectivity should cheapen the disjunction: %v vs %v",
+			cyc.Rows[0], cyc.Rows[len(cyc.Rows)-1])
+	}
+}
+
+// TestAVX512Projection pins §3.1.1's wide-register prediction: the
+// instruction gap between VBP and ByteSlice widens from S=256 to S=512.
+func TestAVX512Projection(t *testing.T) {
+	reports, err := Run("avx512", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := reports[1]
+	if cell(t, gap, 1, 1) <= cell(t, gap, 0, 1) {
+		t.Fatalf("instruction gap should widen with S: %v vs %v", gap.Rows[0], gap.Rows[1])
+	}
+	// And the absolute per-code cost halves-ish with double-width words.
+	r := reports[0]
+	if cell(t, r, 2, 3) > 0.7*cell(t, r, 0, 3) {
+		t.Fatalf("ByteSlice-512 should need far fewer instructions/code: %v vs %v", r.Rows[0], r.Rows[2])
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo, with comma", Columns: []string{"a", "b"}}
+	r.AddRow("1", `va"l,ue`)
+	got := r.CSV()
+	want := "# X: demo, with comma\na,b\n1,\"va\"\"l,ue\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

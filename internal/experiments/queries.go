@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"byteslice/internal/cache"
+	"byteslice/internal/exec"
+	"byteslice/internal/layouts"
+	"byteslice/internal/perf"
+	"byteslice/internal/realdata"
+	"byteslice/internal/table"
+	"byteslice/internal/tpch"
+)
+
+func init() {
+	register("fig14", fig14)
+	register("fig20", fig20)
+	register("fig21", fig21)
+	register("fig22", fig22)
+}
+
+// strategyFor matches the paper's setup: ByteSlice uses the column-first
+// pipelined evaluation it recommends; the other layouts evaluate complex
+// predicates conventionally.
+func strategyFor(layoutName string) exec.Strategy {
+	if layoutName == "ByteSlice" {
+		return exec.ColumnFirst
+	}
+	return exec.Baseline
+}
+
+// runSuite executes queries on the table under every layout and returns
+// results[layout][query].
+func runSuite(tables map[string]*table.Table, queries []tpch.Query) map[string]map[string]tpch.Result {
+	out := make(map[string]map[string]tpch.Result, len(tables))
+	for name, tb := range tables {
+		out[name] = make(map[string]tpch.Result, len(queries))
+		for _, q := range queries {
+			prof := perf.NewProfile()
+			res, err := tpch.Run(tb, q, strategyFor(name), prof)
+			if err != nil {
+				panic(fmt.Sprintf("%s/%s: %v", name, q.Name, err))
+			}
+			out[name][q.Name] = res
+		}
+	}
+	return out
+}
+
+func buildAll(specs func(name string) *table.Table) map[string]*table.Table {
+	tables := make(map[string]*table.Table, len(layouts.Names))
+	for _, name := range layouts.Names {
+		tables[name] = specs(name)
+	}
+	return tables
+}
+
+// speedupReport renders per-query speedups over the Bit-Packed layout —
+// the presentation of Figures 14, 21 and 22a.
+func speedupReport(id, title string, queries []tpch.Query, results map[string]map[string]tpch.Result) *Report {
+	r := &Report{ID: id, Title: title,
+		Columns: append([]string{"query"}, layouts.Names...)}
+	for _, q := range queries {
+		base := results["BitPacked"][q.Name].TotalCycles()
+		row := []string{q.Name}
+		for _, name := range layouts.Names {
+			c := results[name][q.Name].TotalCycles()
+			if c == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f2(base/c)+"x")
+		}
+		r.AddRow(row...)
+	}
+	return r
+}
+
+// breakdownReport renders the scan/lookup time split per query and layout
+// (cycles per tuple) — the presentation of Figures 20 and 22b.
+func breakdownReport(id, title string, n int, queries []tpch.Query, results map[string]map[string]tpch.Result) *Report {
+	r := &Report{ID: id, Title: title,
+		Columns: []string{"query", "layout", "scan cyc/tuple", "lookup cyc/tuple", "total", "matches"}}
+	for _, q := range queries {
+		for _, name := range layouts.Names {
+			res := results[name][q.Name]
+			r.AddRow(q.Name, name,
+				ff(res.ScanCycles/float64(n)),
+				ff(res.LookupCycles/float64(n)),
+				ff(res.TotalCycles()/float64(n)),
+				fi(uint64(res.Matches)))
+		}
+	}
+	return r
+}
+
+func tpchTables(cfg Config, skew float64) (*tpch.Dataset, map[string]*table.Table, []tpch.Query) {
+	d := tpch.Generate(tpch.Config{Rows: cfg.TPCHRows, Seed: cfg.Seed, Skew: skew})
+	tables := buildAll(func(name string) *table.Table {
+		return d.Build(layouts.Builders[name], cache.NewArena(64))
+	})
+	return d, tables, tpch.Queries(d)
+}
+
+func fig14(cfg Config) []*Report {
+	_, tables, queries := tpchTables(cfg, 0)
+	results := runSuite(tables, queries)
+	return []*Report{speedupReport("Fig14", "TPC-H speed-up over Bit-Packed", queries, results)}
+}
+
+func fig20(cfg Config) []*Report {
+	_, tables, queries := tpchTables(cfg, 0)
+	results := runSuite(tables, queries)
+	return []*Report{breakdownReport("Fig20", "TPC-H execution time breakdown", cfg.TPCHRows, queries, results)}
+}
+
+func fig21(cfg Config) []*Report {
+	var out []*Report
+	for _, z := range []float64{1, 2} {
+		_, tables, queries := tpchTables(cfg, z)
+		results := runSuite(tables, queries)
+		out = append(out, speedupReport("Fig21",
+			fmt.Sprintf("TPC-H speed-up over Bit-Packed, zipf = %.0f", z), queries, results))
+	}
+	return out
+}
+
+func fig22(cfg Config) []*Report {
+	var out []*Report
+	for _, d := range []*realdata.Dataset{realdata.Adult(cfg.Seed), realdata.Baseball(cfg.Seed)} {
+		tables := buildAll(func(name string) *table.Table {
+			return d.Build(layouts.Builders[name], cache.NewArena(64))
+		})
+		results := runSuite(tables, d.Queries)
+		n := len(d.Raw[d.Specs[0].Name])
+		out = append(out,
+			speedupReport("Fig22", d.Name+" speed-up over Bit-Packed", d.Queries, results),
+			breakdownReport("Fig22", d.Name+" execution time breakdown", n, d.Queries, results))
+	}
+	return out
+}

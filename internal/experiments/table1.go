@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/datagen"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/vbp"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+func init() {
+	register("table1", table1)
+	register("table1-empirical", table1Empirical)
+}
+
+// PVBP is Equation 1: the probability that a VBP segment of S codes early
+// stops after the t most significant bits, under uniform random codes and
+// constant.
+func PVBP(t, s int) float64 {
+	return math.Pow(1-math.Pow(0.5, float64(t)), float64(s))
+}
+
+// PBS is Equation 2: the ByteSlice counterpart with S/8 codes per segment.
+func PBS(t, s int) float64 {
+	return math.Pow(1-math.Pow(0.5, float64(t)), float64(s)/8)
+}
+
+// ExpectedBits returns the expected number of bits examined per code before
+// a segment early stops, for a layout whose stopping opportunities come
+// every step bits and a code width of k bits. prob(t) is the cumulative
+// probability the segment has stopped by bit t (Equations 1 and 2 are
+// cumulative: "no code matches the constant in its t most significant
+// bits" is monotone in t), so block i executes with probability
+// 1 − prob(t_{i−1}).
+func ExpectedBits(k, step int, prob func(t int) float64) float64 {
+	expected := 0.0
+	prev := 0.0
+	for t := step; t <= k; t += step {
+		expected += float64(step) * (1 - prev)
+		prev = prob(t)
+	}
+	return expected
+}
+
+// table1 reproduces Table 1 analytically: early-stopping probabilities for
+// VBP (checked every τ=4 bits) and ByteSlice (every 8 bits) at S=256, plus
+// the expected bits scanned per code, and the §3.1.1 S=512 projection.
+func table1(Config) []*Report {
+	r := &Report{
+		ID:      "Table1",
+		Title:   "Early stopping probability under S = 256",
+		Columns: []string{"Bits examined (t)", "P_VBP(t)", "P_BS(t)"},
+	}
+	for t := 4; t <= 32; t += 4 {
+		pv := fmt.Sprintf("%.10f", PVBP(t, 256))
+		pb := "-"
+		if t%8 == 0 {
+			pb = fmt.Sprintf("%.10f", PBS(t, 256))
+		}
+		r.AddRow(fi(uint64(t)), pv, pb)
+	}
+	ev := ExpectedBits(32, 4, func(t int) float64 { return PVBP(t, 256) })
+	eb := ExpectedBits(32, 8, func(t int) float64 { return PBS(t, 256) })
+	r.AddRow("Expected value", f2(ev)+" bits/code", f2(eb)+" bits/code")
+
+	r512 := &Report{
+		ID:      "Table1-S512",
+		Title:   "Expected bits scanned per code with 512-bit registers (§3.1.1)",
+		Columns: []string{"Layout", "S=256", "S=512"},
+	}
+	r512.AddRow("VBP",
+		f2(ExpectedBits(32, 4, func(t int) float64 { return PVBP(t, 256) })),
+		f2(ExpectedBits(32, 4, func(t int) float64 { return PVBP(t, 512) })))
+	r512.AddRow("ByteSlice",
+		f2(ExpectedBits(32, 8, func(t int) float64 { return PBS(t, 256) })),
+		f2(ExpectedBits(32, 8, func(t int) float64 { return PBS(t, 512) })))
+	return []*Report{r, r512}
+}
+
+// table1Empirical validates the Table 1 model against the implemented
+// scans: it instruments real VBP and ByteSlice scans over uniform data and
+// reports the measured average bits examined per code.
+func table1Empirical(cfg Config) []*Report {
+	rng := datagen.NewRand(cfg.Seed)
+	n := cfg.N
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	k := 32
+	codes := datagen.Uniform(rng, n, k)
+	c := uint32(rng.Uint64N(1 << 32))
+	p := layout.Predicate{Op: layout.Eq, C1: c}
+	out := bitvec.New(n)
+
+	r := &Report{
+		ID:      "Table1-empirical",
+		Title:   "Measured bits examined per code (k=32, uniform, v = c)",
+		Columns: []string{"Layout", "Analytic", "Measured"},
+		Notes: []string{
+			"measured from load instruction counts of the instrumented scans",
+		},
+	}
+
+	// ByteSlice: loads per segment = bytes examined; 32 codes per segment.
+	{
+		b := core.New(codes, k, nil)
+		prof := perf.NewProfileNoCache()
+		e := simd.New(prof)
+		before := prof.C.SIMD
+		b.Scan(e, p, out)
+		// Eq path: the first iteration (no early-stop test) costs 3 SIMD,
+		// every further one 4 (vptest + load + cmpeq + and), the stopping
+		// vptest costs 1, and the segment's movemask 1 — so with E
+		// executed iterations, SIMD/segment = 4E + 1; prepare adds 4
+		// broadcasts.
+		segs := float64(b.Segments())
+		perSeg := (float64(prof.C.SIMD-before) - 4) / segs
+		iters := (perSeg - 1) / 4
+		measured := iters * 8
+		analytic := ExpectedBits(32, 8, func(t int) float64 { return PBS(t, 256) })
+		r.AddRow("ByteSlice", f2(analytic), f2(measured))
+	}
+	// VBP: each executed iteration examines one bit and issues 2 loads
+	// (data + constant), xor+andnot = 2 ops, plus τ-checks.
+	{
+		v := vbp.New(codes, k, nil)
+		prof := perf.NewProfileNoCache()
+		e := simd.New(prof)
+		v.Scan(e, p, out)
+		segs := float64(v.Segments())
+		// Per iteration: 2 loads + 2 logic = 4 SIMD; per τ-check 1 vptest.
+		// Solve approximately ignoring the vptest (≤ 1/4 per iteration).
+		iters := float64(prof.C.SIMD) / (4.25 * segs)
+		analytic := ExpectedBits(32, 4, func(t int) float64 { return PVBP(t, 256) })
+		r.AddRow("VBP", f2(analytic), f2(iters))
+	}
+	return []*Report{r}
+}

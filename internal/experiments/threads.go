@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"sync"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/datagen"
+	"byteslice/internal/layout"
+	"byteslice/internal/layouts"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+func init() {
+	register("fig13", fig13)
+}
+
+// fig13 reproduces the multi-threading experiment: scan throughput in
+// codes per cycle as worker threads are added on the paper's quad-core
+// (plus SMT) machine.
+//
+// The scans genuinely run on parallel goroutines, one engine and profile
+// per worker (data is partitioned into chunks, as the paper describes).
+// Two aspects of the hardware must be modelled on top of the per-worker
+// profiles:
+//
+//   - compute scaling: a four-core machine runs up to four workers at full
+//     speed; the 5th-8th (SMT) workers share pipelines and contribute a
+//     fraction of a core each;
+//   - the shared memory-bandwidth ceiling: throughput cannot exceed
+//     bandwidth divided by the bytes each layout actually moves per code —
+//     this is where early stopping pays off (BS and VBP touch fewer bytes,
+//     so they saturate at a higher code rate).
+func fig13(cfg Config) []*Report {
+	r := &Report{ID: "Fig13", Title: "Multi-threaded scan throughput (codes/cycle, avg over widths)",
+		Columns: append([]string{"threads"}, layouts.Names...),
+		Notes: []string{
+			"workers are real goroutines; core counts and the DRAM bandwidth ceiling are modelled (see DESIGN.md)",
+		}}
+	model := perf.DefaultModel()
+	// SMT effectiveness: threads beyond the four physical cores add ~25%
+	// of a core each.
+	effCores := func(threads int) float64 {
+		if threads <= 4 {
+			return float64(threads)
+		}
+		return 4 + 0.25*float64(threads-4)
+	}
+
+	widths := cfg.Widths
+	for _, threads := range []int{1, 2, 3, 4, 8} {
+		row := []string{fi(uint64(threads))}
+		for _, name := range layouts.Names {
+			var sumThroughput float64
+			for _, k := range widths {
+				rng := datagen.NewRand(cfg.Seed + uint64(k))
+				codes := datagen.Uniform(rng, cfg.N, k)
+				c := datagen.SelectivityConstant(codes, 0.10)
+				p := layout.Predicate{Op: layout.Lt, C1: c}
+
+				// Partition into per-worker chunks, each its own column
+				// (the paper partitions the data across threads).
+				chunk := (cfg.N + threads - 1) / threads
+				profiles := make([]*perf.Profile, threads)
+				var wg sync.WaitGroup
+				for w := 0; w < threads; w++ {
+					lo := w * chunk
+					hi := min(lo+chunk, cfg.N)
+					if lo >= hi {
+						continue
+					}
+					prof := perf.NewProfile()
+					profiles[w] = prof
+					part := codes[lo:hi]
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						l := layouts.Builders[name](part, k, cache.NewArena(64))
+						e := simd.New(prof)
+						out := bitvec.New(len(part))
+						// Single cold-cache scan: the paper's table is far
+						// larger than L3, so steady state is streaming.
+						l.Scan(e, p, out)
+					}()
+				}
+				wg.Wait()
+
+				// The slowest worker determines wall-clock compute cycles;
+				// SMT sharing stretches them when threads > cores. DRAM
+				// traffic is what the simulated hierarchy actually fetched
+				// (demand + prefetch lines).
+				var maxCycles, totalBytes float64
+				for _, prof := range profiles {
+					if prof == nil {
+						continue
+					}
+					if c := prof.Cycles(); c > maxCycles {
+						maxCycles = c
+					}
+					totalBytes += 64 * float64(prof.Cache.Stats().MemFetches)
+				}
+				computeCycles := maxCycles * float64(threads) / effCores(threads)
+				bandwidthCycles := totalBytes / model.BandwidthBytesPerCycle
+				wall := computeCycles
+				if bandwidthCycles > wall {
+					wall = bandwidthCycles
+				}
+				sumThroughput += float64(cfg.N) / wall
+			}
+			row = append(row, f2(sumThroughput/float64(len(widths))))
+		}
+		r.AddRow(row...)
+	}
+	return []*Report{r}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+// Package bp implements the Bit-Packed storage layout of Willhalm et al.
+// (SIMD-scan, VLDB 2009 / ADMS 2013), as described in §2.1 of the
+// ByteSlice paper: codes are packed tightly in memory, ignoring byte
+// boundaries, minimising bandwidth at the cost of an unpack step
+// (shuffle, shift, mask) before every SIMD comparison.
+package bp
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+	"byteslice/internal/simd"
+)
+
+const (
+	loopOverhead = 3
+	// wideWidth is the first code width that no longer fits the 8-way
+	// 32-bit-bank unpack: a code may then span five bytes, so the scan
+	// falls back to 4-way 64-bit banks (§2.1, footnote 1).
+	wideWidth = 26
+)
+
+// BP is a column of n k-bit codes in Bit-Packed format.
+type BP struct {
+	k    int
+	n    int
+	data []byte // bit i·k..(i+1)·k of the stream is code i, LSB-first
+	addr uint64
+}
+
+var _ layout.Layout = (*BP)(nil)
+
+// New builds a Bit-Packed column from codes of width k.
+func New(codes []uint32, k int, arena *cache.Arena) *BP {
+	layout.CheckArgs(codes, k)
+	b := &BP{k: k, n: len(codes)}
+	// 40 guard bytes let scans and lookups load full windows at the tail.
+	b.data = make([]byte, (len(codes)*k+7)/8+40)
+	if arena != nil {
+		b.addr = arena.Alloc(uint64(len(b.data)))
+	}
+	for i, c := range codes {
+		bit := i * k
+		for p := 0; p < k; p++ {
+			if c>>uint(p)&1 == 1 {
+				b.data[(bit+p)>>3] |= 1 << (uint(bit+p) & 7)
+			}
+		}
+	}
+	return b
+}
+
+// NewBuilder adapts New to the layout.Builder signature.
+func NewBuilder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+	return New(codes, k, arena)
+}
+
+// Name implements layout.Layout.
+func (b *BP) Name() string { return "BitPacked" }
+
+// Width implements layout.Layout.
+func (b *BP) Width() int { return b.k }
+
+// Len implements layout.Layout.
+func (b *BP) Len() int { return b.n }
+
+// SizeBytes implements layout.Layout.
+func (b *BP) SizeBytes() uint64 { return uint64(len(b.data)) }
+
+// Scan implements layout.Layout: unpack-align-compare, 8 codes per
+// iteration in 32-bit banks for k < 26, otherwise 4 codes per iteration
+// in 64-bit banks.
+func (b *BP) Scan(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	layout.CheckPredicate(p, b.k)
+	out.Reset()
+	if b.k < wideWidth {
+		b.scan32(e, p, out)
+	} else {
+		b.scan64(e, p, out)
+	}
+}
+
+// scan32 is the 8-way path. The shuffle index, per-bank shift counts and
+// mask depend only on the bit phase of the group's first code, which
+// cycles through at most 8 values, so all unpack constants are prepared
+// once before the loop (as a real implementation would).
+func (b *BP) scan32(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	type phaseConsts struct {
+		idx, shift simd.Vec
+	}
+	phases := make([]phaseConsts, 8)
+	for ph := 0; ph < 8; ph++ {
+		var pc phaseConsts
+		for j := 0; j < 8; j++ {
+			startBit := ph + j*b.k
+			sb := startBit >> 3
+			for by := 0; by < 4; by++ {
+				pc.idx = pc.idx.SetByte(4*j+by, byte(sb+by))
+			}
+			pc.shift = pc.shift.SetU32(j, uint32(startBit&7))
+		}
+		phases[ph] = pc
+	}
+	mask := e.Broadcast32(uint32(1)<<uint(b.k) - 1)
+	wc1 := e.Broadcast32(p.C1)
+	var wc2 simd.Vec
+	if p.Op == layout.Between {
+		wc2 = e.Broadcast32(p.C2)
+	}
+
+	var acc uint32
+	groups := (b.n + 7) / 8
+	for g := 0; g < groups; g++ {
+		e.Scalar(loopOverhead)
+		bit := g * 8 * b.k
+		byteOff := bit >> 3
+		pc := phases[bit&7]
+		w := e.Load(b.data[byteOff:], b.addr+uint64(byteOff))
+		// Unpack: (1) shuffle bytes to banks (2) shift to bank boundary
+		// (3) mask leading bits of the next code (Figure 3a).
+		w = e.Shuffle(w, pc.idx)
+		w = e.ShrV32(w, pc.shift)
+		w = e.And(w, mask)
+		r := b.compare32(e, p, w, wc1, wc2)
+		acc |= uint32(r) << uint((g&3)*8)
+		e.Scalar(2) // shift + merge of the 8 result bits
+		if g&3 == 3 {
+			out.Append32(acc)
+			e.Scalar(1)
+			acc = 0
+		}
+	}
+	if groups&3 != 0 {
+		out.Append32(acc)
+		e.Scalar(1)
+	}
+}
+
+func (b *BP) compare32(e *simd.Engine, p layout.Predicate, w, wc1, wc2 simd.Vec) uint8 {
+	switch p.Op {
+	case layout.Lt:
+		return e.Movemask32(e.CmpLtU32(w, wc1))
+	case layout.Le:
+		return e.Movemask32(e.Or(e.CmpLtU32(w, wc1), e.CmpEq32(w, wc1)))
+	case layout.Gt:
+		return e.Movemask32(e.CmpGtU32(w, wc1))
+	case layout.Ge:
+		return e.Movemask32(e.Or(e.CmpGtU32(w, wc1), e.CmpEq32(w, wc1)))
+	case layout.Eq:
+		return e.Movemask32(e.CmpEq32(w, wc1))
+	case layout.Ne:
+		e.Scalar(1) // complement of the mask
+		return ^e.Movemask32(e.CmpEq32(w, wc1))
+	case layout.Between:
+		ge := e.Or(e.CmpGtU32(w, wc1), e.CmpEq32(w, wc1))
+		le := e.Or(e.CmpLtU32(w, wc2), e.CmpEq32(w, wc2))
+		return e.Movemask32(e.And(ge, le))
+	}
+	panic("bp: unknown operator")
+}
+
+// scan64 is the 4-way path for 26 ≤ k ≤ 32.
+func (b *BP) scan64(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	type phaseConsts struct {
+		idx, shift simd.Vec
+	}
+	phases := make([]phaseConsts, 8)
+	for ph := 0; ph < 8; ph++ {
+		var pc phaseConsts
+		for j := 0; j < 4; j++ {
+			startBit := ph + j*b.k
+			sb := startBit >> 3
+			for by := 0; by < 8; by++ {
+				pc.idx = pc.idx.SetByte(8*j+by, byte(sb+by))
+			}
+			pc.shift = pc.shift.SetU64(j, uint64(startBit&7))
+		}
+		phases[ph] = pc
+	}
+	mask := e.Broadcast64(uint64(1)<<uint(b.k) - 1)
+	wc1 := e.Broadcast64(uint64(p.C1))
+	var wc2 simd.Vec
+	if p.Op == layout.Between {
+		wc2 = e.Broadcast64(uint64(p.C2))
+	}
+
+	var acc uint32
+	groups := (b.n + 3) / 4
+	for g := 0; g < groups; g++ {
+		e.Scalar(loopOverhead)
+		bit := g * 4 * b.k
+		byteOff := bit >> 3
+		pc := phases[bit&7]
+		w := e.Load(b.data[byteOff:], b.addr+uint64(byteOff))
+		w = e.Shuffle(w, pc.idx)
+		w = e.ShrV64(w, pc.shift)
+		w = e.And(w, mask)
+		r := b.compare64(e, p, w, wc1, wc2)
+		acc |= uint32(r) << uint((g&7)*4)
+		e.Scalar(2)
+		if g&7 == 7 {
+			out.Append32(acc)
+			e.Scalar(1)
+			acc = 0
+		}
+	}
+	if groups&7 != 0 {
+		out.Append32(acc)
+		e.Scalar(1)
+	}
+}
+
+func (b *BP) compare64(e *simd.Engine, p layout.Predicate, w, wc1, wc2 simd.Vec) uint8 {
+	switch p.Op {
+	case layout.Lt:
+		return e.Movemask64(e.CmpLtU64(w, wc1))
+	case layout.Le:
+		return e.Movemask64(e.Or(e.CmpLtU64(w, wc1), e.CmpEq64(w, wc1)))
+	case layout.Gt:
+		return e.Movemask64(e.CmpGtU64(w, wc1))
+	case layout.Ge:
+		return e.Movemask64(e.Or(e.CmpGtU64(w, wc1), e.CmpEq64(w, wc1)))
+	case layout.Eq:
+		return e.Movemask64(e.CmpEq64(w, wc1))
+	case layout.Ne:
+		e.Scalar(1)
+		return ^e.Movemask64(e.CmpEq64(w, wc1)) & 0xF
+	case layout.Between:
+		ge := e.Or(e.CmpGtU64(w, wc1), e.CmpEq64(w, wc1))
+		le := e.Or(e.CmpLtU64(w, wc2), e.CmpEq64(w, wc2))
+		return e.Movemask64(e.And(ge, le))
+	}
+	panic("bp: unknown operator")
+}
+
+// Lookup implements layout.Layout (§2.1): compute the starting byte and
+// bit offset, fetch the spanning bytes, stitch with shift/OR and mask.
+func (b *BP) Lookup(e *simd.Engine, i int) uint32 {
+	bit := i * b.k
+	byteOff := bit >> 3
+	span := uint64((b.k + int(bit&7) + 7) / 8)
+	e.Scalar(2) // byte/offset computation (multiply, shift)
+	e.ScalarLoad(b.addr+uint64(byteOff), span)
+	e.Scalar(3) // stitch: shift, mask, and the cross-byte merge
+	var v uint64
+	for by := 0; by < int(span); by++ {
+		v |= uint64(b.data[byteOff+by]) << uint(8*by)
+	}
+	return uint32(v >> uint(bit&7) & (1<<uint(b.k) - 1))
+}

@@ -1,0 +1,10 @@
+package bp_test
+
+import (
+	"testing"
+
+	"byteslice/internal/layout/bp"
+	"byteslice/internal/layout/layouttest"
+)
+
+func TestConformance(t *testing.T) { layouttest.Run(t, bp.NewBuilder) }

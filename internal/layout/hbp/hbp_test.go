@@ -1,0 +1,10 @@
+package hbp_test
+
+import (
+	"testing"
+
+	"byteslice/internal/layout/hbp"
+	"byteslice/internal/layout/layouttest"
+)
+
+func TestConformance(t *testing.T) { layouttest.Run(t, hbp.NewBuilder) }

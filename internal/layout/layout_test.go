@@ -1,0 +1,96 @@
+package layout_test
+
+import (
+	"strings"
+	"testing"
+
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+)
+
+// TestReferenceConformance runs the scalar oracle itself through the
+// conformance battery: the oracle must satisfy the Layout contract it
+// defines for everyone else.
+func TestReferenceConformance(t *testing.T) {
+	layouttest.Run(t, func(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+		return layout.NewReference(codes, k, arena)
+	})
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[layout.Op]string{
+		layout.Lt: "<", layout.Le: "<=", layout.Gt: ">", layout.Ge: ">=",
+		layout.Eq: "=", layout.Ne: "<>", layout.Between: "BETWEEN",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("Op %d String = %q", int(op), op.String())
+		}
+	}
+	if !strings.Contains(layout.Op(99).String(), "99") {
+		t.Fatal("unknown op should render its number")
+	}
+	if len(layout.Ops) != 7 {
+		t.Fatalf("Ops has %d entries", len(layout.Ops))
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := layout.Predicate{Op: layout.Lt, C1: 42}
+	if p.String() != "v < 42" {
+		t.Fatalf("String = %q", p.String())
+	}
+	b := layout.Predicate{Op: layout.Between, C1: 1, C2: 9}
+	if b.String() != "v BETWEEN 1 AND 9" {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestPredicateEvalDefinition(t *testing.T) {
+	cases := []struct {
+		p    layout.Predicate
+		v    uint32
+		want bool
+	}{
+		{layout.Predicate{Op: layout.Lt, C1: 5}, 4, true},
+		{layout.Predicate{Op: layout.Lt, C1: 5}, 5, false},
+		{layout.Predicate{Op: layout.Le, C1: 5}, 5, true},
+		{layout.Predicate{Op: layout.Gt, C1: 5}, 5, false},
+		{layout.Predicate{Op: layout.Gt, C1: 5}, 6, true},
+		{layout.Predicate{Op: layout.Ge, C1: 5}, 5, true},
+		{layout.Predicate{Op: layout.Eq, C1: 5}, 5, true},
+		{layout.Predicate{Op: layout.Ne, C1: 5}, 5, false},
+		{layout.Predicate{Op: layout.Between, C1: 2, C2: 4}, 2, true},
+		{layout.Predicate{Op: layout.Between, C1: 2, C2: 4}, 4, true},
+		{layout.Predicate{Op: layout.Between, C1: 2, C2: 4}, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.v); got != c.want {
+			t.Fatalf("%v on %d = %v", c.p, c.v, got)
+		}
+	}
+}
+
+func TestCheckArgsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { layout.CheckArgs(nil, 0) },
+		func() { layout.CheckArgs(nil, 33) },
+		func() { layout.CheckArgs([]uint32{8}, 3) },
+		func() { layout.CheckPredicate(layout.Predicate{Op: layout.Lt, C1: 16}, 4) },
+		func() { layout.CheckPredicate(layout.Predicate{Op: layout.Between, C1: 0, C2: 99}, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	// In-domain predicates must not panic, including full 32-bit.
+	layout.CheckArgs([]uint32{^uint32(0)}, 32)
+	layout.CheckPredicate(layout.Predicate{Op: layout.Eq, C1: ^uint32(0)}, 32)
+	layout.CheckPredicate(layout.Predicate{Op: layout.Between, C1: 0, C2: 15}, 4)
+}

@@ -1,0 +1,218 @@
+package vbp
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// Segment512 is the number of codes per segment of the AVX-512 VBP
+// variant (S = 512).
+const Segment512 = simd.Width512
+
+const wordBytes512 = simd.Bytes512
+
+// VBP512 is Vertical Bit-Parallel on 512-bit registers — the §3.1.1
+// projection: with S = 512, a segment early-stops only when all 512 codes
+// have settled, so Equation 1 worsens (expected 11.96 bits/code at k = 32
+// versus 10.79 at S = 256) while ByteSlice degrades much less.
+type VBP512 struct {
+	k         int
+	n         int
+	data      []byte
+	addr      uint64
+	constAddr uint64
+	earlyStop bool
+	tau       int
+}
+
+var _ layout.Layout = (*VBP512)(nil)
+
+// New512 builds the wide-register VBP column.
+func New512(codes []uint32, k int, arena *cache.Arena) *VBP512 {
+	layout.CheckArgs(codes, k)
+	n := len(codes)
+	segs := (n + Segment512 - 1) / Segment512
+	if segs == 0 {
+		segs = 1
+	}
+	v := &VBP512{
+		k:         k,
+		n:         n,
+		data:      make([]byte, segs*k*wordBytes512),
+		earlyStop: true,
+		tau:       DefaultTau,
+	}
+	if arena != nil {
+		v.addr = arena.Alloc(uint64(len(v.data)))
+		v.constAddr = arena.Alloc(uint64(2 * k * wordBytes512))
+	}
+	for idx, c := range codes {
+		seg, j := idx/Segment512, idx%Segment512
+		for i := 0; i < k; i++ {
+			if c>>(uint(k-1-i))&1 == 1 {
+				off := (seg*k+i)*wordBytes512 + j>>3
+				v.data[off] |= 1 << (uint(j) & 7)
+			}
+		}
+	}
+	return v
+}
+
+// New512Builder adapts New512 to the layout.Builder signature.
+func New512Builder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+	return New512(codes, k, arena)
+}
+
+// Name implements layout.Layout.
+func (v *VBP512) Name() string { return "VBP-512" }
+
+// Width implements layout.Layout.
+func (v *VBP512) Width() int { return v.k }
+
+// Len implements layout.Layout.
+func (v *VBP512) Len() int { return v.n }
+
+// SizeBytes implements layout.Layout.
+func (v *VBP512) SizeBytes() uint64 { return uint64(len(v.data)) }
+
+// SetEarlyStop toggles early stopping.
+func (v *VBP512) SetEarlyStop(on bool) { v.earlyStop = on }
+
+// Segments returns the number of 512-code segments.
+func (v *VBP512) Segments() int { return len(v.data) / (v.k * wordBytes512) }
+
+func (v *VBP512) constWords(c uint32) []simd.Vec512 {
+	ws := make([]simd.Vec512, v.k)
+	for i := 0; i < v.k; i++ {
+		if c>>(uint(v.k-1-i))&1 == 1 {
+			ws[i] = simd.Ones512()
+		}
+	}
+	return ws
+}
+
+func (v *VBP512) loadWord(e *simd.Engine, seg, i int) simd.Vec512 {
+	off := (seg*v.k + i) * wordBytes512
+	return e.Load512(v.data[off:], v.addr+uint64(off))
+}
+
+func (v *VBP512) loadConst(e *simd.Engine, ws []simd.Vec512, i, sel int, buf []byte) simd.Vec512 {
+	addr := v.constAddr + uint64((sel*v.k+i)*wordBytes512)
+	e.Load512(buf, addr)
+	e.Scalar(1)
+	return ws[i]
+}
+
+// Scan implements layout.Layout with the BitWeaving/V logic on 512-bit
+// words; structure and cost accounting mirror the 256-bit implementation.
+func (v *VBP512) Scan(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	layout.CheckPredicate(p, v.k)
+	out.Reset()
+	c1 := v.constWords(p.C1)
+	var c2 []simd.Vec512
+	if p.Op == layout.Between {
+		c2 = v.constWords(p.C2)
+	}
+	esSites := make([]int, v.k/v.tau+1)
+	for i := range esSites {
+		esSites[i] = e.P.Pred.Site()
+	}
+	var constBuf [wordBytes512]byte
+
+	checkStop := func(i int, meq simd.Vec512) bool {
+		if !v.earlyStop || i == 0 || i%v.tau != 0 {
+			return false
+		}
+		return e.P.Branch(esSites[i/v.tau], e.TestZero512(meq))
+	}
+
+	for seg := 0; seg < v.Segments(); seg++ {
+		e.Scalar(segmentOverhead)
+		var res simd.Vec512
+		switch p.Op {
+		case layout.Eq, layout.Ne:
+			meq := simd.Ones512()
+			for i := 0; i < v.k; i++ {
+				if checkStop(i, meq) {
+					break
+				}
+				e.Scalar(loopOverhead + iterBookkeeping)
+				w := v.loadWord(e, seg, i)
+				c := v.loadConst(e, c1, i, 0, constBuf[:])
+				meq = e.AndNot512(e.Xor512(w, c), meq)
+			}
+			res = meq
+			if p.Op == layout.Ne {
+				res = e.Not512(meq)
+			}
+		case layout.Lt, layout.Le, layout.Gt, layout.Ge:
+			meq := simd.Ones512()
+			mcmp := simd.Zero512()
+			lt := p.Op == layout.Lt || p.Op == layout.Le
+			for i := 0; i < v.k; i++ {
+				if checkStop(i, meq) {
+					break
+				}
+				e.Scalar(loopOverhead + iterBookkeeping)
+				w := v.loadWord(e, seg, i)
+				c := v.loadConst(e, c1, i, 0, constBuf[:])
+				var m simd.Vec512
+				if lt {
+					m = e.AndNot512(w, c)
+				} else {
+					m = e.AndNot512(c, w)
+				}
+				mcmp = e.Or512(mcmp, e.And512(meq, m))
+				meq = e.AndNot512(e.Xor512(w, c), meq)
+			}
+			res = mcmp
+			if p.Op == layout.Le || p.Op == layout.Ge {
+				res = e.Or512(mcmp, meq)
+			}
+		case layout.Between:
+			meq1, meq2 := simd.Ones512(), simd.Ones512()
+			mgt1, mlt2 := simd.Zero512(), simd.Zero512()
+			for i := 0; i < v.k; i++ {
+				if v.earlyStop && i > 0 && i%v.tau == 0 &&
+					e.P.Branch(esSites[i/v.tau], e.TestZero512(e.Or512(meq1, meq2))) {
+					break
+				}
+				e.Scalar(loopOverhead + 2*iterBookkeeping)
+				w := v.loadWord(e, seg, i)
+				ca := v.loadConst(e, c1, i, 0, constBuf[:])
+				cb := v.loadConst(e, c2, i, 1, constBuf[:])
+				mgt1 = e.Or512(mgt1, e.And512(meq1, e.AndNot512(ca, w)))
+				meq1 = e.AndNot512(e.Xor512(w, ca), meq1)
+				mlt2 = e.Or512(mlt2, e.And512(meq2, e.AndNot512(w, cb)))
+				meq2 = e.AndNot512(e.Xor512(w, cb), meq2)
+			}
+			res = e.And512(e.Or512(mgt1, meq1), e.Or512(mlt2, meq2))
+		}
+		for lane := 0; lane < 8; lane++ {
+			out.Append64(res[lane], 64)
+		}
+		e.Scalar(8)
+	}
+}
+
+// Lookup implements layout.Layout: k bit-gathers across k wide words.
+func (v *VBP512) Lookup(e *simd.Engine, i int) uint32 {
+	seg, j := i/Segment512, i%Segment512
+	spans := make([]perf.Span, v.k)
+	for w := 0; w < v.k; w++ {
+		off := (seg*v.k+w)*wordBytes512 + j>>3&^7
+		spans[w] = perf.Span{Addr: v.addr + uint64(off), Size: 8}
+	}
+	e.ScalarLoadGroupWindowed(spans, lookupWindow)
+	var code uint32
+	for w := 0; w < v.k; w++ {
+		off := (seg*v.k+w)*wordBytes512 + j>>3
+		e.Scalar(3)
+		b := v.data[off] >> (uint(j) & 7) & 1
+		code |= uint32(b) << uint(v.k-1-w)
+	}
+	return code
+}

@@ -1,0 +1,12 @@
+package vbp_test
+
+import (
+	"testing"
+
+	"byteslice/internal/layout/layouttest"
+	"byteslice/internal/layout/vbp"
+)
+
+func TestConformance(t *testing.T) { layouttest.Run(t, vbp.NewBuilder) }
+
+func TestConformance512(t *testing.T) { layouttest.Run(t, vbp.New512Builder) }

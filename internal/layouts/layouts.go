@@ -1,0 +1,22 @@
+// Package layouts is the registry of the four storage layouts the paper
+// compares, in the order its figures present them.
+package layouts
+
+import (
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/bp"
+	"byteslice/internal/layout/hbp"
+	"byteslice/internal/layout/vbp"
+)
+
+// Names lists the layouts in the paper's presentation order.
+var Names = []string{"BitPacked", "HBP", "VBP", "ByteSlice"}
+
+// Builders maps layout names to their constructors.
+var Builders = map[string]layout.Builder{
+	"BitPacked": bp.NewBuilder,
+	"HBP":       hbp.NewBuilder,
+	"VBP":       vbp.NewBuilder,
+	"ByteSlice": core.NewBuilder,
+}

@@ -1,0 +1,531 @@
+package simd
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"byteslice/internal/perf"
+)
+
+func testEngine() *Engine { return New(perf.NewProfileNoCache()) }
+
+func randVec(r *rand.Rand) Vec {
+	return Vec{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+}
+
+func TestByteAccessors(t *testing.T) {
+	var v Vec
+	for i := 0; i < Bytes; i++ {
+		v = v.SetByte(i, byte(i*7+1))
+	}
+	for i := 0; i < Bytes; i++ {
+		if got := v.Byte(i); got != byte(i*7+1) {
+			t.Fatalf("Byte(%d) = %d", i, got)
+		}
+	}
+	b := v.AppendBytes(nil)
+	if len(b) != Bytes {
+		t.Fatalf("AppendBytes length %d", len(b))
+	}
+	if FromBytes(b) != v {
+		t.Fatal("FromBytes(AppendBytes(v)) != v")
+	}
+}
+
+func TestBankAccessors(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1)) //nolint:gosec
+	for trial := 0; trial < 100; trial++ {
+		v := randVec(r)
+		for i := 0; i < 16; i++ {
+			want := uint16(v[i>>2] >> ((i & 3) * 16))
+			if got := v.U16(i); got != want {
+				t.Fatalf("U16(%d) = %#x, want %#x", i, got, want)
+			}
+			x := uint16(r.Uint64())
+			if got := v.SetU16(i, x).U16(i); got != x {
+				t.Fatalf("SetU16 round trip failed at %d", i)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			x := uint32(r.Uint64())
+			if got := v.SetU32(i, x).U32(i); got != x {
+				t.Fatalf("SetU32 round trip failed at %d", i)
+			}
+		}
+		for i := 0; i < 256; i++ {
+			if got := v.SetBit(i, 1).Bit(i); got != 1 {
+				t.Fatalf("SetBit(1) round trip failed at %d", i)
+			}
+			if got := v.SetBit(i, 0).Bit(i); got != 0 {
+				t.Fatalf("SetBit(0) round trip failed at %d", i)
+			}
+		}
+	}
+}
+
+// TestCmp8AgainstScalar exhaustively checks the SWAR byte comparisons
+// against scalar semantics for all byte pairs in one lane, then randomly
+// across full registers.
+func TestCmp8AgainstScalar(t *testing.T) {
+	e := testEngine()
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			va, vb := e.Broadcast8(byte(a)), e.Broadcast8(byte(b))
+			eq := e.CmpEq8(va, vb).Byte(17)
+			lt := e.CmpLtU8(va, vb).Byte(3)
+			gt := e.CmpGtU8(va, vb).Byte(30)
+			if (eq == 0xFF) != (a == b) || (eq != 0xFF && eq != 0) {
+				t.Fatalf("CmpEq8(%d,%d) = %#x", a, b, eq)
+			}
+			if (lt == 0xFF) != (a < b) || (lt != 0xFF && lt != 0) {
+				t.Fatalf("CmpLtU8(%d,%d) = %#x", a, b, lt)
+			}
+			if (gt == 0xFF) != (a > b) || (gt != 0xFF && gt != 0) {
+				t.Fatalf("CmpGtU8(%d,%d) = %#x", a, b, gt)
+			}
+		}
+	}
+	r := rand.New(rand.NewPCG(2, 2)) //nolint:gosec
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randVec(r), randVec(r)
+		eq, lt, gt := e.CmpEq8(a, b), e.CmpLtU8(a, b), e.CmpGtU8(a, b)
+		for i := 0; i < Bytes; i++ {
+			x, y := a.Byte(i), b.Byte(i)
+			check8(t, "eq", i, x, y, eq.Byte(i), x == y)
+			check8(t, "lt", i, x, y, lt.Byte(i), x < y)
+			check8(t, "gt", i, x, y, gt.Byte(i), x > y)
+		}
+	}
+}
+
+func check8(t *testing.T, op string, i int, x, y byte, got byte, want bool) {
+	t.Helper()
+	w := byte(0)
+	if want {
+		w = 0xFF
+	}
+	if got != w {
+		t.Fatalf("%s byte %d (%d vs %d): got %#x want %#x", op, i, x, y, got, w)
+	}
+}
+
+func TestCmp16AgainstScalar(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(3, 3)) //nolint:gosec
+	// Directed boundary pairs plus random sweep.
+	pairs := [][2]uint16{{0, 0}, {0, 1}, {1, 0}, {0x7FFF, 0x8000}, {0x8000, 0x7FFF},
+		{0xFFFF, 0xFFFF}, {0xFFFF, 0}, {0x00FF, 0x0100}, {0x8080, 0x8080}}
+	for _, p := range pairs {
+		a, b := e.Broadcast16(p[0]), e.Broadcast16(p[1])
+		if got := e.CmpLtU16(a, b).U16(5) == 0xFFFF; got != (p[0] < p[1]) {
+			t.Fatalf("CmpLtU16(%#x,%#x) = %v", p[0], p[1], got)
+		}
+		if got := e.CmpEq16(a, b).U16(9) == 0xFFFF; got != (p[0] == p[1]) {
+			t.Fatalf("CmpEq16(%#x,%#x) = %v", p[0], p[1], got)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randVec(r), randVec(r)
+		eq, lt, gt := e.CmpEq16(a, b), e.CmpLtU16(a, b), e.CmpGtU16(a, b)
+		for i := 0; i < 16; i++ {
+			x, y := a.U16(i), b.U16(i)
+			if (eq.U16(i) == 0xFFFF) != (x == y) || (lt.U16(i) == 0xFFFF) != (x < y) || (gt.U16(i) == 0xFFFF) != (x > y) {
+				t.Fatalf("16-bit compare mismatch at bank %d: %#x vs %#x (eq=%#x lt=%#x gt=%#x)",
+					i, x, y, eq.U16(i), lt.U16(i), gt.U16(i))
+			}
+			for _, m := range []uint16{eq.U16(i), lt.U16(i), gt.U16(i)} {
+				if m != 0 && m != 0xFFFF {
+					t.Fatalf("non-saturated 16-bit mask %#x", m)
+				}
+			}
+		}
+	}
+}
+
+func TestCmpWideAgainstScalar(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(4, 4)) //nolint:gosec
+	for trial := 0; trial < 1000; trial++ {
+		a, b := randVec(r), randVec(r)
+		eq32, lt32, gt32 := e.CmpEq32(a, b), e.CmpLtU32(a, b), e.CmpGtU32(a, b)
+		for i := 0; i < 8; i++ {
+			x, y := a.U32(i), b.U32(i)
+			if (eq32.U32(i) == ^uint32(0)) != (x == y) ||
+				(lt32.U32(i) == ^uint32(0)) != (x < y) ||
+				(gt32.U32(i) == ^uint32(0)) != (x > y) {
+				t.Fatalf("32-bit compare mismatch bank %d", i)
+			}
+		}
+		eq64, lt64, gt64 := e.CmpEq64(a, b), e.CmpLtU64(a, b), e.CmpGtU64(a, b)
+		for i := 0; i < 4; i++ {
+			x, y := a.U64(i), b.U64(i)
+			if (eq64.U64(i) == ^uint64(0)) != (x == y) ||
+				(lt64.U64(i) == ^uint64(0)) != (x < y) ||
+				(gt64.U64(i) == ^uint64(0)) != (x > y) {
+				t.Fatalf("64-bit compare mismatch bank %d", i)
+			}
+		}
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	e := testEngine()
+	prop := func(a, b Vec) bool {
+		and, or, xor, andn, not := e.And(a, b), e.Or(a, b), e.Xor(a, b), e.AndNot(a, b), e.Not(a)
+		for i := 0; i < 4; i++ {
+			if and[i] != a[i]&b[i] || or[i] != a[i]|b[i] || xor[i] != a[i]^b[i] ||
+				andn[i] != ^a[i]&b[i] || not[i] != ^a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(5, 5)) //nolint:gosec
+	for trial := 0; trial < 500; trial++ {
+		a := randVec(r)
+		n := uint(r.IntN(70))
+		shl, shr := e.ShlI64(a, n), e.ShrI64(a, n)
+		for i := 0; i < 4; i++ {
+			var wantL, wantR uint64
+			if n < 64 {
+				wantL, wantR = a[i]<<n, a[i]>>n
+			}
+			if shl[i] != wantL || shr[i] != wantR {
+				t.Fatalf("immediate shift by %d wrong at lane %d", n, i)
+			}
+		}
+		var c32, c64 Vec
+		for i := 0; i < 8; i++ {
+			c32 = c32.SetU32(i, uint32(r.IntN(40)))
+		}
+		for i := 0; i < 4; i++ {
+			c64 = c64.SetU64(i, uint64(r.IntN(70)))
+		}
+		v32 := e.ShrV32(a, c32)
+		for i := 0; i < 8; i++ {
+			want := uint32(0)
+			if n := c32.U32(i); n < 32 {
+				want = a.U32(i) >> n
+			}
+			if v32.U32(i) != want {
+				t.Fatalf("ShrV32 bank %d wrong", i)
+			}
+		}
+		v64 := e.ShrV64(a, c64)
+		for i := 0; i < 4; i++ {
+			want := uint64(0)
+			if n := c64.U64(i); n < 64 {
+				want = a.U64(i) >> n
+			}
+			if v64.U64(i) != want {
+				t.Fatalf("ShrV64 bank %d wrong", i)
+			}
+		}
+	}
+}
+
+func TestAddSub64(t *testing.T) {
+	e := testEngine()
+	prop := func(a, b Vec) bool {
+		add, sub := e.Add64(a, b), e.Sub64(a, b)
+		for i := 0; i < 4; i++ {
+			if add[i] != a[i]+b[i] || sub[i] != a[i]-b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	e := testEngine()
+	var src Vec
+	for i := 0; i < Bytes; i++ {
+		src = src.SetByte(i, byte(100+i))
+	}
+	// Identity.
+	var idx Vec
+	for i := 0; i < Bytes; i++ {
+		idx = idx.SetByte(i, byte(i))
+	}
+	if e.Shuffle(src, idx) != src {
+		t.Fatal("identity shuffle changed the register")
+	}
+	// Reverse with one zeroed slot.
+	for i := 0; i < Bytes; i++ {
+		idx = idx.SetByte(i, byte(31-i))
+	}
+	idx = idx.SetByte(5, 0x80)
+	out := e.Shuffle(src, idx)
+	for i := 0; i < Bytes; i++ {
+		want := byte(100 + 31 - i)
+		if i == 5 {
+			want = 0
+		}
+		if out.Byte(i) != want {
+			t.Fatalf("shuffle byte %d = %d, want %d", i, out.Byte(i), want)
+		}
+	}
+}
+
+func TestMovemasks(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(6, 6)) //nolint:gosec
+	for trial := 0; trial < 1000; trial++ {
+		v := randVec(r)
+		m8 := e.Movemask8(v)
+		for i := 0; i < 32; i++ {
+			if m8>>uint(i)&1 != uint32(v.Byte(i)>>7) {
+				t.Fatalf("Movemask8 bit %d wrong", i)
+			}
+		}
+		m16 := e.Movemask16(v)
+		for i := 0; i < 16; i++ {
+			if m16>>uint(i)&1 != v.U16(i)>>15 {
+				t.Fatalf("Movemask16 bit %d wrong", i)
+			}
+		}
+		m32 := e.Movemask32(v)
+		for i := 0; i < 8; i++ {
+			if uint32(m32>>uint(i)&1) != v.U32(i)>>31 {
+				t.Fatalf("Movemask32 bit %d wrong", i)
+			}
+		}
+		m64 := e.Movemask64(v)
+		for i := 0; i < 4; i++ {
+			if uint64(m64>>uint(i)&1) != v.U64(i)>>63 {
+				t.Fatalf("Movemask64 bit %d wrong", i)
+			}
+		}
+	}
+}
+
+func TestTestZeroAndBroadcast(t *testing.T) {
+	e := testEngine()
+	if !e.TestZero(Zero()) {
+		t.Fatal("TestZero(Zero) = false")
+	}
+	if e.TestZero(Ones()) {
+		t.Fatal("TestZero(Ones) = true")
+	}
+	if e.TestZero(Zero().SetBit(255, 1)) {
+		t.Fatal("TestZero missed the top bit")
+	}
+	b := e.Broadcast8(0xAB)
+	for i := 0; i < Bytes; i++ {
+		if b.Byte(i) != 0xAB {
+			t.Fatalf("Broadcast8 byte %d wrong", i)
+		}
+	}
+	w := e.Broadcast16(0xBEEF)
+	for i := 0; i < 16; i++ {
+		if w.U16(i) != 0xBEEF {
+			t.Fatalf("Broadcast16 bank %d wrong", i)
+		}
+	}
+	d := e.Broadcast32(0xDEADBEEF)
+	for i := 0; i < 8; i++ {
+		if d.U32(i) != 0xDEADBEEF {
+			t.Fatalf("Broadcast32 bank %d wrong", i)
+		}
+	}
+	q := e.Broadcast64(0x0123456789ABCDEF)
+	for i := 0; i < 4; i++ {
+		if q.U64(i) != 0x0123456789ABCDEF {
+			t.Fatalf("Broadcast64 bank %d wrong", i)
+		}
+	}
+}
+
+// TestInstructionCounting verifies the cost-model contract: each op is one
+// SIMD instruction except Shuffle (two) and the scalar helpers.
+func TestInstructionCounting(t *testing.T) {
+	p := perf.NewProfileNoCache()
+	e := New(p)
+	a := e.Broadcast8(1) // 1
+	b := e.And(a, a)     // 2
+	_ = e.Or(a, b)       // 3
+	_ = e.Movemask8(a)   // 4
+	_ = e.TestZero(a)    // 5
+	_ = e.Shuffle(a, b)  // 7
+	if p.C.SIMD != 7 {
+		t.Fatalf("SIMD count = %d, want 7", p.C.SIMD)
+	}
+	e.Scalar(3)
+	if p.C.Scalar != 3 {
+		t.Fatalf("Scalar count = %d, want 3", p.C.Scalar)
+	}
+	buf := make([]byte, 32)
+	_ = e.Load(buf, 0)
+	if p.C.SIMD != 8 {
+		t.Fatalf("Load not counted: %d", p.C.SIMD)
+	}
+	e.ScalarLoad(64, 8)
+	if p.C.Scalar != 4 {
+		t.Fatalf("ScalarLoad not counted: %d", p.C.Scalar)
+	}
+}
+
+func TestLoadMemoryOrder(t *testing.T) {
+	buf := make([]byte, 32)
+	for i := range buf {
+		buf[i] = byte(i + 1)
+	}
+	v := testEngine().Load(buf, 0)
+	for i := 0; i < Bytes; i++ {
+		if v.Byte(i) != byte(i+1) {
+			t.Fatalf("Load byte %d = %d", i, v.Byte(i))
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	s := Ones().String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	if Zero().String() == s {
+		t.Fatal("Zero and Ones render identically")
+	}
+}
+
+func TestMinMaxU8(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(12, 12)) //nolint:gosec
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randVec(r), randVec(r)
+		mn, mx := e.MinU8(a, b), e.MaxU8(a, b)
+		for i := 0; i < Bytes; i++ {
+			x, y := a.Byte(i), b.Byte(i)
+			wantMin, wantMax := x, y
+			if y < x {
+				wantMin, wantMax = y, x
+			}
+			if mn.Byte(i) != wantMin || mx.Byte(i) != wantMax {
+				t.Fatalf("byte %d: min/max(%d,%d) = %d,%d", i, x, y, mn.Byte(i), mx.Byte(i))
+			}
+		}
+	}
+}
+
+func TestSad8(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(13, 13)) //nolint:gosec
+	if got := e.Sad8(Ones()); got.U64(0) != 8*255 {
+		t.Fatalf("Sad8(ones) lane = %d", got.U64(0))
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := randVec(r)
+		s := e.Sad8(a)
+		for lane := 0; lane < 4; lane++ {
+			var want uint64
+			for by := 0; by < 8; by++ {
+				want += uint64(a.Byte(8*lane + by))
+			}
+			if s.U64(lane) != want {
+				t.Fatalf("lane %d: sad = %d, want %d", lane, s.U64(lane), want)
+			}
+		}
+	}
+}
+
+func randVec512(r *rand.Rand) Vec512 {
+	var v Vec512
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	return v
+}
+
+func TestVec512Ops(t *testing.T) {
+	e := testEngine()
+	r := rand.New(rand.NewPCG(14, 14)) //nolint:gosec
+	for trial := 0; trial < 1000; trial++ {
+		a, b := randVec512(r), randVec512(r)
+		and, or, xor := e.And512(a, b), e.Or512(a, b), e.Xor512(a, b)
+		andn, not := e.AndNot512(a, b), e.Not512(a)
+		for i := 0; i < 8; i++ {
+			if and[i] != a[i]&b[i] || or[i] != a[i]|b[i] || xor[i] != a[i]^b[i] ||
+				andn[i] != ^a[i]&b[i] || not[i] != ^a[i] {
+				t.Fatal("512-bit logic op wrong")
+			}
+		}
+		eq, lt, gt := e.CmpEq8x512(a, b), e.CmpLtU8x512(a, b), e.CmpGtU8x512(a, b)
+		m := e.Movemask8x512(lt)
+		for i := 0; i < Bytes512; i++ {
+			x, y := a.Byte(i), b.Byte(i)
+			if (eq.Byte(i) == 0xFF) != (x == y) || (lt.Byte(i) == 0xFF) != (x < y) ||
+				(gt.Byte(i) == 0xFF) != (x > y) {
+				t.Fatalf("512-bit compare wrong at byte %d", i)
+			}
+			if m>>uint(i)&1 != uint64(lt.Byte(i)>>7) {
+				t.Fatalf("Movemask8x512 bit %d wrong", i)
+			}
+		}
+	}
+}
+
+func TestVec512BroadcastLoadZero(t *testing.T) {
+	e := testEngine()
+	v := e.Broadcast8x512(0x5A)
+	for i := 0; i < Bytes512; i++ {
+		if v.Byte(i) != 0x5A {
+			t.Fatalf("Broadcast8x512 byte %d wrong", i)
+		}
+	}
+	if !e.TestZero512(Zero512()) || e.TestZero512(v) {
+		t.Fatal("TestZero512 wrong")
+	}
+	buf := make([]byte, Bytes512)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	l := e.Load512(buf, 0)
+	for i := 0; i < Bytes512; i++ {
+		if l.Byte(i) != byte(i) {
+			t.Fatalf("Load512 byte %d wrong", i)
+		}
+	}
+	if Ones512().IsZero() || !Zero512().IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if got := Zero512().SetByte(63, 0xAB).Byte(63); got != 0xAB {
+		t.Fatalf("SetByte = %#x", got)
+	}
+}
+
+func TestScalarLoadGroups(t *testing.T) {
+	p := perf.NewProfile()
+	e := New(p)
+	spans := []perf.Span{{Addr: 0, Size: 8}, {Addr: 4096, Size: 8}, {Addr: 8192, Size: 8}}
+	e.ScalarLoadGroup(spans)
+	if p.C.Scalar != 3 {
+		t.Fatalf("grouped loads counted %d instructions, want 3", p.C.Scalar)
+	}
+	stalls := p.MemStalls()
+	if stalls <= 0 {
+		t.Fatal("cold grouped loads should stall")
+	}
+	// Windowed grouping with window 1 charges serially: more stalls on a
+	// fresh profile with the same cold spans.
+	q := perf.NewProfile()
+	e2 := New(q)
+	e2.ScalarLoadGroupWindowed(spans, 1)
+	if q.C.Scalar != 3 {
+		t.Fatalf("windowed loads counted %d instructions", q.C.Scalar)
+	}
+	if q.MemStalls() <= stalls {
+		t.Fatalf("window-1 loads should stall more than overlapped: %v vs %v", q.MemStalls(), stalls)
+	}
+}

@@ -1,0 +1,129 @@
+// Package simd emulates the 256-bit AVX2 vector instruction subset that the
+// paper's scan and lookup kernels use.
+//
+// Go has no SIMD intrinsics, so the four storage layouts in this repository
+// execute their kernels against this software vector unit instead of real
+// AVX2. Every operation is a method on an Engine so that it is counted as
+// one retired vector instruction in the attached perf.Profile; loads also
+// run through the simulated cache hierarchy. The emulation is written with
+// word-parallel (SWAR) arithmetic over the four 64-bit lanes, so it is also
+// reasonably fast in wall-clock terms.
+//
+// Semantics follow the AVX2 instructions the paper names (Figures 3, 4, 7
+// and Algorithms 1-2), with two documented deviations:
+//
+//   - Comparisons are unsigned. AVX2's compares are signed; production
+//     implementations apply the usual XOR-0x80 bias trick at no extra
+//     per-word cost, so modelling the compare as one instruction is fair.
+//   - Shuffle indexes all 32 bytes. AVX2's vpshufb shuffles within 128-bit
+//     lanes and cross-lane moves need an extra permute; the Bit-Packed scan
+//     kernel (the only shuffle user) is charged an extra instruction for it.
+package simd
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Width is the register width in bits (AVX2: S = 256).
+const Width = 256
+
+// Bytes is the register width in bytes.
+const Bytes = Width / 8
+
+// Vec is a 256-bit vector register value. Lane i holds bytes 8i..8i+7 of
+// the register in little-endian order, matching x86 memory order: byte j of
+// the register is byte j&7 of lane j>>3.
+type Vec [4]uint64
+
+// Zero is the all-zeroes register.
+func Zero() Vec { return Vec{} }
+
+// Ones is the all-ones register.
+func Ones() Vec { return Vec{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)} }
+
+// FromBytes assembles a register from 32 bytes in memory order.
+func FromBytes(b []byte) Vec {
+	_ = b[31]
+	return Vec{
+		binary.LittleEndian.Uint64(b[0:]),
+		binary.LittleEndian.Uint64(b[8:]),
+		binary.LittleEndian.Uint64(b[16:]),
+		binary.LittleEndian.Uint64(b[24:]),
+	}
+}
+
+// AppendBytes appends the register's 32 bytes in memory order to dst.
+func (v Vec) AppendBytes(dst []byte) []byte {
+	for _, l := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, l)
+	}
+	return dst
+}
+
+// Byte returns byte i (0 ≤ i < 32) of the register.
+func (v Vec) Byte(i int) byte { return byte(v[i>>3] >> ((i & 7) * 8)) }
+
+// SetByte returns a copy of v with byte i replaced.
+func (v Vec) SetByte(i int, b byte) Vec {
+	shift := uint((i & 7) * 8)
+	v[i>>3] = v[i>>3]&^(uint64(0xFF)<<shift) | uint64(b)<<shift
+	return v
+}
+
+// U16 returns 16-bit bank i (0 ≤ i < 16).
+func (v Vec) U16(i int) uint16 { return uint16(v[i>>2] >> ((i & 3) * 16)) }
+
+// SetU16 returns a copy of v with 16-bit bank i replaced.
+func (v Vec) SetU16(i int, x uint16) Vec {
+	shift := uint((i & 3) * 16)
+	v[i>>2] = v[i>>2]&^(uint64(0xFFFF)<<shift) | uint64(x)<<shift
+	return v
+}
+
+// U32 returns 32-bit bank i (0 ≤ i < 8).
+func (v Vec) U32(i int) uint32 { return uint32(v[i>>1] >> ((i & 1) * 32)) }
+
+// SetU32 returns a copy of v with 32-bit bank i replaced.
+func (v Vec) SetU32(i int, x uint32) Vec {
+	shift := uint((i & 1) * 32)
+	v[i>>1] = v[i>>1]&^(uint64(0xFFFFFFFF)<<shift) | uint64(x)<<shift
+	return v
+}
+
+// U64 returns 64-bit bank i (0 ≤ i < 4).
+func (v Vec) U64(i int) uint64 { return v[i] }
+
+// SetU64 returns a copy of v with 64-bit bank i replaced.
+func (v Vec) SetU64(i int, x uint64) Vec {
+	v[i] = x
+	return v
+}
+
+// Bit returns bit i (0 ≤ i < 256) of the register.
+func (v Vec) Bit(i int) uint { return uint(v[i>>6]>>(i&63)) & 1 }
+
+// SetBit returns a copy of v with bit i set to b.
+func (v Vec) SetBit(i int, b uint) Vec {
+	v[i>>6] = v[i>>6]&^(1<<(i&63)) | uint64(b&1)<<(i&63)
+	return v
+}
+
+// IsZero reports whether every bit of the register is zero. This is the
+// pure predicate; engines count the vptest instruction via Engine.TestZero.
+func (v Vec) IsZero() bool { return v[0]|v[1]|v[2]|v[3] == 0 }
+
+// String renders the register as 32 hex bytes, most-significant byte first,
+// for debugging and the bsinspect tool.
+func (v Vec) String() string {
+	out := make([]byte, 0, 3*Bytes)
+	for i := Bytes - 1; i >= 0; i-- {
+		out = append(out, fmt.Sprintf("%02x", v.Byte(i))...)
+		if i > 0 && i%8 == 0 {
+			out = append(out, '|')
+		} else if i > 0 {
+			out = append(out, ' ')
+		}
+	}
+	return string(out)
+}

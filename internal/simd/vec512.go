@@ -1,0 +1,166 @@
+package simd
+
+import "encoding/binary"
+
+// 512-bit registers. The paper (§2, §3.1.1) projects its techniques onto
+// the next SIMD generation — 512-bit AVX-512 registers — and predicts that
+// wider registers make early stopping harder for VBP (Equation 1 worsens
+// with S) while ByteSlice's per-byte stopping (Equation 2, S/8 codes per
+// segment) degrades far less. The Vec512 subset below carries the 512-bit
+// variants of the layouts that test that projection. Each op is counted as
+// one instruction, mirroring AVX-512's one-op-per-512-bit-word model
+// (mask-register subtleties are abstracted away).
+
+// Width512 is the wide register width in bits.
+const Width512 = 512
+
+// Bytes512 is the wide register width in bytes.
+const Bytes512 = Width512 / 8
+
+// Vec512 is a 512-bit register value, eight 64-bit lanes in little-endian
+// memory order.
+type Vec512 [8]uint64
+
+// Zero512 is the all-zeroes wide register.
+func Zero512() Vec512 { return Vec512{} }
+
+// Ones512 is the all-ones wide register.
+func Ones512() Vec512 {
+	var v Vec512
+	for i := range v {
+		v[i] = ^uint64(0)
+	}
+	return v
+}
+
+// Byte returns byte i (0 ≤ i < 64) of the register.
+func (v Vec512) Byte(i int) byte { return byte(v[i>>3] >> ((i & 7) * 8)) }
+
+// SetByte returns a copy of v with byte i replaced.
+func (v Vec512) SetByte(i int, b byte) Vec512 {
+	shift := uint((i & 7) * 8)
+	v[i>>3] = v[i>>3]&^(uint64(0xFF)<<shift) | uint64(b)<<shift
+	return v
+}
+
+// IsZero reports whether every bit is zero.
+func (v Vec512) IsZero() bool {
+	var acc uint64
+	for _, l := range v {
+		acc |= l
+	}
+	return acc == 0
+}
+
+// Load512 reads a 512-bit word from buf (first 64 bytes) at the simulated
+// address.
+func (e *Engine) Load512(buf []byte, addr uint64) Vec512 {
+	e.op()
+	e.P.Touch(addr, Bytes512)
+	_ = buf[Bytes512-1]
+	var v Vec512
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return v
+}
+
+// Broadcast8x512 fills every byte bank with x.
+func (e *Engine) Broadcast8x512(x byte) Vec512 {
+	e.op()
+	l := uint64(x) * lo8
+	var v Vec512
+	for i := range v {
+		v[i] = l
+	}
+	return v
+}
+
+// And512 is the bitwise AND of two wide registers.
+func (e *Engine) And512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] &= b[i]
+	}
+	return a
+}
+
+// Or512 is the bitwise OR of two wide registers.
+func (e *Engine) Or512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] |= b[i]
+	}
+	return a
+}
+
+// Xor512 is the bitwise XOR of two wide registers.
+func (e *Engine) Xor512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] ^= b[i]
+	}
+	return a
+}
+
+// AndNot512 computes (NOT a) AND b.
+func (e *Engine) AndNot512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] = ^a[i] & b[i]
+	}
+	return a
+}
+
+// Not512 is the bitwise complement.
+func (e *Engine) Not512(a Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] = ^a[i]
+	}
+	return a
+}
+
+// CmpEq8x512 compares byte banks for equality into 0xFF/0x00 masks.
+func (e *Engine) CmpEq8x512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] = cmpEq8Lane(a[i], b[i])
+	}
+	return a
+}
+
+// CmpLtU8x512 compares byte banks for unsigned less-than.
+func (e *Engine) CmpLtU8x512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] = cmpLtU8Lane(a[i], b[i])
+	}
+	return a
+}
+
+// CmpGtU8x512 compares byte banks for unsigned greater-than.
+func (e *Engine) CmpGtU8x512(a, b Vec512) Vec512 {
+	e.op()
+	for i := range a {
+		a[i] = cmpLtU8Lane(b[i], a[i])
+	}
+	return a
+}
+
+// Movemask8x512 gathers the most significant bit of each of the 64 byte
+// banks (AVX-512's comparisons natively produce such a mask register).
+func (e *Engine) Movemask8x512(a Vec512) uint64 {
+	e.op()
+	var m uint64
+	for i := range a {
+		m |= uint64(movemask8Lane(a[i])) << (8 * i)
+	}
+	return m
+}
+
+// TestZero512 reports whether the wide register is all zeroes.
+func (e *Engine) TestZero512(a Vec512) bool {
+	e.op()
+	return a.IsZero()
+}

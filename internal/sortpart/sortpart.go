@@ -1,0 +1,196 @@
+// Package sortpart implements the future-work directions sketched in §6 of
+// the paper: using ByteSlice not just as a base-column format but as the
+// representation operators work on directly.
+//
+//   - Partition: multi-pass radix hash partitioning whose hash values are
+//     computed 32 codes at a time with byte-wide SIMD arithmetic over the
+//     byte slices (the paper's "hash functions that take as input the
+//     bytes of a code and return a byte-wide hash value").
+//   - Sort: least-significant-byte radix sort that consumes one byte slice
+//     per pass, so the working set shrinks as passes complete.
+//   - Search: finding all occurrences of a key with the 32-way
+//     early-stopping equality scan, as used by the probe side of joins.
+package sortpart
+
+import (
+	"fmt"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/simd"
+)
+
+// hashSegment computes a byte-wide hash of the codes in one 32-code
+// segment, entirely with byte-bank SIMD operations over the byte slices:
+// h = b₁ rotl 3 ⊕ b₂ rotl 3 ⊕ … folding every slice in.
+func hashSegment(e *simd.Engine, b *core.ByteSlice, seg int) simd.Vec {
+	h := simd.Zero()
+	// Per-byte rotate-left-3: (x << 3 | x >> 5) within each byte, built
+	// from 64-bit shifts and byte masks (4 ops), then fold the slice in.
+	maskHi := e.Broadcast8(0xF8)
+	maskLo := e.Broadcast8(0x07)
+	for j := 0; j < b.NumSlices(); j++ {
+		off := seg * core.SegmentSize
+		w := e.Load(b.Slice(j)[off:], b.SliceAddr(j)+uint64(off))
+		rot := e.Or(
+			e.And(e.ShlI64(h, 3), maskHi),
+			e.And(e.ShrI64(h, 5), maskLo),
+		)
+		h = e.Xor(rot, w)
+	}
+	return h
+}
+
+// hashCode is the scalar reference of hashSegment's per-code hash.
+func hashCode(b *core.ByteSlice, i int) byte {
+	var h byte
+	for j := 0; j < b.NumSlices(); j++ {
+		h = h<<3 | h>>5
+		h ^= b.SliceByte(j, i)
+	}
+	return h
+}
+
+// Partition splits the column's record numbers into 2^radixBits partitions
+// by a byte-wide hash of each code, using the two-pass histogram scheme of
+// [26]: the first pass builds the partition size histogram, the second
+// scatters record numbers into exactly-sized outputs. Hash values are
+// computed with 32-way SIMD parallelism (versus 8-way for 32-bit-integer
+// layouts, the §6 argument). radixBits must be in [1, 8].
+func Partition(e *simd.Engine, b *core.ByteSlice, radixBits int) ([][]int32, error) {
+	if radixBits < 1 || radixBits > 8 {
+		return nil, fmt.Errorf("sortpart: radixBits %d out of range [1,8]", radixBits)
+	}
+	n := b.Len()
+	nparts := 1 << uint(radixBits)
+	mask := byte(nparts - 1)
+
+	// Both passes recompute the hashes, as the cited partitioning schemes
+	// do; each segment's hash costs a handful of vector ops for 32 codes.
+	hash := func(process func(i int, h byte)) {
+		for seg := 0; seg*core.SegmentSize < n; seg++ {
+			hv := hashSegment(e, b, seg)
+			hv = e.And(hv, e.Broadcast8(mask))
+			base := seg * core.SegmentSize
+			for lane := 0; lane < core.SegmentSize && base+lane < n; lane++ {
+				e.Scalar(1) // extract + bucket update
+				process(base+lane, hv.Byte(lane))
+			}
+		}
+	}
+
+	hist := make([]int, nparts)
+	hash(func(_ int, h byte) { hist[h]++ })
+
+	out := make([][]int32, nparts)
+	for p := range out {
+		out[p] = make([]int32, 0, hist[p])
+	}
+	hash(func(i int, h byte) { out[h] = append(out[h], int32(i)) })
+	return out, nil
+}
+
+// Sort returns the record numbers of the column in non-decreasing code
+// order (a stable argsort), using least-significant-byte radix sort over
+// the byte slices: pass p sorts on slice NumSlices()−1−p with a counting
+// sort, and once a slice's pass completes that slice never has to be read
+// again — the progressively-shrinking working set the paper describes.
+func Sort(e *simd.Engine, b *core.ByteSlice) []int32 {
+	n := b.Len()
+	cur := make([]int32, n)
+	next := make([]int32, n)
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	var count [256]int
+	for j := b.NumSlices() - 1; j >= 0; j-- {
+		for i := range count {
+			count[i] = 0
+		}
+		slice := b.Slice(j)
+		for _, r := range cur {
+			e.ScalarLoad(b.SliceAddr(j)+uint64(r), 1)
+			e.Scalar(1)
+			count[slice[r]]++
+		}
+		pos := 0
+		for v := 0; v < 256; v++ {
+			c := count[v]
+			count[v] = pos
+			pos += c
+		}
+		for _, r := range cur {
+			e.ScalarLoad(b.SliceAddr(j)+uint64(r), 1)
+			e.Scalar(2)
+			next[count[slice[r]]] = r
+			count[slice[r]]++
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Search returns the record numbers holding exactly the given key, using
+// the 32-way SIMD equality scan with early stopping — §6's accelerated
+// search primitive (e.g. the probe side of a nested-loop or hash join).
+func Search(e *simd.Engine, b *core.ByteSlice, key uint32) []int32 {
+	out := bitvec.New(b.Len())
+	b.Scan(e, layout.Predicate{Op: layout.Eq, C1: key}, out)
+	return out.Positions(nil)
+}
+
+// HashJoin equi-joins two ByteSlice columns of equal code width using
+// Partition on both sides followed by per-partition searches, returning
+// matching (left row, right row) pairs. It exists to demonstrate §6's
+// "ByteSlice as intermediate representation" pipeline end to end; the
+// partitioning bounds each search to a fraction of the build side.
+func HashJoin(e *simd.Engine, left, right *core.ByteSlice, radixBits int) ([][2]int32, error) {
+	if left.Width() != right.Width() {
+		return nil, fmt.Errorf("sortpart: join code widths differ (%d vs %d)", left.Width(), right.Width())
+	}
+	lp, err := Partition(e, left, radixBits)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := Partition(e, right, radixBits)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]int32
+	for p := range lp {
+		if len(lp[p]) == 0 || len(rp[p]) == 0 {
+			continue
+		}
+		// Build a small hash table on the smaller side's codes.
+		build, probe := lp[p], rp[p]
+		buildLeft := true
+		if len(probe) < len(build) {
+			build, probe = probe, build
+			buildLeft = false
+		}
+		ht := make(map[uint32][]int32, len(build))
+		for _, r := range build {
+			c := lookupSide(e, left, right, buildLeft, r)
+			ht[c] = append(ht[c], r)
+		}
+		for _, r := range probe {
+			c := lookupSide(e, left, right, !buildLeft, r)
+			for _, m := range ht[c] {
+				if buildLeft {
+					out = append(out, [2]int32{m, r})
+				} else {
+					out = append(out, [2]int32{r, m})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func lookupSide(e *simd.Engine, left, right *core.ByteSlice, isLeft bool, r int32) uint32 {
+	if isLeft {
+		return left.Lookup(e, int(r))
+	}
+	return right.Lookup(e, int(r))
+}

@@ -1,0 +1,229 @@
+package sortpart
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"byteslice/internal/core"
+	"byteslice/internal/datagen"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+func engine() *simd.Engine { return simd.New(perf.NewProfileNoCache()) }
+
+func column(t *testing.T, n, k int, seed uint64) (*core.ByteSlice, []uint32) {
+	t.Helper()
+	codes := datagen.Uniform(datagen.NewRand(seed), n, k)
+	return core.New(codes, k, nil), codes
+}
+
+func TestHashSegmentMatchesScalar(t *testing.T) {
+	for _, k := range []int{4, 8, 12, 24, 32} {
+		b, _ := column(t, 500, k, 1)
+		e := engine()
+		for seg := 0; seg < 500/core.SegmentSize; seg++ {
+			hv := hashSegment(e, b, seg)
+			for lane := 0; lane < core.SegmentSize; lane++ {
+				i := seg*core.SegmentSize + lane
+				if got, want := hv.Byte(lane), hashCode(b, i); got != want {
+					t.Fatalf("k=%d row %d: SIMD hash %#x, scalar %#x", k, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionCoversAndAgrees(t *testing.T) {
+	b, codes := column(t, 10000, 17, 2)
+	for _, bits := range []int{1, 4, 8} {
+		parts, err := Partition(engine(), b, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != 1<<uint(bits) {
+			t.Fatalf("partition count = %d", len(parts))
+		}
+		seen := make([]bool, len(codes))
+		for p, rows := range parts {
+			for _, r := range rows {
+				if seen[r] {
+					t.Fatalf("row %d assigned twice", r)
+				}
+				seen[r] = true
+				// Same hash ⇒ same partition; equal codes must colocate.
+				if int(hashCode(b, int(r)))&(len(parts)-1) != p {
+					t.Fatalf("row %d in wrong partition %d", r, p)
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("row %d not assigned", i)
+			}
+		}
+	}
+	// Equal codes land in the same partition (join correctness).
+	parts, _ := Partition(engine(), b, 6)
+	home := map[uint32]int{}
+	for p, rows := range parts {
+		for _, r := range rows {
+			c := codes[r]
+			if prev, ok := home[c]; ok && prev != p {
+				t.Fatalf("code %d split across partitions %d and %d", c, prev, p)
+			}
+			home[c] = p
+		}
+	}
+}
+
+func TestPartitionBalanceUniform(t *testing.T) {
+	b, _ := column(t, 64000, 20, 3)
+	parts, err := Partition(engine(), b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64000 / 16
+	for p, rows := range parts {
+		if len(rows) < want/2 || len(rows) > want*2 {
+			t.Fatalf("partition %d has %d rows, want ≈%d — hash is badly skewed", p, len(rows), want)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	b, _ := column(t, 10, 8, 4)
+	for _, bits := range []int{0, 9, -1} {
+		if _, err := Partition(engine(), b, bits); err == nil {
+			t.Fatalf("radixBits=%d should error", bits)
+		}
+	}
+}
+
+func TestSortOrdersAndIsStable(t *testing.T) {
+	for _, k := range []int{3, 8, 11, 19, 32} {
+		n := 5000
+		b, codes := column(t, n, k, uint64(k))
+		order := Sort(engine(), b)
+		if len(order) != n {
+			t.Fatalf("k=%d: order length %d", k, len(order))
+		}
+		for i := 1; i < n; i++ {
+			a, bb := codes[order[i-1]], codes[order[i]]
+			if a > bb {
+				t.Fatalf("k=%d: out of order at %d: %d > %d", k, i, a, bb)
+			}
+			if a == bb && order[i-1] > order[i] {
+				t.Fatalf("k=%d: instability at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	b, codes := column(t, 3000, 13, 7)
+	order := Sort(engine(), b)
+	want := make([]uint32, len(codes))
+	copy(want, codes)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, r := range order {
+		if codes[r] != want[i] {
+			t.Fatalf("position %d: %d, want %d", i, codes[r], want[i])
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	b, codes := column(t, 8000, 10, 8)
+	rng := rand.New(rand.NewPCG(9, 9)) //nolint:gosec
+	for trial := 0; trial < 20; trial++ {
+		key := codes[rng.IntN(len(codes))]
+		got := Search(engine(), b, key)
+		want := []int32{}
+		for i, c := range codes {
+			if c == key {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key %d: %d hits, want %d", key, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("key %d: hit %d is row %d, want %d", key, i, got[i], want[i])
+			}
+		}
+	}
+	if hits := Search(engine(), b, 1023); len(hits) != countOf(codes, 1023) {
+		t.Fatal("boundary key wrong")
+	}
+}
+
+func countOf(codes []uint32, key uint32) int {
+	n := 0
+	for _, c := range codes {
+		if c == key {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10)) //nolint:gosec
+	nl, nr, k := 800, 1200, 7            // small domain forces plenty of matches
+	lcodes := make([]uint32, nl)
+	rcodes := make([]uint32, nr)
+	for i := range lcodes {
+		lcodes[i] = uint32(rng.IntN(128))
+	}
+	for i := range rcodes {
+		rcodes[i] = uint32(rng.IntN(128))
+	}
+	left := core.New(lcodes, k, nil)
+	right := core.New(rcodes, k, nil)
+
+	got, err := HashJoin(engine(), left, right, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	var lhist [128]int
+	for _, c := range lcodes {
+		lhist[c]++
+	}
+	for _, c := range rcodes {
+		want += lhist[c]
+	}
+	if len(got) != want {
+		t.Fatalf("join produced %d pairs, want %d", len(got), want)
+	}
+	for _, pair := range got {
+		if lcodes[pair[0]] != rcodes[pair[1]] {
+			t.Fatalf("false match: rows %v join %d vs %d", pair, lcodes[pair[0]], rcodes[pair[1]])
+		}
+	}
+
+	if _, err := HashJoin(engine(), left, core.New([]uint32{1}, 9, nil), 4); err == nil {
+		t.Fatal("width mismatch should error")
+	}
+	if _, err := HashJoin(engine(), left, right, 0); err == nil {
+		t.Fatal("bad radix bits should error")
+	}
+}
+
+// TestPartitionSIMDParallelism verifies the §6 claim quantitatively: the
+// SIMD instructions needed per hashed code shrink with 32-way parallelism
+// (a handful of vector ops per 32 codes).
+func TestPartitionSIMDParallelism(t *testing.T) {
+	b, _ := column(t, 32000, 16, 11)
+	prof := perf.NewProfileNoCache()
+	if _, err := Partition(simd.New(prof), b, 8); err != nil {
+		t.Fatal(err)
+	}
+	simdPerCode := float64(prof.C.SIMD) / 32000
+	if simdPerCode > 1.5 {
+		t.Fatalf("hashing used %.2f SIMD instructions/code; 32-way parallelism should keep it below 1.5", simdPerCode)
+	}
+}

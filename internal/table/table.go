@@ -1,0 +1,106 @@
+// Package table assembles encoded columns into tables. A table is the unit
+// the executor (internal/exec) runs selection–projection kernels over: a
+// set of same-length columns, each stored in one of the storage layouts,
+// with enough metadata to decode codes back to values where a query needs
+// them.
+package table
+
+import (
+	"fmt"
+
+	"byteslice/internal/cache"
+	"byteslice/internal/layout"
+)
+
+// Column is one stored column.
+type Column struct {
+	Name string
+	// Data is the formatted column.
+	Data layout.Layout
+	// Decode converts a code back to a representative numeric value (for
+	// aggregation); nil when the column is only filtered, never projected
+	// into an aggregate.
+	Decode func(uint32) float64
+}
+
+// ColumnSpec describes a column before formatting.
+type ColumnSpec struct {
+	Name string
+	// K is the encoded width in bits.
+	K int
+	// Codes are the encoded values, one per row.
+	Codes []uint32
+	// Decode is stored on the built column (may be nil).
+	Decode func(uint32) float64
+}
+
+// Table is an immutable collection of equal-length columns.
+type Table struct {
+	Name    string
+	Columns []Column
+	N       int
+
+	byName map[string]int
+}
+
+// Build formats every column of the spec with the given layout builder.
+// All columns share one arena so their simulated memory regions are
+// disjoint, as they would be in a real process.
+func Build(name string, specs []ColumnSpec, build layout.Builder, arena *cache.Arena) (*Table, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("table %s: no columns", name)
+	}
+	n := len(specs[0].Codes)
+	t := &Table{Name: name, N: n, byName: make(map[string]int, len(specs))}
+	for _, s := range specs {
+		if len(s.Codes) != n {
+			return nil, fmt.Errorf("table %s: column %s has %d rows, want %d", name, s.Name, len(s.Codes), n)
+		}
+		if _, dup := t.byName[s.Name]; dup {
+			return nil, fmt.Errorf("table %s: duplicate column %s", name, s.Name)
+		}
+		t.byName[s.Name] = len(t.Columns)
+		t.Columns = append(t.Columns, Column{
+			Name:   s.Name,
+			Data:   build(s.Codes, s.K, arena),
+			Decode: s.Decode,
+		})
+	}
+	return t, nil
+}
+
+// MustBuild is Build for statically correct specs (generators, tests).
+func MustBuild(name string, specs []ColumnSpec, build layout.Builder, arena *cache.Arena) *Table {
+	t, err := Build(name, specs, build, arena)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Column returns the named column or an error.
+func (t *Table) Column(name string) (*Column, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no column %s", t.Name, name)
+	}
+	return &t.Columns[i], nil
+}
+
+// MustColumn returns the named column or panics.
+func (t *Table) MustColumn(name string) *Column {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SizeBytes is the formatted footprint of all columns.
+func (t *Table) SizeBytes() uint64 {
+	var s uint64
+	for i := range t.Columns {
+		s += t.Columns[i].Data.SizeBytes()
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package table_test
+
+import (
+	"testing"
+
+	"byteslice/internal/cache"
+	"byteslice/internal/core"
+	"byteslice/internal/table"
+)
+
+func TestBuildAndLookupColumns(t *testing.T) {
+	specs := []table.ColumnSpec{
+		{Name: "x", K: 4, Codes: []uint32{1, 2, 3}},
+		{Name: "y", K: 9, Codes: []uint32{100, 200, 300}, Decode: func(c uint32) float64 { return float64(c) / 10 }},
+	}
+	tb, err := table.Build("demo", specs, core.NewBuilder, cache.NewArena(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.N != 3 || len(tb.Columns) != 2 {
+		t.Fatalf("shape wrong: %+v", tb)
+	}
+	y := tb.MustColumn("y")
+	if y.Data.Width() != 9 || y.Decode(200) != 20 {
+		t.Fatal("column metadata wrong")
+	}
+	if _, err := tb.Column("nope"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if tb.SizeBytes() == 0 {
+		t.Fatal("SizeBytes should be positive")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := table.Build("t", nil, core.NewBuilder, nil); err == nil {
+		t.Fatal("no columns should error")
+	}
+	ragged := []table.ColumnSpec{
+		{Name: "a", K: 4, Codes: []uint32{1}},
+		{Name: "b", K: 4, Codes: []uint32{1, 2}},
+	}
+	if _, err := table.Build("t", ragged, core.NewBuilder, nil); err == nil {
+		t.Fatal("ragged columns should error")
+	}
+	dup := []table.ColumnSpec{
+		{Name: "a", K: 4, Codes: []uint32{1}},
+		{Name: "a", K: 4, Codes: []uint32{2}},
+	}
+	if _, err := table.Build("t", dup, core.NewBuilder, nil); err == nil {
+		t.Fatal("duplicate names should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on error")
+		}
+	}()
+	table.MustBuild("t", nil, core.NewBuilder, nil)
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	tb := table.MustBuild("t", []table.ColumnSpec{{Name: "a", K: 4, Codes: []uint32{1}}}, core.NewBuilder, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustColumn should panic")
+		}
+	}()
+	tb.MustColumn("missing")
+}

@@ -1,0 +1,362 @@
+package byteslice
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"byteslice/internal/encoding"
+)
+
+// Table persistence. The on-disk representation stores each column's
+// metadata (kind, format, encoder parameters, NULL rows) together with its
+// raw codes; loading re-encodes nothing and rebuilds the storage layout
+// deterministically from the codes — the formats themselves are derived
+// data, exactly as a column store would rebuild them when mapping a
+// snapshot back into memory.
+//
+// Format (all integers little-endian):
+//
+//	magic "BSLC" | version u16 | columns u32 | rows u64
+//	per column:
+//	  name | kind u8 | format | width u8
+//	  encoder params (kind-specific)
+//	  nulls u64 + that many u64 row numbers
+//	  rows × u32 codes
+//
+// Strings are length-prefixed (u32).
+
+const (
+	persistMagic   = "BSLC"
+	persistVersion = 1
+)
+
+// WriteTo serialises the table. It returns the number of bytes written.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	put := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	putStr := func(s string) error {
+		if err := put(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+
+	if _, err := io.WriteString(cw, persistMagic); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint16(persistVersion)); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint32(len(t.cols))); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint64(t.n)); err != nil {
+		return cw.n, err
+	}
+
+	for _, c := range t.cols {
+		if err := putStr(c.name); err != nil {
+			return cw.n, err
+		}
+		if err := put(uint8(c.kind)); err != nil {
+			return cw.n, err
+		}
+		if err := putStr(string(c.Format())); err != nil {
+			return cw.n, err
+		}
+		if err := put(uint8(c.Width())); err != nil {
+			return cw.n, err
+		}
+		switch c.kind {
+		case KindInt:
+			if err := put(c.ints.Min()); err != nil {
+				return cw.n, err
+			}
+			if err := put(c.ints.Max()); err != nil {
+				return cw.n, err
+			}
+		case KindDecimal:
+			if err := put(c.decs.Min()); err != nil {
+				return cw.n, err
+			}
+			if err := put(c.decs.Max()); err != nil {
+				return cw.n, err
+			}
+			if err := put(uint8(c.decs.Digits())); err != nil {
+				return cw.n, err
+			}
+		case KindString:
+			vals := c.dict.Values()
+			if err := put(uint32(len(vals))); err != nil {
+				return cw.n, err
+			}
+			for _, s := range vals {
+				if err := putStr(s); err != nil {
+					return cw.n, err
+				}
+			}
+		case KindCode:
+			// Width alone suffices.
+		}
+
+		var nullRows []int32
+		if c.nulls != nil {
+			nullRows = c.nulls.Positions(nil)
+		}
+		if err := put(uint64(len(nullRows))); err != nil {
+			return cw.n, err
+		}
+		for _, r := range nullRows {
+			if err := put(uint64(r)); err != nil {
+				return cw.n, err
+			}
+		}
+
+		for i := 0; i < t.n; i++ {
+			if err := put(c.data.Lookup(nilProfile.engine(), i)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// nilProfile lets persistence reuse the engine plumbing without metrics.
+var nilProfile *Profile
+
+// ReadTable deserialises a table written by WriteTo, rebuilding every
+// column in the requested format (pass no option to restore the formats
+// recorded in the stream).
+func ReadTable(r io.Reader, opts ...ColumnOption) (*Table, error) {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	getStr := func() (string, error) {
+		var n uint32
+		if err := get(&n); err != nil {
+			return "", err
+		}
+		if n > 1<<24 {
+			return "", fmt.Errorf("byteslice: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("byteslice: bad magic %q", magic)
+	}
+	var version uint16
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("byteslice: unsupported version %d", version)
+	}
+	var ncols uint32
+	var nrows uint64
+	if err := get(&ncols); err != nil {
+		return nil, err
+	}
+	if err := get(&nrows); err != nil {
+		return nil, err
+	}
+	if ncols == 0 || ncols > 1<<16 || nrows > 1<<40 {
+		return nil, fmt.Errorf("byteslice: implausible shape %d×%d", ncols, nrows)
+	}
+
+	override := applyOpts(opts)
+	cols := make([]*Column, 0, ncols)
+	for ci := uint32(0); ci < ncols; ci++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		var kind uint8
+		if err := get(&kind); err != nil {
+			return nil, err
+		}
+		formatStr, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		var width uint8
+		if err := get(&width); err != nil {
+			return nil, err
+		}
+		format := Format(formatStr)
+		if override.format != "" {
+			format = override.format
+		}
+
+		var intMin, intMax int64
+		var decMin, decMax float64
+		var decDigits uint8
+		var vocab []string
+		switch Kind(kind) {
+		case KindInt:
+			if err := get(&intMin); err != nil {
+				return nil, err
+			}
+			if err := get(&intMax); err != nil {
+				return nil, err
+			}
+		case KindDecimal:
+			if err := get(&decMin); err != nil {
+				return nil, err
+			}
+			if err := get(&decMax); err != nil {
+				return nil, err
+			}
+			if err := get(&decDigits); err != nil {
+				return nil, err
+			}
+		case KindString:
+			var card uint32
+			if err := get(&card); err != nil {
+				return nil, err
+			}
+			if card > 1<<24 {
+				return nil, fmt.Errorf("byteslice: implausible dictionary size %d", card)
+			}
+			vocab = make([]string, card)
+			for i := range vocab {
+				if vocab[i], err = getStr(); err != nil {
+					return nil, err
+				}
+			}
+		case KindCode:
+		default:
+			return nil, fmt.Errorf("byteslice: unknown column kind %d", kind)
+		}
+
+		var nullCount uint64
+		if err := get(&nullCount); err != nil {
+			return nil, err
+		}
+		if nullCount > nrows {
+			return nil, fmt.Errorf("byteslice: %d nulls in %d rows", nullCount, nrows)
+		}
+		nullRows := make([]int, nullCount)
+		for i := range nullRows {
+			var r uint64
+			if err := get(&r); err != nil {
+				return nil, err
+			}
+			if r >= nrows {
+				return nil, fmt.Errorf("byteslice: null row %d out of range", r)
+			}
+			nullRows[i] = int(r)
+		}
+
+		codes := make([]uint32, nrows)
+		if err := get(codes); err != nil {
+			return nil, err
+		}
+
+		col, err := rebuildColumn(name, Kind(kind), format, int(width), codes,
+			intMin, intMax, decMin, decMax, int(decDigits), vocab, nullRows)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	return NewTable(cols...)
+}
+
+// rebuildColumn reconstructs a column directly from its stored codes and
+// encoder parameters, avoiding native-value round trips (which would have
+// to special-case NULL placeholder rows).
+func rebuildColumn(name string, kind Kind, format Format, width int, codes []uint32,
+	intMin, intMax int64, decMin, decMax float64, decDigits int,
+	vocab []string, nullRows []int) (*Column, error) {
+
+	build, err := builderFor(format)
+	if err != nil {
+		return nil, err
+	}
+	nulls, err := buildNulls(nullRows, len(codes))
+	if err != nil {
+		return nil, err
+	}
+	checkCodes := func(k int) error {
+		if k < 1 || k > 32 {
+			return fmt.Errorf("byteslice: column %s: bad width %d", name, k)
+		}
+		if k == 32 {
+			return nil
+		}
+		for i, c := range codes {
+			if c >= 1<<uint(k) {
+				return fmt.Errorf("byteslice: column %s row %d: code %d exceeds width %d", name, i, c, k)
+			}
+		}
+		return nil
+	}
+
+	switch kind {
+	case KindInt:
+		enc, err := encoding.NewIntEncoder(intMin, intMax)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkCodes(enc.Width()); err != nil {
+			return nil, err
+		}
+		return &Column{nulls: nulls, name: name, kind: KindInt, ints: enc,
+			hist: buildHistogram(codes, maxCodeFor(enc.Width())),
+			data: build(codes, enc.Width(), arena)}, nil
+	case KindDecimal:
+		enc, err := encoding.NewDecimalEncoder(decMin, decMax, decDigits)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkCodes(enc.Width()); err != nil {
+			return nil, err
+		}
+		return &Column{nulls: nulls, name: name, kind: KindDecimal, decs: enc,
+			hist: buildHistogram(codes, maxCodeFor(enc.Width())),
+			data: build(codes, enc.Width(), arena)}, nil
+	case KindString:
+		dict := encoding.NewDictionary(vocab)
+		if dict.Cardinality() != len(vocab) {
+			return nil, fmt.Errorf("byteslice: column %s: stored vocabulary has duplicates", name)
+		}
+		for i, c := range codes {
+			if int(c) >= dict.Cardinality() {
+				return nil, fmt.Errorf("byteslice: column %s row %d: code %d outside dictionary", name, i, c)
+			}
+		}
+		return &Column{nulls: nulls, name: name, kind: KindString, dict: dict,
+			hist: buildHistogram(codes, maxCodeFor(dict.Width())),
+			data: build(codes, dict.Width(), arena)}, nil
+	case KindCode:
+		if err := checkCodes(width); err != nil {
+			return nil, err
+		}
+		return &Column{nulls: nulls, name: name, kind: KindCode,
+			hist: buildHistogram(codes, maxCodeFor(width)),
+			data: build(codes, width, arena)}, nil
+	}
+	return nil, fmt.Errorf("byteslice: unknown kind %v", kind)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

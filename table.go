@@ -1,0 +1,437 @@
+package byteslice
+
+import (
+	"fmt"
+	"sort"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/sortpart"
+)
+
+// Table is an immutable set of equal-length columns queried together.
+type Table struct {
+	cols   []*Column
+	byName map[string]*Column
+	n      int
+}
+
+// NewTable assembles columns into a table. All columns must have the same
+// number of rows and distinct names.
+func NewTable(cols ...*Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("byteslice: table needs at least one column")
+	}
+	t := &Table{cols: cols, byName: make(map[string]*Column, len(cols)), n: cols[0].Len()}
+	for _, c := range cols {
+		if c.Len() != t.n {
+			return nil, fmt.Errorf("byteslice: column %s has %d rows, want %d", c.Name(), c.Len(), t.n)
+		}
+		if _, dup := t.byName[c.Name()]; dup {
+			return nil, fmt.Errorf("byteslice: duplicate column %s", c.Name())
+		}
+		t.byName[c.Name()] = c
+	}
+	return t, nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.n }
+
+// Column returns the named column.
+func (t *Table) Column(name string) (*Column, error) {
+	c, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("byteslice: no column %q", name)
+	}
+	return c, nil
+}
+
+// Result is the outcome of a filter evaluation: one bit per row.
+type Result struct {
+	bv *bitvec.Vector
+}
+
+// Count returns the number of matching rows.
+func (r *Result) Count() int { return r.bv.Count() }
+
+// Rows returns the matching record numbers in ascending order — the
+// scan-to-lookup conversion of §2.
+func (r *Result) Rows() []int32 { return r.bv.Positions(nil) }
+
+// Contains reports whether row i matched.
+func (r *Result) Contains(i int) bool { return r.bv.Get(i) }
+
+// And intersects r with o in place and returns r.
+func (r *Result) And(o *Result) *Result { r.bv.And(o.bv); return r }
+
+// Or unions r with o in place and returns r.
+func (r *Result) Or(o *Result) *Result { r.bv.Or(o.bv); return r }
+
+// QueryOption customises filter evaluation.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	profile  *Profile
+	strategy Strategy
+	workers  int
+	order    FilterOrder
+}
+
+// WithProfile records the evaluation's modelled execution metrics.
+func WithProfile(p *Profile) QueryOption {
+	return func(c *queryConfig) { c.profile = p }
+}
+
+// WithStrategy overrides the complex-predicate evaluation strategy.
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithParallelism scans the driving (first) predicate of a ByteSlice
+// column with the given number of worker goroutines (§4.1.4: segments are
+// independent, so the column is partitioned across threads). Subsequent
+// pipelined predicates, which touch only the surviving segments, stay
+// serial. Per-worker execution metrics are folded into the query profile.
+func WithParallelism(workers int) QueryOption {
+	return func(c *queryConfig) { c.workers = workers }
+}
+
+// Filter evaluates the conjunction (AND) of the given filters.
+func (t *Table) Filter(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return t.eval(filters, false, opts)
+}
+
+// FilterAny evaluates the disjunction (OR) of the given filters.
+func (t *Table) FilterAny(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return t.eval(filters, true, opts)
+}
+
+// resolved is a filter translated into code space.
+type resolved struct {
+	col  *Column
+	pred layout.Predicate
+	// matchAll marks a filter that is trivially true for every non-NULL
+	// row of a nullable column: it has no predicate to scan, but it still
+	// excludes the column's NULL rows (comparison with NULL is not true).
+	matchAll bool
+}
+
+func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Result, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("byteslice: no filters")
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := cfg.profile.engine()
+
+	rs := make([]resolved, 0, len(filters))
+	for _, f := range filters {
+		col, err := t.Column(f.Col)
+		if err != nil {
+			return nil, err
+		}
+		pred, trivial, err := col.predicate(f)
+		if err != nil {
+			return nil, err
+		}
+		// Trivial filters short-circuit, drop out, or — when the column is
+		// nullable — degenerate to "every non-NULL row".
+		if trivial != nil {
+			switch {
+			case !*trivial && !disjunct:
+				// false AND … = false, NULLs notwithstanding.
+				return &Result{bv: bitvec.New(t.n)}, nil
+			case !*trivial && disjunct:
+				continue // false OR … : neutral
+			case *trivial && col.nulls == nil:
+				if disjunct {
+					// true OR … = true.
+					out := bitvec.New(t.n)
+					out.Fill()
+					return &Result{bv: out}, nil
+				}
+				continue // true AND … : neutral
+			default:
+				// Trivially true on a nullable column: all non-NULL rows.
+				rs = append(rs, resolved{col: col, matchAll: true})
+				continue
+			}
+		}
+		rs = append(rs, resolved{col: col, pred: pred})
+	}
+	if len(rs) == 0 {
+		// All filters were neutral: AND of nothing = all rows; OR = none.
+		out := bitvec.New(t.n)
+		if !disjunct {
+			out.Fill()
+		}
+		return &Result{bv: out}, nil
+	}
+
+	strategy := cfg.strategy
+	if strategy == StrategyAuto {
+		strategy = StrategyColumnFirst
+	}
+
+	// Evaluate the predicate expected to settle the most rows first: the
+	// most selective one in a conjunction, the least selective in a
+	// disjunction, so the pipelined scans skip the most segments.
+	if cfg.order == OrderBySelectivity && len(rs) > 1 {
+		sort.SliceStable(rs, func(i, j int) bool {
+			si := rs[i].col.hist.estimate(rs[i].pred)
+			sj := rs[j].col.hist.estimate(rs[j].pred)
+			if disjunct {
+				return si > sj
+			}
+			return si < sj
+		})
+	}
+
+	anyNulls := false
+	for _, r := range rs {
+		if r.col.nulls != nil {
+			anyNulls = true
+			break
+		}
+	}
+
+	if strategy == StrategyPredicateFirst {
+		for _, r := range rs {
+			if r.matchAll {
+				anyNulls = true // forces the baseline below
+			}
+		}
+		if anyNulls {
+			// Predicate-first pipelines uncondensed masks across columns;
+			// per-column null clearing does not compose with it, so
+			// nullable tables fall back to the baseline.
+			strategy = StrategyBaseline
+		}
+		if cols, preds, ok := allBS(rs); strategy == StrategyPredicateFirst && ok {
+			out := bitvec.New(t.n)
+			if disjunct {
+				core.ScanDisjunctionPredicateFirst(e, cols, preds, out)
+			} else {
+				core.ScanConjunctionPredicateFirst(e, cols, preds, out)
+			}
+			return &Result{bv: out}, nil
+		}
+		strategy = StrategyBaseline
+	}
+
+	acc := bitvec.New(t.n)
+	cur := bitvec.New(t.n)
+	for i, r := range rs {
+		if r.matchAll {
+			target := cur
+			if i == 0 {
+				target = acc
+			}
+			target.Fill()
+			applyNulls(target, r.col)
+			if i > 0 {
+				if disjunct {
+					acc.Or(cur)
+				} else {
+					acc.And(cur)
+				}
+			}
+			continue
+		}
+		if i == 0 {
+			bs, isBS := byteSliceOf(r.col.data)
+			switch {
+			case isBS && cfg.workers > 1:
+				for _, wp := range bs.ParallelScan(r.pred, cfg.workers, acc) {
+					if cfg.profile != nil {
+						cfg.profile.p.Merge(wp)
+					}
+				}
+			case isBS && bs.HasZoneMaps():
+				bs.ScanZoned(e, r.pred, acc)
+			default:
+				r.col.data.Scan(e, r.pred, acc)
+			}
+			applyNulls(acc, r.col)
+			continue
+		}
+		if strategy == StrategyColumnFirst {
+			// Conjunctive pipelining composes with null clearing (rows
+			// NULL in this column drop out of prev AND scan afterwards);
+			// disjunctive pipelining does not, so a nullable column in a
+			// disjunction is scanned separately.
+			if p, ok := r.col.data.(layout.Pipelined); ok && !(disjunct && r.col.nulls != nil) {
+				p.ScanPipelined(e, r.pred, acc, disjunct, cur)
+				if !disjunct {
+					applyNulls(cur, r.col)
+				}
+				acc, cur = cur, acc
+				continue
+			}
+		}
+		r.col.data.Scan(e, r.pred, cur)
+		applyNulls(cur, r.col)
+		if disjunct {
+			acc.Or(cur)
+		} else {
+			acc.And(cur)
+		}
+	}
+	return &Result{bv: acc}, nil
+}
+
+func allBS(rs []resolved) ([]*core.ByteSlice, []layout.Predicate, bool) {
+	cols := make([]*core.ByteSlice, len(rs))
+	preds := make([]layout.Predicate, len(rs))
+	for i, r := range rs {
+		b, ok := byteSliceOf(r.col.data)
+		if !ok {
+			return nil, nil, false
+		}
+		cols[i] = b
+		preds[i] = r.pred
+	}
+	return cols, preds, true
+}
+
+// ProjectInt decodes an integer column's values for the matching rows
+// (NULL rows of the projected column are skipped; their row numbers are
+// omitted from the parallel Rows slice returned alongside).
+func (t *Table) ProjectInt(col string, res *Result, opts ...QueryOption) ([]int32, []int64, error) {
+	c, err := t.aggColumn(col, KindInt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, codes, err := t.projectCodes(c, res, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := make([]int64, len(codes))
+	for i, code := range codes {
+		vals[i] = c.ints.Decode(code)
+	}
+	return rows, vals, nil
+}
+
+// ProjectDecimal decodes a decimal column's values for the matching rows.
+func (t *Table) ProjectDecimal(col string, res *Result, opts ...QueryOption) ([]int32, []float64, error) {
+	c, err := t.aggColumn(col, KindDecimal)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, codes, err := t.projectCodes(c, res, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := make([]float64, len(codes))
+	for i, code := range codes {
+		vals[i] = c.decs.Decode(code)
+	}
+	return rows, vals, nil
+}
+
+// ProjectString decodes a string column's values for the matching rows.
+func (t *Table) ProjectString(col string, res *Result, opts ...QueryOption) ([]int32, []string, error) {
+	c, err := t.aggColumn(col, KindString)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, codes, err := t.projectCodes(c, res, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := make([]string, len(codes))
+	for i, code := range codes {
+		vals[i] = c.dict.Decode(code)
+	}
+	return rows, vals, nil
+}
+
+// projectCodes looks up a column's codes for the non-NULL matching rows —
+// the scan-to-lookup conversion of §2, feeding an array of a standard type.
+func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int32, []uint32, error) {
+	if res == nil {
+		return nil, nil, fmt.Errorf("byteslice: projection needs a filter result")
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := cfg.profile.engine()
+	rows := make([]int32, 0, res.Count())
+	codes := make([]uint32, 0, res.Count())
+	for _, r := range res.Rows() {
+		if c.nulls != nil && c.nulls.Get(int(r)) {
+			continue
+		}
+		rows = append(rows, r)
+		codes = append(codes, c.data.Lookup(e, int(r)))
+	}
+	return rows, codes, nil
+}
+
+// OrderBy returns the matching rows sorted by the named column's values in
+// ascending order (ties keep row order). ByteSlice columns sort via the §6
+// radix sort over their byte slices; other formats fall back to a
+// comparison sort on looked-up codes. NULL rows of the sort column are
+// excluded.
+func (t *Table) OrderBy(col string, res *Result, opts ...QueryOption) ([]int32, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("byteslice: OrderBy needs a filter result")
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := cfg.profile.engine()
+
+	rows := make([]int32, 0, res.Count())
+	for _, r := range res.Rows() {
+		if c.nulls != nil && c.nulls.Get(int(r)) {
+			continue
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return rows, nil
+	}
+
+	if bs, ok := byteSliceOf(c.data); ok {
+		// Materialise the survivors' codes as a small ByteSlice column and
+		// radix-sort it; the resulting permutation maps back to rows.
+		codes := make([]uint32, len(rows))
+		for i, r := range rows {
+			codes[i] = bs.Lookup(e, int(r))
+		}
+		sub := core.New(codes, c.Width(), nil)
+		order := sortpart.Sort(e, sub)
+		out := make([]int32, len(rows))
+		for i, idx := range order {
+			out[i] = rows[idx]
+		}
+		return out, nil
+	}
+
+	codes := make([]uint32, len(rows))
+	for i, r := range rows {
+		codes[i] = c.data.Lookup(e, int(r))
+	}
+	perm := make([]int, len(rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return codes[perm[i]] < codes[perm[j]] })
+	out := make([]int32, len(rows))
+	for i, idx := range perm {
+		out[i] = rows[idx]
+	}
+	return out, nil
+}
