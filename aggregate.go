@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
 )
 
@@ -12,7 +13,9 @@ import (
 // ByteSlice columns aggregate with SIMD directly on the byte slices
 // (masked SAD sums, slice-wise min/max tournaments — see
 // internal/core/aggregate.go); other formats fall back to per-row lookups.
-// NULL rows of the aggregated column are always excluded, matching SQL.
+// Without a profile, the native SWAR kernels in internal/kernel run
+// instead of the modelled engine. NULL rows of the aggregated column are
+// always excluded, matching SQL.
 
 // aggMask builds the effective row mask: the result's rows (or all rows)
 // minus the column's NULLs. Returns nil when every row participates.
@@ -42,13 +45,18 @@ func (t *Table) aggColumn(name string, kind Kind) (*Column, error) {
 	return c, nil
 }
 
-// sumCodes computes (Σ codes, row count) over the mask with the SIMD path
-// when available.
-func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, p *Profile) (uint64, int) {
-	e := p.engine()
+// sumCodes computes (Σ codes, row count) over the mask. ByteSlice columns
+// aggregate with SIMD; without a profile the native SWAR kernel runs
+// instead of the modelled engine, chunked across workers when the query is
+// parallel.
+func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint64, int) {
 	if bs, ok := byteSliceOf(c.data); ok {
-		return bs.Sum(e, mask)
+		if cfg.native() {
+			return kernel.ParallelSum(bs, mask, cfg.nativeWorkers(bs.Segments()))
+		}
+		return bs.Sum(cfg.profile.engine(), mask)
 	}
+	e := cfg.profile.engine()
 	var sum uint64
 	count := 0
 	for i := 0; i < t.n; i++ {
@@ -61,15 +69,20 @@ func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, p *Profile) (uint64, in
 	return sum, count
 }
 
-// extremeCode computes min or max of the codes over the mask.
-func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, p *Profile, isMin bool) (uint32, bool) {
-	e := p.engine()
+// extremeCode computes min or max of the codes over the mask, dispatching
+// like sumCodes.
+func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, cfg *queryConfig, isMin bool) (uint32, bool) {
 	if bs, ok := byteSliceOf(c.data); ok {
+		if cfg.native() {
+			return kernel.ParallelExtreme(bs, mask, isMin, cfg.nativeWorkers(bs.Segments()))
+		}
+		e := cfg.profile.engine()
 		if isMin {
 			return bs.Min(e, mask)
 		}
 		return bs.Max(e, mask)
 	}
+	e := cfg.profile.engine()
 	var best uint32
 	found := false
 	for i := 0; i < t.n; i++ {
@@ -96,7 +109,7 @@ func (t *Table) SumInt(col string, res *Result, opts ...QueryOption) (int64, int
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sum, count := t.sumCodes(c, t.aggMask(c, res), cfg.profile)
+	sum, count := t.sumCodes(c, t.aggMask(c, res), &cfg)
 	// Frame of reference: value = min + code.
 	return int64(count)*c.ints.Min() + int64(sum), count, nil
 }
@@ -111,7 +124,7 @@ func (t *Table) SumDecimal(col string, res *Result, opts ...QueryOption) (float6
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sum, count := t.sumCodes(c, t.aggMask(c, res), cfg.profile)
+	sum, count := t.sumCodes(c, t.aggMask(c, res), &cfg)
 	step := c.decs.Decode(1) - c.decs.Decode(0)
 	return float64(count)*c.decs.Min() + float64(sum)*step, count, nil
 }
@@ -136,7 +149,7 @@ func (t *Table) extremeInt(col string, res *Result, opts []QueryOption, isMin bo
 	for _, o := range opts {
 		o(&cfg)
 	}
-	code, ok := t.extremeCode(c, t.aggMask(c, res), cfg.profile, isMin)
+	code, ok := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
 	if !ok {
 		return 0, false, nil
 	}
@@ -162,7 +175,7 @@ func (t *Table) extremeDecimal(col string, res *Result, opts []QueryOption, isMi
 	for _, o := range opts {
 		o(&cfg)
 	}
-	code, ok := t.extremeCode(c, t.aggMask(c, res), cfg.profile, isMin)
+	code, ok := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
 	if !ok {
 		return 0, false, nil
 	}
@@ -191,7 +204,7 @@ func (t *Table) extremeString(col string, res *Result, opts []QueryOption, isMin
 	for _, o := range opts {
 		o(&cfg)
 	}
-	code, ok := t.extremeCode(c, t.aggMask(c, res), cfg.profile, isMin)
+	code, ok := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
 	if !ok {
 		return "", false, nil
 	}
@@ -276,9 +289,14 @@ func (t *Table) sumBy(v *Column, byCol string, res *Result, opts []QueryOption,
 	if valIsBS && grpIsBS && g.Width() <= groupScanMaxWidth {
 		// Grouping by scanning: one equality scan per candidate group code
 		// (early stopping makes misses cheap), one masked SIMD sum each.
+		// Unprofiled runs use the native kernels for both.
 		groupMask := bitvec.New(t.n)
 		for code := uint32(0); code <= g.maxCode(); code++ {
-			bsGrp.Scan(e, layout.Predicate{Op: Eq, C1: code}, groupMask)
+			if cfg.native() {
+				kernel.Scan(bsGrp, layout.Predicate{Op: Eq, C1: code}, groupMask)
+			} else {
+				bsGrp.Scan(e, layout.Predicate{Op: Eq, C1: code}, groupMask)
+			}
 			if mask != nil {
 				groupMask.And(mask)
 			}
@@ -286,7 +304,12 @@ func (t *Table) sumBy(v *Column, byCol string, res *Result, opts []QueryOption,
 			if count == 0 {
 				continue
 			}
-			codeSum, _ := bsVal.Sum(e, groupMask)
+			var codeSum uint64
+			if cfg.native() {
+				codeSum, _ = kernel.Sum(bsVal, groupMask)
+			} else {
+				codeSum, _ = bsVal.Sum(e, groupMask)
+			}
 			// Σ decode(c) = count·decode(0) + (decode(1)−decode(0))·Σc for
 			// the affine decoders used here.
 			step := decode(1) - decode(0)

@@ -19,6 +19,7 @@ import (
 	"byteslice/internal/core"
 	"byteslice/internal/datagen"
 	"byteslice/internal/experiments"
+	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
 	"byteslice/internal/layouts"
 	"byteslice/internal/perf"
@@ -358,6 +359,69 @@ func BenchmarkAggregateSum(b *testing.B) {
 	}
 	_ = sink
 	b.ReportMetric(prof.Cycles()/float64(n)/float64(b.N), "cycles/row")
+}
+
+// --- Native SWAR kernels vs the modelled engine ---
+//
+// The Engine/Native benchmark pairs below share data and predicate so
+// their ratio is the real speed-up of the unprofiled fast path (the
+// acceptance bar is >=10x at k=12, single-threaded).
+
+// nativeBenchColumn builds the shared 1M-row column the native-vs-engine
+// scan benchmarks run over, with a ~10%-selectivity Lt predicate.
+func nativeBenchColumn(k int) (*core.ByteSlice, layout.Predicate) {
+	const n = 1 << 20
+	codes := datagen.Uniform(datagen.NewRand(9), n, k)
+	col := core.New(codes, k, nil)
+	return col, layout.Predicate{Op: layout.Lt, C1: datagen.SelectivityConstant(codes, 0.1)}
+}
+
+// BenchmarkEngineScan is the modelled-engine (profiled-path) scan per
+// width — the baseline the native kernels are measured against.
+func BenchmarkEngineScan(b *testing.B) {
+	for _, k := range []int{8, 12, 16, 24, 32} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			col, p := nativeBenchColumn(k)
+			e := simd.New(perf.NewProfileNoCache())
+			out := bitvec.New(col.Len())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col.Scan(e, p, out)
+			}
+			b.ReportMetric(float64(col.Len()*b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+}
+
+// BenchmarkNativeScan is the unprofiled SWAR fast-path scan per width.
+func BenchmarkNativeScan(b *testing.B) {
+	for _, k := range []int{8, 12, 16, 24, 32} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			col, p := nativeBenchColumn(k)
+			out := bitvec.New(col.Len())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel.Scan(col, p, out)
+			}
+			b.ReportMetric(float64(col.Len()*b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+}
+
+// BenchmarkNativeScanParallel sweeps the worker pool at k=12 to show the
+// scaling curve of the native path.
+func BenchmarkNativeScanParallel(b *testing.B) {
+	col, p := nativeBenchColumn(12)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			out := bitvec.New(col.Len())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel.ParallelScan(col, p, workers, out)
+			}
+			b.ReportMetric(float64(col.Len()*b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
 }
 
 // BenchmarkParallelScanWall measures real goroutine-parallel scan

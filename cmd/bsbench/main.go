@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the fast smoke-test scale")
 		widths  = flag.String("widths", "", "comma-separated code widths to sweep")
 		format  = flag.String("format", "table", "output format: table or csv")
+		jsonOut = flag.String("json", "", "wall-clock scan benchmark: write native-vs-engine rows/sec per width and worker count to this file (e.g. BENCH_scan.json)")
 	)
 	flag.Parse()
 
@@ -43,8 +45,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "bsbench: -exp is required (try -list)")
+	if *exp == "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "bsbench: -exp or -json is required (try -list)")
 		os.Exit(2)
 	}
 
@@ -73,6 +75,31 @@ func main() {
 				os.Exit(2)
 			}
 			cfg.Widths = append(cfg.Widths, k)
+		}
+	}
+
+	if *jsonOut != "" {
+		// The wall-clock sweep defaults to the acceptance scenario: a
+		// 1M-row column over a few representative widths, native serial
+		// and worker-pool scans against the engine path.
+		if *widths == "" {
+			cfg.Widths = []int{8, 12, 16, 24, 32}
+		}
+		start := time.Now()
+		res := experiments.ScanBench(cfg, []int{2, 4, 8})
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsbench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d measurements in %v)\n", *jsonOut, len(res.Results), time.Since(start).Round(time.Millisecond))
+		if *exp == "" {
+			return
 		}
 	}
 

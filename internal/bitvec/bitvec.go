@@ -233,6 +233,41 @@ func (v *Vector) SetWord32(i int, w uint32) {
 	v.words[word] = v.words[word]&^(uint64(0xFFFFFFFF)<<off) | uint64(w)<<off
 }
 
+// SetWord64 overwrites the aligned 64-bit word holding bits [i, i+64) (i
+// must be a multiple of 64), truncating bits past Len. Like SetWord32 it
+// bypasses the append cursor; the native scan kernels use it to store two
+// 32-bit segment results with one plain write instead of two
+// read-modify-writes.
+func (v *Vector) SetWord64(i int, w uint64) {
+	if i&63 != 0 {
+		panic("bitvec: SetWord64 index not 64-bit aligned")
+	}
+	if i >= v.n {
+		return
+	}
+	if rem := v.n - i; rem < 64 {
+		w &= 1<<uint(rem) - 1
+	}
+	v.words[i>>6] = w
+}
+
+// OrWord32 ORs w into the 32-bit block starting at bit i (i must be a
+// multiple of 32), truncating bits past Len. Like SetWord32 it bypasses
+// the append cursor; the native strict-compare scan uses it to patch
+// deferred deep-slice results into already-stored segments.
+func (v *Vector) OrWord32(i int, w uint32) {
+	if i&31 != 0 {
+		panic("bitvec: OrWord32 index not 32-bit aligned")
+	}
+	if i >= v.n {
+		return
+	}
+	if rem := v.n - i; rem < 32 {
+		w &= 1<<uint(rem) - 1
+	}
+	v.words[i>>6] |= uint64(w) << (uint(i) & 63)
+}
+
 // CopyBits overwrites v's first min(v.Len, o.Len) bits with o's. Used when
 // a shorter result (e.g. over a table's sealed base rows) is embedded into
 // a longer one (base + delta rows).

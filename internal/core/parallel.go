@@ -16,6 +16,15 @@ import (
 // ranges of the *same* column concurrently with no synchronisation beyond
 // the final join.
 
+// ChunkEven returns the per-worker chunk size (in segments) used to
+// partition segs segments across workers. Two segments share one 64-bit
+// word of the result vector; aligning chunk boundaries to even segment
+// numbers keeps each word owned by exactly one worker (no write races).
+// The native kernels in internal/kernel reuse the same alignment.
+func ChunkEven(segs, workers int) int {
+	return ((segs+workers-1)/workers + 1) &^ 1
+}
+
 // ScanRange evaluates p over segments [segLo, segHi), writing each
 // segment's 32 result bits into the aligned block of out via SetWord32.
 // Ranges must not overlap across concurrent callers.
@@ -50,10 +59,7 @@ func (b *ByteSlice) ParallelScan(p layout.Predicate, workers int, out *bitvec.Ve
 		workers = segs
 	}
 	profiles := make([]*perf.Profile, workers)
-	// Two segments share one 64-bit word of the result vector; aligning
-	// chunk boundaries to even segment numbers keeps each word owned by
-	// exactly one worker (no write races).
-	chunk := ((segs+workers-1)/workers + 1) &^ 1
+	chunk := ChunkEven(segs, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk

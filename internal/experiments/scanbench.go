@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"time"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/datagen"
+	"byteslice/internal/kernel"
+	"byteslice/internal/layout"
+	"byteslice/internal/perf"
+	"byteslice/internal/simd"
+)
+
+// ScanBenchEntry is one wall-clock measurement: a full-column scan on one
+// execution path at one width and worker count.
+type ScanBenchEntry struct {
+	Width      int     `json:"width"`
+	Path       string  `json:"path"` // "native" or "engine"
+	Workers    int     `json:"workers"`
+	NsPerScan  float64 `json:"ns_per_scan"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// ScanBenchResult is the payload bsbench -json writes: rows-per-second for
+// the native kernels (serial and per worker count) against the modelled
+// engine path, per code width.
+type ScanBenchResult struct {
+	Rows        int              `json:"rows"`
+	Op          string           `json:"op"`
+	Selectivity float64          `json:"selectivity"`
+	Results     []ScanBenchEntry `json:"results"`
+}
+
+// ScanBench wall-clock-benchmarks the two execution paths. Unlike the rest
+// of this package, which reports the cost model's cycle counts, these are
+// real elapsed-time measurements of the native SWAR kernels versus the
+// emulated engine interpreting the same layout.
+func ScanBench(cfg Config, workerCounts []int) *ScanBenchResult {
+	const sel = 0.10
+	res := &ScanBenchResult{Rows: cfg.N, Op: "lt", Selectivity: sel}
+	for _, k := range cfg.Widths {
+		codes := datagen.Uniform(datagen.NewRand(cfg.Seed), cfg.N, k)
+		b := core.New(codes, k, nil)
+		p := constFor(codes, k, layout.Lt, sel)
+		out := bitvec.New(cfg.N)
+
+		e := simd.New(perf.NewProfileNoCache())
+		ns := measureScan(func() { b.Scan(e, p, out) })
+		res.Results = append(res.Results, entry(k, "engine", 1, ns, cfg.N))
+
+		ns = measureScan(func() { kernel.Scan(b, p, out) })
+		res.Results = append(res.Results, entry(k, "native", 1, ns, cfg.N))
+
+		for _, w := range workerCounts {
+			if w < 2 {
+				continue
+			}
+			w := w
+			ns = measureScan(func() { kernel.ParallelScan(b, p, w, out) })
+			res.Results = append(res.Results, entry(k, "native", w, ns, cfg.N))
+		}
+	}
+	return res
+}
+
+func entry(k int, path string, workers int, ns float64, n int) ScanBenchEntry {
+	return ScanBenchEntry{
+		Width:      k,
+		Path:       path,
+		Workers:    workers,
+		NsPerScan:  ns,
+		RowsPerSec: float64(n) / (ns / 1e9),
+	}
+}
+
+// measureScan times f with benchmark-style adaptive repetition: doubling
+// rounds until one round runs at least 100ms, then ns per call of the last
+// round. The first call warms the cache and is discarded.
+func measureScan(f func()) float64 {
+	f()
+	for reps := 1; ; reps *= 2 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		if el := time.Since(start); el >= 100*time.Millisecond || reps >= 1<<16 {
+			return float64(el.Nanoseconds()) / float64(reps)
+		}
+	}
+}

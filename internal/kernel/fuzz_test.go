@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+)
+
+// FuzzNativeVsEngine decodes arbitrary bytes into (width, operator,
+// constants, worker count, previous-result mask, codes) and asserts that
+// every native kernel produces results bit-identical to its modelled
+// engine counterpart in internal/core: Scan vs Scan, the pipelined scans
+// for both polarities, worker-pool scans vs serial, and the aggregates.
+// Run with `go test -fuzz FuzzNativeVsEngine ./internal/kernel` for
+// continuous fuzzing; the seed corpus runs in ordinary `go test`.
+func FuzzNativeVsEngine(f *testing.F) {
+	f.Add([]byte{11, 0, 0x80, 0x02, 0x00, 0x04, 3, 0xAA, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{32, 4, 0xFF, 0xFF, 0xFF, 0xFF, 1, 0x00, 0xAA, 0xBB, 0xCC, 0xDD})
+	f.Add([]byte{1, 6, 0, 0, 0, 1, 9, 0xFF, 0xF0})
+	f.Add([]byte{8, 2, 42, 0, 99, 0, 2, 0x55, 42, 41, 43, 42})
+	f.Add([]byte{16, 5, 7, 1, 9, 2, 0, 0x0F, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		k := int(data[0])%32 + 1
+		op := layout.Ops[int(data[1])%len(layout.Ops)]
+		max := uint32(uint64(1)<<uint(k) - 1)
+		dom := uint64(max) + 1
+		p := layout.Predicate{
+			Op: op,
+			C1: uint32(uint64(binary.LittleEndian.Uint16(data[2:])) % dom),
+			C2: uint32(uint64(binary.LittleEndian.Uint16(data[4:])) % dom),
+		}
+		if p.Op == layout.Between && p.C1 > p.C2 {
+			p.C1, p.C2 = p.C2, p.C1
+		}
+		workers := int(data[6]) % 9
+		// prevSeed patterns the pipelined scan's previous result (and the
+		// aggregate mask): each row's bit comes from a rotating byte.
+		prevSeed := data[7]
+
+		body := data[8:]
+		codes := make([]uint32, 0, len(body))
+		for i := range body {
+			var w [4]byte
+			copy(w[:], body[i:])
+			codes = append(codes, uint32(uint64(binary.LittleEndian.Uint32(w[:]))%dom))
+		}
+		if len(codes) == 0 {
+			return
+		}
+		n := len(codes)
+		b := core.New(codes, k, nil)
+
+		prev := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if prevSeed>>(uint(i)%8)&1 == 1 || (prevSeed == 0xAA && i%3 == 0) {
+				prev.Set(i, true)
+			}
+		}
+
+		// Plain scan: native (serial and worker-pool) vs engine.
+		want := bitvec.New(n)
+		b.Scan(layouttest.Engine(), p, want)
+		got := bitvec.New(n)
+		got.Fill()
+		Scan(b, p, got)
+		if !got.Equal(want) {
+			t.Fatalf("k=%d %v n=%d: native Scan differs from engine", k, p, n)
+		}
+		got.Fill()
+		ParallelScan(b, p, workers, got)
+		if !got.Equal(want) {
+			t.Fatalf("k=%d %v n=%d workers=%d: native ParallelScan differs", k, p, n, workers)
+		}
+
+		// Pipelined scans, both polarities.
+		for _, negate := range []bool{false, true} {
+			wantP := bitvec.New(n)
+			b.ScanPipelined(layouttest.Engine(), p, prev, negate, wantP)
+			gotP := bitvec.New(n)
+			gotP.Fill()
+			ParallelScanPipelined(b, p, prev, negate, workers, gotP)
+			if !gotP.Equal(wantP) {
+				t.Fatalf("k=%d %v n=%d negate=%v workers=%d: native pipelined scan differs", k, p, n, negate, workers)
+			}
+		}
+
+		// Aggregates under a NULL-style mask (and unmasked) vs the engine.
+		for _, mask := range []*bitvec.Vector{nil, prev} {
+			wantSum, wantN := b.Sum(layouttest.Engine(), mask)
+			gotSum, gotN := ParallelSum(b, mask, workers)
+			if gotSum != wantSum || gotN != wantN {
+				t.Fatalf("k=%d n=%d: native Sum = %d/%d, engine %d/%d", k, n, gotSum, gotN, wantSum, wantN)
+			}
+			wantMin, wantOK := b.Min(layouttest.Engine(), mask)
+			gotMin, gotOK := ParallelExtreme(b, mask, true, workers)
+			if gotOK != wantOK || (wantOK && gotMin != wantMin) {
+				t.Fatalf("k=%d n=%d: native Min = %d/%v, engine %d/%v", k, n, gotMin, gotOK, wantMin, wantOK)
+			}
+			wantMax, wantOK2 := b.Max(layouttest.Engine(), mask)
+			gotMax, gotOK2 := ParallelExtreme(b, mask, false, workers)
+			if gotOK2 != wantOK2 || (wantOK2 && gotMax != wantMax) {
+				t.Fatalf("k=%d n=%d: native Max = %d/%v, engine %d/%v", k, n, gotMax, gotOK2, wantMax, wantOK2)
+			}
+		}
+
+		// Lookups stitch the original codes back.
+		for i, v := range codes {
+			if got := Lookup(b, i); got != v {
+				t.Fatalf("k=%d: Lookup(%d) = %d, want %d", k, i, got, v)
+			}
+		}
+	})
+}

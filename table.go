@@ -2,10 +2,13 @@ package byteslice
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
+	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
 	"byteslice/internal/sortpart"
 )
@@ -79,6 +82,34 @@ type queryConfig struct {
 	order    FilterOrder
 }
 
+// native reports whether the query runs on the native SWAR fast path: no
+// profile is attached, so nothing needs the modelled engine. Profiled
+// queries always take the emulated path, keeping their instruction and
+// cycle counts exactly reproducible.
+func (c *queryConfig) native() bool { return c.profile == nil }
+
+// minSegmentsPerWorker stops the default worker pool from fanning tiny
+// columns out across goroutines: each worker should own at least this many
+// 32-code segments (2048 codes) to amortise the spawn/join cost.
+const minSegmentsPerWorker = 64
+
+// nativeWorkers is the worker-pool size for a native kernel invocation
+// over segs segments: an explicit WithParallelism wins; otherwise one
+// worker per CPU, capped so every worker gets a meaningful chunk.
+func (c *queryConfig) nativeWorkers(segs int) int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	w := runtime.NumCPU()
+	if max := segs / minSegmentsPerWorker; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // WithProfile records the evaluation's modelled execution metrics.
 func WithProfile(p *Profile) QueryOption {
 	return func(c *queryConfig) { c.profile = p }
@@ -89,11 +120,15 @@ func WithStrategy(s Strategy) QueryOption {
 	return func(c *queryConfig) { c.strategy = s }
 }
 
-// WithParallelism scans the driving (first) predicate of a ByteSlice
-// column with the given number of worker goroutines (§4.1.4: segments are
-// independent, so the column is partitioned across threads). Subsequent
-// pipelined predicates, which touch only the surviving segments, stay
-// serial. Per-worker execution metrics are folded into the query profile.
+// WithParallelism sets the number of worker goroutines used to evaluate
+// the query (§4.1.4: ByteSlice segments are independent, so a column is
+// partitioned across threads). On the native fast path (no Profile) it
+// sizes the worker pool for every ByteSlice scan, pipelined scan,
+// projection and aggregate of the query; the default there is already
+// runtime.NumCPU(), so the option mainly pins an exact count. On the
+// modelled path (WithProfile) it parallelises the driving (first)
+// predicate's scan, subsequent pipelined predicates stay serial, and
+// per-worker execution metrics are folded into the query profile.
 func WithParallelism(workers int) QueryOption {
 	return func(c *queryConfig) { c.workers = workers }
 }
@@ -245,6 +280,10 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		if i == 0 {
 			bs, isBS := byteSliceOf(r.col.data)
 			switch {
+			case isBS && cfg.native():
+				// Native SWAR fast path: no profile is attached, so the
+				// segment range fans out across the worker pool.
+				kernel.ParallelScan(bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc)
 			case isBS && cfg.workers > 1:
 				for _, wp := range bs.ParallelScan(r.pred, cfg.workers, acc) {
 					if cfg.profile != nil {
@@ -264,6 +303,14 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			// NULL in this column drop out of prev AND scan afterwards);
 			// disjunctive pipelining does not, so a nullable column in a
 			// disjunction is scanned separately.
+			if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() && !(disjunct && r.col.nulls != nil) {
+				kernel.ParallelScanPipelined(bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+				if !disjunct {
+					applyNulls(cur, r.col)
+				}
+				acc, cur = cur, acc
+				continue
+			}
 			if p, ok := r.col.data.(layout.Pipelined); ok && !(disjunct && r.col.nulls != nil) {
 				p.ScanPipelined(e, r.pred, acc, disjunct, cur)
 				if !disjunct {
@@ -273,7 +320,11 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 				continue
 			}
 		}
-		r.col.data.Scan(e, r.pred, cur)
+		if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
+			kernel.ParallelScan(bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+		} else {
+			r.col.data.Scan(e, r.pred, cur)
+		}
 		applyNulls(cur, r.col)
 		if disjunct {
 			acc.Or(cur)
@@ -352,7 +403,10 @@ func (t *Table) ProjectString(col string, res *Result, opts ...QueryOption) ([]i
 }
 
 // projectCodes looks up a column's codes for the non-NULL matching rows —
-// the scan-to-lookup conversion of §2, feeding an array of a standard type.
+// the scan-to-lookup conversion of §2, feeding an array of a standard
+// type. Without a profile, ByteSlice columns stitch codes natively (and in
+// parallel across row chunks when the query is parallel); profiled runs
+// keep the modelled per-lookup engine path.
 func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int32, []uint32, error) {
 	if res == nil {
 		return nil, nil, fmt.Errorf("byteslice: projection needs a filter result")
@@ -361,15 +415,42 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := cfg.profile.engine()
 	rows := make([]int32, 0, res.Count())
-	codes := make([]uint32, 0, res.Count())
 	for _, r := range res.Rows() {
 		if c.nulls != nil && c.nulls.Get(int(r)) {
 			continue
 		}
 		rows = append(rows, r)
-		codes = append(codes, c.data.Lookup(e, int(r)))
+	}
+	codes := make([]uint32, len(rows))
+	if bs, isBS := byteSliceOf(c.data); isBS && cfg.native() {
+		workers := cfg.workers
+		if max := len(rows) / (minSegmentsPerWorker * core.SegmentSize); workers > max {
+			workers = max
+		}
+		if workers <= 1 {
+			kernel.LookupMany(bs, rows, codes)
+			return rows, codes, nil
+		}
+		chunk := (len(rows) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(rows); lo += chunk {
+			hi := lo + chunk
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				kernel.LookupMany(bs, rows[lo:hi], codes[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+		return rows, codes, nil
+	}
+	e := cfg.profile.engine()
+	for i, r := range rows {
+		codes[i] = c.data.Lookup(e, int(r))
 	}
 	return rows, codes, nil
 }
