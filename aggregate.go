@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
 	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
 )
@@ -209,6 +210,169 @@ func (t *Table) extremeString(col string, res *Result, opts []QueryOption, isMin
 		return "", false, nil
 	}
 	return c.dict.Decode(code), true, nil
+}
+
+// Fused filter→aggregate entry points: a single-filter WHERE clause plus an
+// aggregate over another column, evaluated in one pass by the fused native
+// kernels (internal/kernel/fused.go) — no intermediate bit vector is ever
+// materialised. The fused path applies when the query is native (no
+// profile), the filter is non-trivial, and both columns are null-free
+// ByteSlice; anything else transparently falls back to Filter + the
+// two-pass aggregate, so results are always identical.
+
+// fusedOperands resolves the fused fast path's inputs. ok is false when the
+// two-pass fallback must run instead (never an error by itself).
+func (t *Table) fusedOperands(v *Column, f Filter, cfg *queryConfig) (bsF, bsV *core.ByteSlice, pred layout.Predicate, ok bool, err error) {
+	fc, err := t.Column(f.Col)
+	if err != nil {
+		return nil, nil, layout.Predicate{}, false, err
+	}
+	p, trivial, err := fc.predicate(f)
+	if err != nil {
+		return nil, nil, layout.Predicate{}, false, err
+	}
+	if !cfg.native() || trivial != nil || v.nulls != nil || fc.nulls != nil {
+		return nil, nil, layout.Predicate{}, false, nil
+	}
+	bsF, okF := byteSliceOf(fc.data)
+	bsV, okV := byteSliceOf(v.data)
+	if !okF || !okV {
+		return nil, nil, layout.Predicate{}, false, nil
+	}
+	return bsF, bsV, p, true, nil
+}
+
+// SumIntWhere computes SUM(valCol) and the matching row count over the rows
+// satisfying the single filter f — the fused one-pass form of
+// Filter + SumInt.
+func (t *Table) SumIntWhere(valCol string, f Filter, opts ...QueryOption) (int64, int, error) {
+	c, err := t.aggColumn(valCol, KindInt)
+	if err != nil {
+		return 0, 0, err
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	bsF, bsV, pred, ok, err := t.fusedOperands(c, f, &cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if ok {
+		sum, count := kernel.ScanSum(bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		return int64(count)*c.ints.Min() + int64(sum), count, nil
+	}
+	res, err := t.Filter([]Filter{f}, opts...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.SumInt(valCol, res, opts...)
+}
+
+// SumDecimalWhere is SumIntWhere for decimal value columns.
+func (t *Table) SumDecimalWhere(valCol string, f Filter, opts ...QueryOption) (float64, int, error) {
+	c, err := t.aggColumn(valCol, KindDecimal)
+	if err != nil {
+		return 0, 0, err
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	bsF, bsV, pred, ok, err := t.fusedOperands(c, f, &cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if ok {
+		sum, count := kernel.ScanSum(bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		step := c.decs.Decode(1) - c.decs.Decode(0)
+		return float64(count)*c.decs.Min() + float64(sum)*step, count, nil
+	}
+	res, err := t.Filter([]Filter{f}, opts...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.SumDecimal(valCol, res, opts...)
+}
+
+// MinIntWhere returns MIN(valCol) over the rows satisfying f; ok is false
+// when no row matches. It is the fused one-pass form of Filter + MinInt.
+func (t *Table) MinIntWhere(valCol string, f Filter, opts ...QueryOption) (int64, bool, error) {
+	return t.extremeIntWhere(valCol, f, opts, true)
+}
+
+// MaxIntWhere returns MAX(valCol) over the rows satisfying f.
+func (t *Table) MaxIntWhere(valCol string, f Filter, opts ...QueryOption) (int64, bool, error) {
+	return t.extremeIntWhere(valCol, f, opts, false)
+}
+
+func (t *Table) extremeIntWhere(valCol string, f Filter, opts []QueryOption, isMin bool) (int64, bool, error) {
+	c, err := t.aggColumn(valCol, KindInt)
+	if err != nil {
+		return 0, false, err
+	}
+	code, ok, fused, err := t.fusedExtreme(c, f, opts, isMin)
+	if err != nil {
+		return 0, false, err
+	}
+	if fused {
+		if !ok {
+			return 0, false, nil
+		}
+		return c.ints.Decode(code), true, nil
+	}
+	res, err := t.Filter([]Filter{f}, opts...)
+	if err != nil {
+		return 0, false, err
+	}
+	return t.extremeInt(valCol, res, opts, isMin)
+}
+
+// MinDecimalWhere returns MIN(valCol) over the rows satisfying f.
+func (t *Table) MinDecimalWhere(valCol string, f Filter, opts ...QueryOption) (float64, bool, error) {
+	return t.extremeDecimalWhere(valCol, f, opts, true)
+}
+
+// MaxDecimalWhere returns MAX(valCol) over the rows satisfying f.
+func (t *Table) MaxDecimalWhere(valCol string, f Filter, opts ...QueryOption) (float64, bool, error) {
+	return t.extremeDecimalWhere(valCol, f, opts, false)
+}
+
+func (t *Table) extremeDecimalWhere(valCol string, f Filter, opts []QueryOption, isMin bool) (float64, bool, error) {
+	c, err := t.aggColumn(valCol, KindDecimal)
+	if err != nil {
+		return 0, false, err
+	}
+	code, ok, fused, err := t.fusedExtreme(c, f, opts, isMin)
+	if err != nil {
+		return 0, false, err
+	}
+	if fused {
+		if !ok {
+			return 0, false, nil
+		}
+		return c.decs.Decode(code), true, nil
+	}
+	res, err := t.Filter([]Filter{f}, opts...)
+	if err != nil {
+		return 0, false, err
+	}
+	return t.extremeDecimal(valCol, res, opts, isMin)
+}
+
+// fusedExtreme runs the one-pass filter→extreme kernel; fused is false when
+// the caller must fall back to the two-pass path.
+func (t *Table) fusedExtreme(c *Column, f Filter, opts []QueryOption, isMin bool) (code uint32, ok, fused bool, err error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	bsF, bsV, pred, fused, err := t.fusedOperands(c, f, &cfg)
+	if err != nil || !fused {
+		return 0, false, false, err
+	}
+	code, ok = kernel.ScanExtreme(bsF, pred, bsV, isMin, cfg.nativeWorkers(bsF.Segments()))
+	return code, ok, true, nil
 }
 
 // GroupSum is one group of a grouped aggregation.

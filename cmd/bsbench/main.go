@@ -26,16 +26,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (e.g. fig9, table1, headline), or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		n       = flag.Int("n", 0, "micro-benchmark column length (default 1Mi)")
-		lookups = flag.Int("lookups", 0, "random lookups for the lookup experiments (default 100k)")
-		rows    = flag.Int("rows", 0, "wide-table rows for the query experiments (default 200k)")
-		seed    = flag.Uint64("seed", 0, "data generation seed")
-		quick   = flag.Bool("quick", false, "use the fast smoke-test scale")
-		widths  = flag.String("widths", "", "comma-separated code widths to sweep")
-		format  = flag.String("format", "table", "output format: table or csv")
-		jsonOut = flag.String("json", "", "wall-clock scan benchmark: write native-vs-engine rows/sec per width and worker count to this file (e.g. BENCH_scan.json)")
+		exp      = flag.String("exp", "", "experiment id (e.g. fig9, table1, headline), or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		n        = flag.Int("n", 0, "micro-benchmark column length (default 1Mi)")
+		lookups  = flag.Int("lookups", 0, "random lookups for the lookup experiments (default 100k)")
+		rows     = flag.Int("rows", 0, "wide-table rows for the query experiments (default 200k)")
+		seed     = flag.Uint64("seed", 0, "data generation seed")
+		quick    = flag.Bool("quick", false, "use the fast smoke-test scale")
+		widths   = flag.String("widths", "", "comma-separated code widths to sweep")
+		format   = flag.String("format", "table", "output format: table or csv")
+		jsonOut  = flag.String("json", "", "wall-clock scan benchmark: write native-vs-engine rows/sec per width and worker count to this file (e.g. BENCH_scan.json)")
+		preds    = flag.Int("preds", 0, "with -json: also benchmark an N-way conjunction, column-first vs predicate-first")
+		zonemaps = flag.Bool("zonemaps", false, "with -json: also benchmark zone-map-pruned scans on sorted and clustered data")
+		agg      = flag.Bool("agg", false, "with -json: also benchmark the fused filter→sum kernel vs the two-pass path")
 	)
 	flag.Parse()
 
@@ -86,7 +89,17 @@ func main() {
 			cfg.Widths = []int{8, 12, 16, 24, 32}
 		}
 		start := time.Now()
-		res := experiments.ScanBench(cfg, []int{2, 4, 8})
+		workerCounts := []int{2, 4, 8}
+		res := experiments.ScanBench(cfg, workerCounts)
+		if *zonemaps {
+			res.Results = append(res.Results, experiments.ZonedScanBench(cfg, workerCounts)...)
+		}
+		if *agg {
+			res.Results = append(res.Results, experiments.AggBench(cfg, workerCounts)...)
+		}
+		if *preds > 1 {
+			res.Results = append(res.Results, experiments.MultiPredBench(cfg, *preds, workerCounts)...)
+		}
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bsbench:", err)

@@ -16,11 +16,13 @@ import (
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
+	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
 	"byteslice/internal/layout/bp"
 	"byteslice/internal/layout/hbp"
 	"byteslice/internal/layout/vbp"
 	"byteslice/internal/perf"
+	"byteslice/internal/plan"
 	"byteslice/internal/simd"
 )
 
@@ -30,6 +32,7 @@ func main() {
 		vals  = flag.String("values", "1024,129,4,2047,0", "comma-separated code values")
 		scan  = flag.String("scan", "", "optionally evaluate a predicate: one of < <= > >= = <>")
 		konst = flag.Uint64("const", 0, "predicate constant")
+		zones = flag.Bool("zones", false, "with -scan: show per-segment zone-map verdicts and the cost-based plan")
 	)
 	flag.Parse()
 
@@ -101,7 +104,55 @@ func main() {
 			fmt.Printf("  %s v%-3d = %d\n", mark, i+1, c)
 		}
 		fmt.Printf("%d of %d match; %s\n", out.Count(), len(codes), prof)
+		if *zones {
+			fmt.Printf("\n%s", zoneReport(codes, *k, p))
+		}
+	} else if *zones {
+		fmt.Fprintln(os.Stderr, "bsinspect: -zones needs -scan (a predicate to classify segments against)")
+		os.Exit(2)
 	}
+}
+
+// zoneReport renders the zone-map view of the sample column for one
+// predicate — each segment's first-byte bounds with its zone verdict, the
+// resulting prune rate, and the cost-based planner's Explain for the scan
+// (workers pinned to 1 so the output is machine-independent).
+func zoneReport(codes []uint32, k int, p layout.Predicate) string {
+	var b strings.Builder
+	bs := core.New(codes, k, nil)
+	bs.BuildZoneMaps()
+	mn, mx := bs.ZoneBounds()
+	c1, c2 := bs.ZoneFirstBytes(p)
+	fmt.Fprintf(&b, "— Zone maps: %d segment(s) of %d codes, first-byte min/max —\n",
+		bs.Segments(), core.SegmentSize)
+	for seg := 0; seg < bs.Segments(); seg++ {
+		verdict := "scan"
+		switch d := core.ZoneDecisionBytes(p.Op, mn[seg], mx[seg], c1, c2); {
+		case d > 0:
+			verdict = "all-match, skipped"
+		case d < 0:
+			verdict = "no-match, skipped"
+		}
+		fmt.Fprintf(&b, "  seg %-3d [%3d, %3d] → %s\n", seg, mn[seg], mx[seg], verdict)
+	}
+	fmt.Fprintf(&b, "  prune rate for %s: %.2f\n\n", p, bs.ZonePruneRate(p))
+
+	// The sample column has no histogram, so the planner sees the exact
+	// selectivity of the predicate over the given values.
+	out := bitvec.New(len(codes))
+	kernel.Scan(bs, p, out)
+	d := plan.Plan(
+		plan.Query{Rows: len(codes), Segments: bs.Segments(), Workers: 1, MaxWorkers: 1},
+		[]plan.Pred{{
+			Col:        "values",
+			Slices:     bs.NumSlices(),
+			Sel:        float64(out.Count()) / float64(len(codes)),
+			ZonePrune:  bs.ZonePruneRate(p),
+			HasZoneMap: true,
+		}})
+	b.WriteString(d.Explain())
+	b.WriteString("\n")
+	return b.String()
 }
 
 func parseValues(s string, k int) ([]uint32, error) {

@@ -18,6 +18,32 @@ func TestParseValues(t *testing.T) {
 	}
 }
 
+// TestZoneReportGolden pins the -zones rendering: segment verdicts, prune
+// rate and the planner's Explain (workers pinned, so machine-independent).
+func TestZoneReportGolden(t *testing.T) {
+	codes := make([]uint32, 0, 40)
+	for i := uint32(0); i < 32; i++ {
+		codes = append(codes, i)
+	}
+	for i := uint32(0); i < 8; i++ {
+		codes = append(codes, 1800+i)
+	}
+	got := zoneReport(codes, 11, layout.Predicate{Op: layout.Lt, C1: 16})
+	want := `— Zone maps: 2 segment(s) of 32 codes, first-byte min/max —
+  seg 0   [  0,   3] → scan
+  seg 1   [225, 225] → no-match, skipped
+  prune rate for v < 16: 0.50
+
+plan: 1 predicate(s) over 40 rows (2 segments), conjunction
+  order: values(sel=0.400, zone=0.50)
+  strategy: column-first (est 14ns; column-first 14ns, predicate-first n/a, baseline 14ns)
+  workers: 1 (pinned)
+`
+	if got != want {
+		t.Fatalf("zone report drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 func TestParseOp(t *testing.T) {
 	want := map[string]layout.Op{
 		"<": layout.Lt, "<=": layout.Le, ">": layout.Gt, ">=": layout.Ge,

@@ -225,6 +225,13 @@ func (c *Column) Format() Format { return Format(c.data.Name()) }
 // SizeBytes returns the formatted in-memory footprint.
 func (c *Column) SizeBytes() uint64 { return c.data.SizeBytes() }
 
+// HasZoneMaps reports whether the column carries per-segment zone maps
+// (built via WithZoneMaps on a ByteSlice column).
+func (c *Column) HasZoneMaps() bool {
+	bs, ok := byteSliceOf(c.data)
+	return ok && bs.HasZoneMaps()
+}
+
 // LookupCode reconstructs the stored code of row i (the raw lookup the
 // paper benchmarks). The profile may be nil.
 func (c *Column) LookupCode(p *Profile, i int) uint32 {

@@ -2,8 +2,6 @@ package byteslice
 
 import (
 	"fmt"
-
-	"byteslice/internal/bitvec"
 )
 
 // Expr is a boolean combination of filters — arbitrary nesting of AND and
@@ -72,23 +70,18 @@ func renderGroup(op string, exprs []Expr) string {
 	return s + ")"
 }
 
-// Query evaluates the expression over the table.
+// Query evaluates the expression over the table. The returned Result's
+// Explain joins the plans of every homogeneous group the expression split
+// into (one plan block per Filter/FilterAny evaluation), and ZoneSkipped
+// sums their zone-map pruning.
 func (t *Table) Query(e Expr, opts ...QueryOption) (*Result, error) {
-	bv, err := t.evalExpr(e, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{bv: bv}, nil
+	return t.evalExpr(e, opts)
 }
 
-func (t *Table) evalExpr(e Expr, opts []QueryOption) (*bitvec.Vector, error) {
+func (t *Table) evalExpr(e Expr, opts []QueryOption) (*Result, error) {
 	switch {
 	case e.leaf != nil:
-		res, err := t.Filter([]Filter{*e.leaf}, opts...)
-		if err != nil {
-			return nil, err
-		}
-		return res.bv, nil
+		return t.Filter([]Filter{*e.leaf}, opts...)
 
 	case e.and != nil, e.or != nil:
 		children := e.and
@@ -102,17 +95,24 @@ func (t *Table) evalExpr(e Expr, opts []QueryOption) (*bitvec.Vector, error) {
 		}
 		// Runs of leaves evaluate together so the pipelined strategies
 		// apply; nested groups evaluate recursively and combine.
-		var acc *bitvec.Vector
-		combine := func(bv *bitvec.Vector) {
+		var acc *Result
+		combine := func(r *Result) {
 			if acc == nil {
-				acc = bv
+				acc = r
 				return
 			}
 			if disjunct {
-				acc.Or(bv)
+				acc.bv.Or(r.bv)
 			} else {
-				acc.And(bv)
+				acc.bv.And(r.bv)
 			}
+			if r.explain != "" {
+				if acc.explain != "" {
+					acc.explain += "\n"
+				}
+				acc.explain += r.explain
+			}
+			acc.zoneSkipped += r.zoneSkipped
 		}
 		var run []Filter
 		flush := func() error {
@@ -130,7 +130,7 @@ func (t *Table) evalExpr(e Expr, opts []QueryOption) (*bitvec.Vector, error) {
 				return err
 			}
 			run = nil
-			combine(res.bv)
+			combine(res)
 			return nil
 		}
 		for _, child := range children {
@@ -141,11 +141,11 @@ func (t *Table) evalExpr(e Expr, opts []QueryOption) (*bitvec.Vector, error) {
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			bv, err := t.evalExpr(child, opts)
+			res, err := t.evalExpr(child, opts)
 			if err != nil {
 				return nil, err
 			}
-			combine(bv)
+			combine(res)
 		}
 		if err := flush(); err != nil {
 			return nil, err

@@ -29,6 +29,45 @@ func Uniform(rng *rand.Rand, n, k int) []uint32 {
 	return out
 }
 
+// Sorted returns n codes drawn uniformly from [0, 2^k) and sorted
+// ascending — the date-ordered fact-table shape zone maps exploit, where
+// nearly every 32-code segment has a tight first-byte range.
+func Sorted(rng *rand.Rand, n, k int) []uint32 {
+	out := Uniform(rng, n, k)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clustered returns n codes where consecutive runs of runLen rows share a
+// narrow value band (1/64th of the domain) at a random position — locally
+// clustered but globally unordered, the shape of batch-loaded fact tables.
+// Zone maps prune most segments; a sorted-only optimisation would not.
+func Clustered(rng *rand.Rand, n, k, runLen int) []uint32 {
+	if k < 1 || k > 32 {
+		panic(fmt.Sprintf("datagen: width %d out of range", k))
+	}
+	if runLen < 1 {
+		panic("datagen: clustered run length must be positive")
+	}
+	domain := uint64(1) << uint(k)
+	band := domain / 64
+	if band < 1 {
+		band = 1
+	}
+	out := make([]uint32, n)
+	for lo := 0; lo < n; lo += runLen {
+		base := rng.Uint64N(domain - band + 1)
+		hi := lo + runLen
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = uint32(base + rng.Uint64N(band))
+		}
+	}
+	return out
+}
+
 // maxZipfWidth bounds the CDF table the Zipf sampler builds.
 const maxZipfWidth = 22
 

@@ -1,0 +1,235 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+)
+
+// Fused filter→aggregate kernels: evaluate a single-column predicate and
+// accumulate an aggregate over another column in the same pass over the
+// segments. The two-pass shape (Scan into a full-table bit vector, then a
+// masked aggregate re-reading that vector) costs one bitvec write + read
+// per segment and evicts the predicate column between passes; when the
+// caller only wants the aggregate, the fused form keeps the segment's
+// 32-bit mask in a register and feeds it straight into the masked SWAR
+// sum / extreme stitch. Zone maps on the filter column compose: a
+// zone-decided segment contributes its aggregate with no predicate loads
+// at all.
+//
+// f (the filter column) and v (the value column) must have the same
+// number of rows; the caller guarantees neither has NULLs (the facade
+// falls back to the two-pass path otherwise).
+
+// segMask evaluates one segment's predicate mask with zone shortcuts and
+// truncates the final segment's padding bits.
+func segMask(sc *scanner, z *zoneInfo, seg int) uint32 {
+	var r uint32
+	switch z.decide(sc.op, seg) {
+	case 1:
+		r = ^uint32(0)
+	case -1:
+		return 0
+	default:
+		r = sc.segment(seg)
+	}
+	if rem := sc.n - seg*core.SegmentSize; rem < 32 {
+		r &= 1<<uint(rem) - 1
+	}
+	return r
+}
+
+// scanSumRange fuses predicate evaluation on f with the slice-wise SWAR
+// sum over v for segments [segLo, segHi), returning the padded
+// byte-weighted partial sum (as sumRange) and the matching row count.
+func scanSumRange(f *core.ByteSlice, sc *scanner, z *zoneInfo, v *core.ByteSlice, segLo, segHi int) (uint64, int) {
+	nbv := v.NumSlices()
+	var vslices [4][]byte
+	for j := 0; j < nbv; j++ {
+		vslices[j] = v.Slice(j)
+	}
+	var acc, tot [4]uint64
+	cnt, count := 0, 0
+	for seg := segLo; seg < segHi; seg++ {
+		r := segMask(sc, z, seg)
+		if r == 0 {
+			continue
+		}
+		count += bits.OnesCount32(r)
+		off := seg * core.SegmentSize
+		if r == ^uint32(0) {
+			// Whole segment selected (common when the zone map decides
+			// all-match): sum unmasked, no lane expansion. segMask's tail
+			// truncation guarantees all 32 rows are real here.
+			for j := 0; j < nbv; j++ {
+				s := vslices[j][off : off+32 : off+32]
+				acc[j] += pairSum(binary.LittleEndian.Uint64(s[0:8])) +
+					pairSum(binary.LittleEndian.Uint64(s[8:16])) +
+					pairSum(binary.LittleEndian.Uint64(s[16:24])) +
+					pairSum(binary.LittleEndian.Uint64(s[24:32]))
+			}
+		} else {
+			// Widen the mask once per segment; the four lane masks serve
+			// every value slice.
+			e0 := expand8(byte(r))
+			e1 := expand8(byte(r >> 8))
+			e2 := expand8(byte(r >> 16))
+			e3 := expand8(byte(r >> 24))
+			for j := 0; j < nbv; j++ {
+				s := vslices[j][off : off+32 : off+32]
+				acc[j] += pairSum(binary.LittleEndian.Uint64(s[0:8])&e0) +
+					pairSum(binary.LittleEndian.Uint64(s[8:16])&e1) +
+					pairSum(binary.LittleEndian.Uint64(s[16:24])&e2) +
+					pairSum(binary.LittleEndian.Uint64(s[24:32])&e3)
+			}
+		}
+		if cnt += 4; cnt >= foldEvery {
+			for j := 0; j < nbv; j++ {
+				tot[j] += fold16(acc[j])
+				acc[j] = 0
+			}
+			cnt = 0
+		}
+	}
+	var padded uint64
+	for j := 0; j < nbv; j++ {
+		padded += (tot[j] + fold16(acc[j])) << uint(8*(nbv-1-j))
+	}
+	return padded, count
+}
+
+// ScanSum evaluates p on f and sums v's codes over the matching rows in
+// one pass, returning (Σ codes, match count). It is the fused counterpart
+// of Scan + Sum and never materialises the full-table bit vector. Zone
+// maps on f are used when built.
+func ScanSum(f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, workers int) (sum uint64, count int) {
+	if f.Len() != v.Len() {
+		panic("kernel: ScanSum columns have different lengths")
+	}
+	sc := prepare(f, p)
+	z := zoneFor(f, p)
+	padv := uint(8*v.NumSlices() - v.Width())
+	segs := f.Segments()
+	if workers > segs {
+		workers = segs
+	}
+	if workers <= 1 {
+		padded, n := scanSumRange(f, &sc, &z, v, 0, segs)
+		return padded >> padv, n
+	}
+	chunk := core.ChunkEven(segs, workers)
+	type partial struct {
+		padded uint64
+		count  int
+	}
+	partials := make([]partial, (segs+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
+		hi := lo + chunk
+		if hi > segs {
+			hi = segs
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			// Each worker prepares its own scanner: the shared one would
+			// race on nothing, but keeping per-worker state mirrors the
+			// other parallel kernels and costs a few broadcasts.
+			wsc := prepare(f, p)
+			wz := zoneFor(f, p)
+			partials[i].padded, partials[i].count = scanSumRange(f, &wsc, &wz, v, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var padded uint64
+	for _, pt := range partials {
+		padded += pt.padded
+		count += pt.count
+	}
+	return padded >> padv, count
+}
+
+// scanExtremeRange fuses predicate evaluation on f with the extreme stitch
+// over v for segments [segLo, segHi).
+func scanExtremeRange(f *core.ByteSlice, sc *scanner, z *zoneInfo, v *core.ByteSlice, isMin bool, segLo, segHi int) (uint32, bool) {
+	nbv := v.NumSlices()
+	padv := uint(8*nbv - v.Width())
+	var vslices [4][]byte
+	for j := 0; j < nbv; j++ {
+		vslices[j] = v.Slice(j)
+	}
+	var best uint32
+	found := false
+	for seg := segLo; seg < segHi; seg++ {
+		r := segMask(sc, z, seg)
+		off := seg * core.SegmentSize
+		for r != 0 {
+			i := off + bits.TrailingZeros32(r)
+			r &= r - 1
+			var val uint32
+			for j := 0; j < nbv; j++ {
+				val = val<<8 | uint32(vslices[j][i])
+			}
+			val >>= padv
+			if !found || (isMin && val < best) || (!isMin && val > best) {
+				best = val
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// ScanExtreme evaluates p on f and returns the extreme (min when isMin,
+// else max) of v's codes over the matching rows in one pass; ok is false
+// when no row matches. Zone maps on f are used when built.
+func ScanExtreme(f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, isMin bool, workers int) (uint32, bool) {
+	if f.Len() != v.Len() {
+		panic("kernel: ScanExtreme columns have different lengths")
+	}
+	segs := f.Segments()
+	if workers > segs {
+		workers = segs
+	}
+	if workers <= 1 {
+		sc := prepare(f, p)
+		z := zoneFor(f, p)
+		return scanExtremeRange(f, &sc, &z, v, isMin, 0, segs)
+	}
+	chunk := core.ChunkEven(segs, workers)
+	type partial struct {
+		v  uint32
+		ok bool
+	}
+	partials := make([]partial, (segs+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
+		hi := lo + chunk
+		if hi > segs {
+			hi = segs
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			wsc := prepare(f, p)
+			wz := zoneFor(f, p)
+			partials[i].v, partials[i].ok = scanExtremeRange(f, &wsc, &wz, v, isMin, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var best uint32
+	found := false
+	for _, pt := range partials {
+		if !pt.ok {
+			continue
+		}
+		if !found || (isMin && pt.v < best) || (!isMin && pt.v > best) {
+			best = pt.v
+			found = true
+		}
+	}
+	return best, found
+}

@@ -111,6 +111,76 @@ func FuzzNativeVsEngine(f *testing.F) {
 			}
 		}
 
+		// Zoned kernels: bit-identical results with zone maps built. The
+		// zone map lives on a copy so the kernels above stay unzoned.
+		bz := core.New(codes, k, nil)
+		bz.BuildZoneMaps()
+		got.Fill()
+		ParallelScanZoned(bz, p, workers, got)
+		if !got.Equal(want) {
+			t.Fatalf("k=%d %v n=%d workers=%d: zoned scan differs from engine", k, p, n, workers)
+		}
+		for _, negate := range []bool{false, true} {
+			wantP := bitvec.New(n)
+			b.ScanPipelined(layouttest.Engine(), p, prev, negate, wantP)
+			gotP := bitvec.New(n)
+			gotP.Fill()
+			ParallelScanPipelinedZoned(bz, p, prev, negate, workers, gotP)
+			if !gotP.Equal(wantP) {
+				t.Fatalf("k=%d %v n=%d negate=%v workers=%d: zoned pipelined scan differs", k, p, n, negate, workers)
+			}
+		}
+
+		// Multi-predicate kernel (the planner's predicate-first shape) vs
+		// independent engine scans, mixing a zoned and an unzoned column.
+		p2 := layout.Predicate{
+			Op: layout.Ops[(int(data[1])+3)%len(layout.Ops)],
+			C1: p.C2, C2: p.C1,
+		}
+		if p2.Op == layout.Between && p2.C1 > p2.C2 {
+			p2.C1, p2.C2 = p2.C2, p2.C1
+		}
+		cols := []*core.ByteSlice{b, bz}
+		preds := []layout.Predicate{p, p2}
+		for _, disjunct := range []bool{false, true} {
+			wantM := bitvec.New(n)
+			b.Scan(layouttest.Engine(), p, wantM)
+			other := bitvec.New(n)
+			b.Scan(layouttest.Engine(), p2, other)
+			if disjunct {
+				wantM.Or(other)
+			} else {
+				wantM.And(other)
+			}
+			gotM := bitvec.New(n)
+			gotM.Fill()
+			ParallelScanMulti(cols, preds, disjunct, workers, gotM)
+			if !gotM.Equal(wantM) {
+				t.Fatalf("k=%d %v/%v n=%d disjunct=%v workers=%d: multi scan differs", k, p, p2, n, disjunct, workers)
+			}
+		}
+
+		// Fused filter→aggregate vs the two-pass engine path (scan to a
+		// mask, then masked aggregates), with the zone-mapped filter column.
+		wantSumF, wantNF := b.Sum(layouttest.Engine(), want)
+		gotSumF, gotNF := ScanSum(bz, p, b, workers)
+		if gotSumF != wantSumF || gotNF != wantNF {
+			t.Fatalf("k=%d %v n=%d: fused ScanSum = %d/%d, two-pass %d/%d", k, p, n, gotSumF, gotNF, wantSumF, wantNF)
+		}
+		for _, isMin := range []bool{true, false} {
+			var wantX uint32
+			var wantOK bool
+			if isMin {
+				wantX, wantOK = b.Min(layouttest.Engine(), want)
+			} else {
+				wantX, wantOK = b.Max(layouttest.Engine(), want)
+			}
+			gotX, gotOK := ScanExtreme(bz, p, b, isMin, workers)
+			if gotOK != wantOK || (wantOK && gotX != wantX) {
+				t.Fatalf("k=%d %v n=%d isMin=%v: fused extreme = %d/%v, two-pass %d/%v", k, p, n, isMin, gotX, gotOK, wantX, wantOK)
+			}
+		}
+
 		// Lookups stitch the original codes back.
 		for i, v := range codes {
 			if got := Lookup(b, i); got != v {

@@ -81,7 +81,7 @@ func ltc8(w, cLo uint64, hi bool) uint64 {
 // call site, so loops that know it can hoist the branch out entirely.
 func ltc8lo(w, cLo uint64) uint64 { return ^(w | ((w | msb) - cLo)) & msb }
 
-func ltc8hi(w, cLo uint64) uint64 { return ^(w & ((w|msb) - cLo)) & msb }
+func ltc8hi(w, cLo uint64) uint64 { return ^(w & ((w | msb) - cLo)) & msb }
 
 // gtc8 is gt8(w, c) with cOr = (c | msb)-per-lane precomputed: d's lane
 // bit 7 reads "c's low 7 bits >= w's", so gt needs the complement plus

@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+)
+
+// Native predicate-first evaluation (§3.1.2 strategy 2, on the SWAR path):
+// all predicates of a conjunction or disjunction are evaluated per 32-code
+// segment before moving to the next segment, short-circuiting inside the
+// segment as soon as its result word is decided. Compared with the
+// column-first pipeline this never materialises an intermediate bit
+// vector and keeps one segment of every column hot in cache, at the cost
+// of running the generic (per-segment dispatched) kernels instead of the
+// monolithic single-column loops. The cost-based planner in internal/plan
+// chooses between the two.
+//
+// Zone maps compose per predicate: a column with BuildZoneMaps run
+// resolves its conjunct from the segment's first-byte bounds whenever they
+// decide it, without loading the column's data.
+
+// ScanMultiRange evaluates the conjunction (disjunct=false) or disjunction
+// (disjunct=true) of preds over segments [segLo, segHi), writing each
+// segment's combined result bits into out. All columns must have the same
+// length. It returns the number of per-predicate segment evaluations the
+// zone maps resolved.
+func ScanMultiRange(cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, segLo, segHi int, out *bitvec.Vector) int {
+	if len(cols) == 0 || len(cols) != len(preds) {
+		panic("kernel: ScanMultiRange needs matching columns and predicates")
+	}
+	scs := make([]scanner, len(cols))
+	zs := make([]zoneInfo, len(cols))
+	for i, b := range cols {
+		if b.Len() != cols[0].Len() {
+			panic("kernel: ScanMultiRange columns have different lengths")
+		}
+		scs[i] = prepare(b, preds[i])
+		zs[i] = zoneFor(b, preds[i])
+	}
+	pruned := 0
+	for seg := segLo; seg < segHi; seg++ {
+		off := seg * core.SegmentSize
+		var m uint32
+		if !disjunct {
+			m = ^uint32(0)
+		}
+		for i := range scs {
+			d := zs[i].decide(scs[i].op, seg)
+			if d != 0 {
+				pruned++
+			}
+			if disjunct {
+				// d > 0: every row matches, the segment is all-ones.
+				// d < 0: the conjunct contributes nothing.
+				if d > 0 {
+					m = ^uint32(0)
+					break
+				}
+				if d < 0 {
+					continue
+				}
+				m |= scs[i].segment(seg)
+				if m == ^uint32(0) {
+					break
+				}
+			} else {
+				if d > 0 {
+					continue
+				}
+				if d < 0 {
+					m = 0
+					break
+				}
+				m &= scs[i].segment(seg)
+				if m == 0 {
+					break
+				}
+			}
+		}
+		out.SetWord32(off, m)
+	}
+	return pruned
+}
+
+// ScanMulti runs ScanMultiRange over the whole column set.
+func ScanMulti(cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, out *bitvec.Vector) int {
+	return ParallelScanMulti(cols, preds, disjunct, 1, out)
+}
+
+// ParallelScanMulti is ScanMulti fanned out across workers with
+// word-aligned segment chunks. workers <= 1 scans serially.
+func ParallelScanMulti(cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, workers int, out *bitvec.Vector) int {
+	if len(cols) == 0 {
+		panic("kernel: ParallelScanMulti needs at least one column")
+	}
+	if out.Len() != cols[0].Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelSegmentsCounted(cols[0].Segments(), workers, func(lo, hi int) int {
+		return ScanMultiRange(cols, preds, disjunct, lo, hi, out)
+	})
+}

@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"sync"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+)
+
+// Zone-map-aware native scans. A zone map (internal/core/zonemap.go) keeps
+// the per-segment min/max of the first byte slice; when that pair already
+// decides the predicate — every first byte below the constant's, say — the
+// segment's 32 result bits are written without loading a single data byte.
+// This is strictly stronger than early stopping, which still pays for the
+// first slice: on sorted or clustered columns nearly every segment
+// resolves from two metadata bytes, and the scan degenerates to a walk
+// over the zone arrays (64 bytes of metadata per 2048 codes — one cache
+// line per 64 segments).
+//
+// All zoned kernels return the number of segments the zone map resolved,
+// so callers (tests, Result.ZoneSkipped, the planner's feedback) can
+// observe that pruning actually happened.
+
+// zoneInfo snapshots a column's zone arrays and the predicate's first
+// constant bytes for the per-segment decision test.
+type zoneInfo struct {
+	mn, mx []byte
+	c1, c2 byte
+	ok     bool
+}
+
+func zoneFor(b *core.ByteSlice, p layout.Predicate) zoneInfo {
+	mn, mx := b.ZoneBounds()
+	if mn == nil {
+		return zoneInfo{}
+	}
+	c1, c2 := b.ZoneFirstBytes(p)
+	return zoneInfo{mn: mn, mx: mx, c1: c1, c2: c2, ok: true}
+}
+
+// decide classifies one segment: -1 no row matches, +1 all rows match,
+// 0 undecided (or no zone map).
+func (z *zoneInfo) decide(op layout.Op, seg int) int {
+	if !z.ok {
+		return 0
+	}
+	return core.ZoneDecisionBytes(op, z.mn[seg], z.mx[seg], z.c1, z.c2)
+}
+
+// ScanZonedRange evaluates p over segments [segLo, segHi) with zone-map
+// pruning, writing each segment's result bits like ScanRange, and returns
+// the number of segments the zone map decided. BuildZoneMaps must have
+// run on b.
+func ScanZonedRange(b *core.ByteSlice, p layout.Predicate, segLo, segHi int, out *bitvec.Vector) int {
+	sc := prepare(b, p)
+	z := zoneFor(b, p)
+	if !z.ok {
+		panic("kernel: ScanZonedRange without BuildZoneMaps")
+	}
+	// Hoisting the zone arrays and constants lets ZoneDecisionBytes inline
+	// into the loop: the decided case is then two byte loads and a couple of
+	// compares per segment, with no call.
+	mn, mx := z.mn, z.mx
+	op, c1, c2 := sc.op, z.c1, z.c2
+	pruned := 0
+	for seg := segLo; seg < segHi; seg++ {
+		off := seg * core.SegmentSize
+		switch core.ZoneDecisionBytes(op, mn[seg], mx[seg], c1, c2) {
+		case 1:
+			out.SetWord32(off, ^uint32(0))
+			pruned++
+		case -1:
+			out.SetWord32(off, 0)
+			pruned++
+		default:
+			out.SetWord32(off, sc.segment(seg))
+		}
+	}
+	return pruned
+}
+
+// ScanZoned evaluates p over the whole column with zone-map pruning and
+// returns the number of zone-resolved segments. out must have length
+// b.Len() and is overwritten.
+func ScanZoned(b *core.ByteSlice, p layout.Predicate, out *bitvec.Vector) int {
+	return ParallelScanZoned(b, p, 1, out)
+}
+
+// ParallelScanZoned is ScanZoned fanned out across workers with the same
+// even-segment chunk alignment as ParallelScan; the per-chunk prune counts
+// are summed. workers <= 1 scans serially.
+func ParallelScanZoned(b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) int {
+	if out.Len() != b.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelSegmentsCounted(b.Segments(), workers, func(lo, hi int) int {
+		return ScanZonedRange(b, p, lo, hi, out)
+	})
+}
+
+// ScanPipelinedZonedRange is the pipelined scan with both gates: the
+// previous predicate's condensed result (a segment with no live rows is
+// skipped) and the zone verdict (a segment whose zone decides the
+// predicate completes without loads). Semantics match
+// ScanPipelinedRange; the return value counts zone-resolved segments
+// among those the mask left live.
+func ScanPipelinedZonedRange(b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, segLo, segHi int, out *bitvec.Vector) int {
+	sc := prepare(b, p)
+	z := zoneFor(b, p)
+	if !z.ok {
+		panic("kernel: ScanPipelinedZonedRange without BuildZoneMaps")
+	}
+	mn, mx := z.mn, z.mx
+	op, c1, c2 := sc.op, z.c1, z.c2
+	pruned := 0
+	for seg := segLo; seg < segHi; seg++ {
+		off := seg * core.SegmentSize
+		var rprev uint32
+		if off < sc.n {
+			rprev = prev.Word32(off)
+		}
+		gate := rprev
+		if negate {
+			gate = ^rprev
+		}
+		if gate == 0 {
+			if negate {
+				out.SetWord32(off, rprev)
+			} else {
+				out.SetWord32(off, 0)
+			}
+			continue
+		}
+		var r uint32
+		switch core.ZoneDecisionBytes(op, mn[seg], mx[seg], c1, c2) {
+		case 1:
+			r = ^uint32(0)
+			pruned++
+		case -1:
+			r = 0
+			pruned++
+		default:
+			r = sc.segment(seg)
+		}
+		if negate {
+			out.SetWord32(off, r|rprev)
+		} else {
+			out.SetWord32(off, r&rprev)
+		}
+	}
+	return pruned
+}
+
+// ParallelScanPipelinedZoned is ScanPipelinedZonedRange over the whole
+// column, fanned out across workers. workers <= 1 scans serially.
+func ParallelScanPipelinedZoned(b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) int {
+	if prev.Len() != b.Len() {
+		panic("kernel: pipelined scan with mismatched previous result length")
+	}
+	if out.Len() != b.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelSegmentsCounted(b.Segments(), workers, func(lo, hi int) int {
+		return ScanPipelinedZonedRange(b, p, prev, negate, lo, hi, out)
+	})
+}
+
+// parallelSegmentsCounted is parallelSegments for range functions that
+// return a count; the per-chunk counts are summed after the join.
+func parallelSegmentsCounted(segs, workers int, fn func(segLo, segHi int) int) int {
+	if workers > segs {
+		workers = segs
+	}
+	if workers <= 1 {
+		return fn(0, segs)
+	}
+	chunk := core.ChunkEven(segs, workers)
+	partials := make([]int, (segs+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
+		hi := lo + chunk
+		if hi > segs {
+			hi = segs
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partials[i] = fn(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/datagen"
+	"byteslice/internal/layout"
+	"byteslice/internal/layout/layouttest"
+)
+
+// TestZonedKernelsOnShapedData runs the zoned, multi and fused kernels over
+// the three distributions the planner is built for — sorted, clustered and
+// uniform — and checks both bit-identical results against the engine path
+// and that pruning actually happens where the data shape promises it.
+func TestZonedKernelsOnShapedData(t *testing.T) {
+	const n = 1<<14 + 9 // partial final segment
+	rng := datagen.NewRand(42)
+	shapes := []struct {
+		name      string
+		codes     []uint32
+		wantPrune bool // most segments should resolve from the zone map
+	}{
+		{"sorted", datagen.Sorted(rng, n, 12), true},
+		{"clustered", datagen.Clustered(rng, n, 12, 2048), true},
+		{"uniform", datagen.Uniform(rng, n, 12), false},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			b := core.New(shape.codes, 12, nil)
+			b.BuildZoneMaps()
+			c := datagen.SelectivityConstant(shape.codes, 0.01)
+			preds := []layout.Predicate{
+				{Op: layout.Lt, C1: c},
+				{Op: layout.Between, C1: c, C2: c + 40},
+				{Op: layout.Eq, C1: c},
+			}
+			for pi, p := range preds {
+				t.Run(fmt.Sprint(pi), func(t *testing.T) {
+					want := bitvec.New(n)
+					b.Scan(layouttest.Engine(), p, want)
+
+					for _, workers := range []int{1, 4} {
+						got := bitvec.New(n)
+						got.Fill()
+						pruned := ParallelScanZoned(b, p, workers, got)
+						if !got.Equal(want) {
+							t.Fatalf("workers=%d: zoned scan differs", workers)
+						}
+						segs := b.Segments()
+						if shape.wantPrune && pruned < segs/2 {
+							t.Fatalf("workers=%d: pruned %d of %d segments, want most", workers, pruned, segs)
+						}
+
+						// Fused sum against the two-pass composition.
+						wantSum, wantN := b.Sum(layouttest.Engine(), want)
+						gotSum, gotN := ScanSum(b, p, b, workers)
+						if gotSum != wantSum || gotN != wantN {
+							t.Fatalf("workers=%d: fused sum %d/%d, two-pass %d/%d", workers, gotSum, gotN, wantSum, wantN)
+						}
+					}
+
+					// Zoned pipelined against the engine pipelined, gated by
+					// the Lt predicate's own result.
+					for _, negate := range []bool{false, true} {
+						wantP := bitvec.New(n)
+						b.ScanPipelined(layouttest.Engine(), p, want, negate, wantP)
+						gotP := bitvec.New(n)
+						gotP.Fill()
+						ParallelScanPipelinedZoned(b, p, want, negate, 4, gotP)
+						if !gotP.Equal(wantP) {
+							t.Fatalf("negate=%v: zoned pipelined scan differs", negate)
+						}
+					}
+				})
+			}
+
+			// Multi-predicate conjunction/disjunction over all three
+			// predicates on the zoned column.
+			for _, disjunct := range []bool{false, true} {
+				wantM := bitvec.New(n)
+				b.Scan(layouttest.Engine(), preds[0], wantM)
+				tmp := bitvec.New(n)
+				for _, p := range preds[1:] {
+					b.Scan(layouttest.Engine(), p, tmp)
+					if disjunct {
+						wantM.Or(tmp)
+					} else {
+						wantM.And(tmp)
+					}
+				}
+				gotM := bitvec.New(n)
+				gotM.Fill()
+				pruned := ParallelScanMulti([]*core.ByteSlice{b, b, b}, preds, disjunct, 4, gotM)
+				if !gotM.Equal(wantM) {
+					t.Fatalf("disjunct=%v: multi scan differs", disjunct)
+				}
+				if shape.wantPrune && pruned == 0 {
+					t.Fatalf("disjunct=%v: multi scan pruned nothing on %s data", disjunct, shape.name)
+				}
+			}
+		})
+	}
+}

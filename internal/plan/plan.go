@@ -1,0 +1,340 @@
+// Package plan is the cost-based planner for the native (unprofiled)
+// execution path. Given per-predicate statistics — histogram selectivity
+// estimates, zone-map prune rates, code widths — it chooses the physical
+// shape of a multi-predicate query: the conjunct order (subsuming the
+// facade's OrderBySelectivity sort), the evaluation strategy (column-first
+// pipelining, native predicate-first, or independent baseline scans), and
+// the worker-pool size. The cost model is calibrated against the measured
+// per-kernel throughput of the SWAR kernels (BENCH_scan.json; see the
+// constants below), not the paper's modelled cycle counts: the planner
+// optimises wall clock, the profile engine reproduces the paper.
+//
+// Decisions carry an Explain rendering so tests, bsinspect and callers of
+// Result.Explain can assert on what the planner chose and why.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Strategy is the planner's choice of physical evaluation shape.
+type Strategy int
+
+// Strategies, mirroring the facade's (the facade maps them back).
+const (
+	// ColumnFirst pipelines each predicate's condensed result into the
+	// next column's scan (Algorithm 2, the paper's recommendation).
+	ColumnFirst Strategy = iota
+	// PredicateFirst evaluates all predicates per 32-code segment with the
+	// native multi-scan kernel, materialising no intermediate vectors.
+	PredicateFirst
+	// Baseline scans every predicate independently and combines bit
+	// vectors; it is also the fallback when pipelining cannot apply.
+	Baseline
+)
+
+// String names the strategy as Explain prints it.
+func (s Strategy) String() string {
+	switch s {
+	case ColumnFirst:
+		return "column-first"
+	case PredicateFirst:
+		return "predicate-first"
+	case Baseline:
+		return "baseline"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Pred is one conjunct's planning statistics.
+type Pred struct {
+	// Col is the column name, used only for Explain.
+	Col string
+	// Slices is the column's byte-slice count ⌈k/8⌉ (0 for a match-all
+	// pseudo predicate, which costs nothing to evaluate).
+	Slices int
+	// Sel is the histogram estimate of the predicate's selectivity in
+	// [0, 1].
+	Sel float64
+	// ZonePrune is the estimated fraction of segments the column's zone
+	// map decides outright for this predicate (0 without a zone map).
+	ZonePrune float64
+	// HasZoneMap reports whether the column carries a zone map at all.
+	HasZoneMap bool
+}
+
+// Query describes the whole conjunction or disjunction being planned.
+type Query struct {
+	// Rows and Segments size the table.
+	Rows, Segments int
+	// Disjunct is true for OR queries.
+	Disjunct bool
+	// PredicateFirstOK reports whether the native predicate-first kernel
+	// can run: every column is ByteSlice, none is nullable, and no
+	// conjunct is a match-all pseudo predicate.
+	PredicateFirstOK bool
+	// Workers pins the worker count when > 0 (WithParallelism); 0 lets the
+	// planner size the pool.
+	Workers int
+	// MaxWorkers bounds the auto-sized pool (runtime.NumCPU at the call
+	// site).
+	MaxWorkers int
+}
+
+// Cost-model constants, in nanoseconds, calibrated from BENCH_scan.json on
+// the development machine (1M-row serial native scans: 5.6 ns/segment at
+// one byte slice, ~2.8 ns per additional slice amortised over early
+// stopping on uniform data). Absolute accuracy is unnecessary — only the
+// ratios steer the choices — but keeping real units makes Explain legible.
+const (
+	nsSegFirst    = 5.6  // first byte slice of a monolithic scan, per segment
+	nsSegSlice    = 2.8  // each additional byte slice, amortised
+	nsSegDispatch = 4.0  // per-segment dispatch penalty of the generic kernels
+	nsZoneTest    = 0.6  // zone-map min/max test, per segment
+	nsGate        = 0.5  // pipelined mask-word read + combine, per segment
+	nsCombine     = 0.3  // bit-vector AND/OR word ops, per segment per pass
+	nsWorkerSpawn = 8000 // goroutine spawn/join, per worker
+)
+
+// Decision is the planner's output.
+type Decision struct {
+	Strategy Strategy
+	// Order is the chosen permutation of the input predicates (indices
+	// into the Plan call's preds slice).
+	Order []int
+	// Workers is the chosen worker-pool size (the pinned count when the
+	// query pinned one).
+	Workers int
+	// Cost is the estimated serial cost in ns of the chosen strategy;
+	// CostColumnFirst/CostPredicateFirst/CostBaseline record the
+	// candidates (NaN when a strategy was ineligible).
+	Cost               float64
+	CostColumnFirst    float64
+	CostPredicateFirst float64
+	CostBaseline       float64
+
+	q     Query
+	preds []Pred // in chosen order
+}
+
+// segScanCost is the per-segment cost of scanning one predicate with the
+// monolithic single-column kernel.
+func segScanCost(p Pred) float64 {
+	if p.Slices == 0 {
+		return 0 // match-all pseudo predicate: no scan at all
+	}
+	return nsSegFirst + nsSegSlice*float64(p.Slices-1)
+}
+
+// perSegCost is the per-segment cost of one predicate inside a generic
+// (per-segment dispatched) kernel — the zoned, pipelined and multi scans —
+// with the zone map resolving its share of segments for free.
+func perSegCost(p Pred) float64 {
+	if p.Slices == 0 {
+		return 0
+	}
+	c := segScanCost(p) + nsSegDispatch
+	if p.HasZoneMap {
+		return nsZoneTest + (1-p.ZonePrune)*c
+	}
+	return c
+}
+
+// fullScanCost is the per-segment cost of predicate p scanned alone:
+// monolithic when unzoned, zone-gated generic when zoned.
+func fullScanCost(p Pred) float64 {
+	if p.HasZoneMap {
+		return perSegCost(p)
+	}
+	return segScanCost(p)
+}
+
+// liveSegProb is the probability that a 32-code segment still needs work
+// after predicates with combined match fraction `matched` (conjunction:
+// fraction still live; disjunction: fraction still unmatched) have run,
+// assuming row independence.
+func liveSegProb(frac float64) float64 {
+	// 1 - (1-frac)^32: the segment is skippable only when all 32 rows are
+	// settled.
+	return 1 - math.Pow(1-frac, 32)
+}
+
+// Plan chooses order, strategy and workers for the query.
+func Plan(q Query, preds []Pred) Decision {
+	d := Decision{q: q}
+	d.Order = order(q, preds)
+	d.preds = make([]Pred, len(preds))
+	for i, idx := range d.Order {
+		d.preds[i] = preds[idx]
+	}
+
+	S := float64(q.Segments)
+	d.CostColumnFirst = S * columnFirstCost(q, d.preds)
+	d.CostBaseline = S * baselineCost(d.preds)
+	d.CostPredicateFirst = math.NaN()
+	if q.PredicateFirstOK && len(preds) > 1 {
+		d.CostPredicateFirst = S * predicateFirstCost(q, d.preds)
+	}
+
+	d.Strategy, d.Cost = ColumnFirst, d.CostColumnFirst
+	if d.CostBaseline < d.Cost {
+		d.Strategy, d.Cost = Baseline, d.CostBaseline
+	}
+	if !math.IsNaN(d.CostPredicateFirst) && d.CostPredicateFirst < d.Cost {
+		d.Strategy, d.Cost = PredicateFirst, d.CostPredicateFirst
+	}
+	if len(preds) == 1 {
+		// A single predicate has one physical shape; call it column-first
+		// so the facade's dispatch stays on the plain scan.
+		d.Strategy, d.Cost = ColumnFirst, d.CostColumnFirst
+	}
+
+	d.Workers = chooseWorkers(q, d.Cost)
+	return d
+}
+
+// order returns the evaluation order: ascending selectivity for
+// conjunctions (most selective predicate settles the most rows first),
+// descending for disjunctions, with zone-map prune rate breaking ties —
+// a zone-pruned predicate is nearly free to evaluate, so among equally
+// selective conjuncts the pruned one should lead.
+func order(q Query, preds []Pred) []int {
+	idx := make([]int, len(preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	const eps = 0.02
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := preds[idx[a]].Sel, preds[idx[b]].Sel
+		if math.Abs(sa-sb) <= eps {
+			return preds[idx[a]].ZonePrune > preds[idx[b]].ZonePrune
+		}
+		if q.Disjunct {
+			return sa > sb
+		}
+		return sa < sb
+	})
+	return idx
+}
+
+// columnFirstCost estimates the per-segment cost of the column-first
+// pipeline over the ordered predicates.
+func columnFirstCost(q Query, preds []Pred) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	cost := fullScanCost(preds[0])
+	frac := settledFrac(q, 0, preds[0].Sel)
+	for _, p := range preds[1:] {
+		live := liveSegProb(frac)
+		cost += nsGate + live*(perSegCost(p))
+		frac = settledFrac(q, frac, p.Sel)
+	}
+	return cost
+}
+
+// settledFrac folds predicate selectivity s into the running fraction of
+// rows still requiring work: the live fraction of a conjunction, the
+// unmatched fraction of a disjunction.
+func settledFrac(q Query, acc, s float64) float64 {
+	if acc == 0 {
+		acc = 1
+	}
+	if q.Disjunct {
+		return acc * (1 - s)
+	}
+	return acc * s
+}
+
+// predicateFirstCost estimates the per-segment cost of the native
+// multi-scan: every predicate pays the generic dispatch, later predicates
+// only on segments their predecessors left undecided.
+func predicateFirstCost(q Query, preds []Pred) float64 {
+	cost := perSegCost(preds[0])
+	frac := settledFrac(q, 0, preds[0].Sel)
+	for _, p := range preds[1:] {
+		cost += liveSegProb(frac) * perSegCost(p)
+		frac = settledFrac(q, frac, p.Sel)
+	}
+	return cost
+}
+
+// baselineCost estimates the per-segment cost of independent scans plus
+// the bit-vector combines.
+func baselineCost(preds []Pred) float64 {
+	var cost float64
+	for _, p := range preds {
+		cost += fullScanCost(p)
+	}
+	cost += nsCombine * float64(len(preds)-1)
+	return cost
+}
+
+// chooseWorkers sizes the worker pool: the pinned count when one was
+// given, otherwise the w minimising cost/w + spawn·w (i.e. √(cost/spawn)),
+// clamped to the CPU count and to at least 64 segments per worker so tiny
+// scans stay serial.
+func chooseWorkers(q Query, cost float64) int {
+	if q.Workers > 0 {
+		return q.Workers
+	}
+	w := int(math.Sqrt(cost / nsWorkerSpawn))
+	if max := q.MaxWorkers; w > max {
+		w = max
+	}
+	if max := q.Segments / 64; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ms renders a ns cost for Explain.
+func ms(ns float64) string {
+	switch {
+	case math.IsNaN(ns):
+		return "n/a"
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	}
+	return fmt.Sprintf("%.0fns", ns)
+}
+
+// Explain renders the decision for humans and golden tests. The output is
+// deterministic given the same Query and predicates.
+func (d Decision) Explain() string {
+	var b strings.Builder
+	kind := "conjunction"
+	if d.q.Disjunct {
+		kind = "disjunction"
+	}
+	fmt.Fprintf(&b, "plan: %d predicate(s) over %d rows (%d segments), %s\n",
+		len(d.preds), d.q.Rows, d.q.Segments, kind)
+	b.WriteString("  order:")
+	for i, p := range d.preds {
+		if i > 0 {
+			b.WriteString(" →")
+		}
+		fmt.Fprintf(&b, " %s(sel=%.3f", p.Col, p.Sel)
+		if p.HasZoneMap {
+			fmt.Fprintf(&b, ", zone=%.2f", p.ZonePrune)
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  strategy: %s (est %s; column-first %s, predicate-first %s, baseline %s)\n",
+		d.Strategy, ms(d.Cost), ms(d.CostColumnFirst), ms(d.CostPredicateFirst), ms(d.CostBaseline))
+	pin := "auto"
+	if d.q.Workers > 0 {
+		pin = "pinned"
+	}
+	fmt.Fprintf(&b, "  workers: %d (%s)", d.Workers, pin)
+	return b.String()
+}

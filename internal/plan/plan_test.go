@@ -1,0 +1,142 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func q(segments int) Query {
+	return Query{Rows: segments * 32, Segments: segments, PredicateFirstOK: true, MaxWorkers: 8}
+}
+
+func TestOrderBySelectivity(t *testing.T) {
+	preds := []Pred{
+		{Col: "a", Slices: 2, Sel: 0.5},
+		{Col: "b", Slices: 2, Sel: 0.01},
+		{Col: "c", Slices: 2, Sel: 0.9},
+	}
+	d := Plan(q(1024), preds)
+	if got := []int{d.Order[0], d.Order[1], d.Order[2]}; got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("conjunction order = %v, want most selective first [1 0 2]", d.Order)
+	}
+
+	dis := q(1024)
+	dis.Disjunct = true
+	d = Plan(dis, preds)
+	if d.Order[0] != 2 || d.Order[2] != 1 {
+		t.Fatalf("disjunction order = %v, want least selective first [2 0 1]", d.Order)
+	}
+}
+
+func TestOrderTieBrokenByZonePrune(t *testing.T) {
+	preds := []Pred{
+		{Col: "plain", Slices: 2, Sel: 0.10},
+		{Col: "zoned", Slices: 2, Sel: 0.11, HasZoneMap: true, ZonePrune: 0.95},
+	}
+	d := Plan(q(1024), preds)
+	if d.Order[0] != 1 {
+		t.Fatalf("order = %v: equal selectivities should prefer the zone-pruned column", d.Order)
+	}
+}
+
+func TestSinglePredicateIsColumnFirst(t *testing.T) {
+	d := Plan(q(1024), []Pred{{Col: "a", Slices: 2, Sel: 0.5}})
+	if d.Strategy != ColumnFirst {
+		t.Fatalf("single predicate chose %v", d.Strategy)
+	}
+	if math.IsNaN(d.Cost) || d.Cost <= 0 {
+		t.Fatalf("cost = %v", d.Cost)
+	}
+}
+
+func TestPredicateFirstRequiresEligibility(t *testing.T) {
+	preds := []Pred{
+		{Col: "a", Slices: 2, Sel: 0.5},
+		{Col: "b", Slices: 2, Sel: 0.5},
+	}
+	ineligible := q(1024)
+	ineligible.PredicateFirstOK = false
+	d := Plan(ineligible, preds)
+	if !math.IsNaN(d.CostPredicateFirst) {
+		t.Fatalf("ineligible predicate-first should cost NaN, got %v", d.CostPredicateFirst)
+	}
+	if d.Strategy == PredicateFirst {
+		t.Fatal("ineligible query must not choose predicate-first")
+	}
+}
+
+func TestSelectiveDriverFavoursPipelining(t *testing.T) {
+	// A 0.1% driver predicate settles nearly every segment; the pipeline
+	// should beat independent baseline scans over wide trailing columns.
+	preds := []Pred{
+		{Col: "sel", Slices: 1, Sel: 0.001},
+		{Col: "wide1", Slices: 4, Sel: 0.9},
+		{Col: "wide2", Slices: 4, Sel: 0.9},
+	}
+	d := Plan(q(32768), preds)
+	if d.CostColumnFirst >= d.CostBaseline {
+		t.Fatalf("column-first %v should beat baseline %v with a highly selective driver",
+			d.CostColumnFirst, d.CostBaseline)
+	}
+}
+
+func TestZonePruneCutsCost(t *testing.T) {
+	unzoned := Plan(q(4096), []Pred{{Col: "a", Slices: 2, Sel: 0.01}})
+	zoned := Plan(q(4096), []Pred{{Col: "a", Slices: 2, Sel: 0.01, HasZoneMap: true, ZonePrune: 0.98}})
+	if zoned.Cost >= unzoned.Cost {
+		t.Fatalf("zoned cost %v should be below unzoned %v", zoned.Cost, unzoned.Cost)
+	}
+}
+
+func TestChooseWorkers(t *testing.T) {
+	pinned := q(1 << 15)
+	pinned.Workers = 3
+	if d := Plan(pinned, []Pred{{Col: "a", Slices: 4, Sel: 0.5}}); d.Workers != 3 {
+		t.Fatalf("pinned workers = %d, want 3", d.Workers)
+	}
+	if d := Plan(q(4), []Pred{{Col: "a", Slices: 4, Sel: 0.5}}); d.Workers != 1 {
+		t.Fatalf("tiny scan workers = %d, want 1 (not worth a goroutine)", d.Workers)
+	}
+	big := Plan(q(1<<20), []Pred{{Col: "a", Slices: 4, Sel: 0.5}})
+	if big.Workers < 2 {
+		t.Fatalf("1M-segment scan workers = %d, want a pool", big.Workers)
+	}
+	if big.Workers > 8 {
+		t.Fatalf("workers = %d exceed MaxWorkers", big.Workers)
+	}
+}
+
+func TestMatchAllPredicateIsFree(t *testing.T) {
+	with := Plan(q(4096), []Pred{
+		{Col: "a", Slices: 2, Sel: 0.3},
+		{Col: "null-only", Slices: 0, Sel: 1},
+	})
+	alone := Plan(q(4096), []Pred{{Col: "a", Slices: 2, Sel: 0.3}})
+	// The pseudo predicate adds bookkeeping (a gate/combine) but no scan.
+	if with.Cost > alone.Cost*1.5 {
+		t.Fatalf("match-all pseudo predicate should be nearly free: %v vs %v", with.Cost, alone.Cost)
+	}
+}
+
+func TestExplainDeterministicAndComplete(t *testing.T) {
+	preds := []Pred{
+		{Col: "price", Slices: 2, Sel: 0.05, HasZoneMap: true, ZonePrune: 0.9},
+		{Col: "qty", Slices: 1, Sel: 0.4},
+	}
+	d1 := Plan(q(2048), preds)
+	d2 := Plan(q(2048), preds)
+	if d1.Explain() != d2.Explain() {
+		t.Fatal("Explain must be deterministic")
+	}
+	out := d1.Explain()
+	for _, want := range []string{
+		"plan: 2 predicate(s)", "conjunction",
+		"price(sel=0.050, zone=0.90)", "qty(sel=0.400)",
+		"strategy:", "column-first", "baseline", "workers:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package byteslice_test
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"byteslice"
+)
+
+// planTable builds a three-column table over the given distributions:
+// "a" sorted with zone maps, "b" clustered with zone maps, "c" uniform
+// without. All columns share the [0, 9999] domain.
+func planTable(t *testing.T, n int) (*byteslice.Table, []int64, []int64, []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 7)) //nolint:gosec
+	a := make([]int64, n)
+	b := make([]int64, n)
+	c := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i * 10000 / n) // sorted
+		if i%512 == 0 {
+			// New cluster band every 512 rows.
+			b[i] = int64(rng.IntN(9000))
+		} else {
+			b[i] = b[i-1] + int64(rng.IntN(3))
+			if b[i] > 9999 {
+				b[i] = 9999
+			}
+		}
+		c[i] = int64(rng.IntN(10000))
+	}
+	tbl, err := byteslice.NewTable(
+		intColumn(t, "a", a, 0, 9999, byteslice.WithZoneMaps()),
+		intColumn(t, "b", b, 0, 9999, byteslice.WithZoneMaps()),
+		intColumn(t, "c", c, 0, 9999),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, a, b, c
+}
+
+// TestNativeZoneMapPruning is the regression test for the dispatch bug
+// where the zone-map arm was unreachable on the native path: a native scan
+// over a sorted zone-mapped column must actually skip segments.
+func TestNativeZoneMapPruning(t *testing.T) {
+	tbl, a, _, _ := planTable(t, 1<<16)
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Between, 1000, 2000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range a {
+		if v >= 1000 && v <= 2000 {
+			want++
+		}
+	}
+	if res.Count() != want {
+		t.Fatalf("count = %d, want %d", res.Count(), want)
+	}
+	segs := (1 << 16) / 32
+	if res.ZoneSkipped() < segs/2 {
+		t.Fatalf("ZoneSkipped = %d, want most of %d segments pruned on sorted data", res.ZoneSkipped(), segs)
+	}
+	if !strings.Contains(res.Explain(), "zone=") {
+		t.Fatalf("Explain should report the zone prune rate:\n%s", res.Explain())
+	}
+
+	// Zone maps must also prune when the zoned column is a non-driving
+	// conjunct (the pipelined-zoned kernel).
+	res2, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("c", byteslice.Lt, 5000),
+		byteslice.IntFilter("a", byteslice.Lt, 500),
+	}, byteslice.WithFilterOrder(byteslice.OrderAsWritten))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ZoneSkipped() == 0 {
+		t.Fatal("pipelined scan over a zoned column should prune segments")
+	}
+}
+
+// TestExplain pins the Result.Explain surface on both execution paths.
+func TestExplain(t *testing.T) {
+	tbl, _, _, _ := planTable(t, 1<<14)
+	filters := []byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Lt, 2000),
+		byteslice.IntFilter("c", byteslice.Ge, 5000),
+	}
+	res, err := tbl.Filter(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan: 2 predicate(s)", "order:", "strategy:", "workers:"} {
+		if !strings.Contains(res.Explain(), want) {
+			t.Fatalf("Explain missing %q:\n%s", want, res.Explain())
+		}
+	}
+	prof, err := tbl.Filter(filters, byteslice.WithProfile(byteslice.NewProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prof.Explain(), "modelled") {
+		t.Fatalf("profiled Explain should note the modelled path:\n%s", prof.Explain())
+	}
+	if prof.ZoneSkipped() != 0 {
+		t.Fatalf("modelled path reports pruning via the profile, not ZoneSkipped (= %d)", prof.ZoneSkipped())
+	}
+
+	// Query joins one plan block per homogeneous group.
+	qres, err := tbl.Query(byteslice.Any(
+		byteslice.Leaf(byteslice.IntFilter("a", byteslice.Lt, 100)),
+		byteslice.All(
+			byteslice.Leaf(byteslice.IntFilter("b", byteslice.Lt, 5000)),
+			byteslice.Leaf(byteslice.IntFilter("c", byteslice.Lt, 5000)),
+		),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(qres.Explain(), "plan:") < 2 {
+		t.Fatalf("Query Explain should join the groups' plans:\n%s", qres.Explain())
+	}
+}
+
+// TestPlannerMatchesBaseline is the differential test for the cost-based
+// planner: whatever order, strategy and worker count it chooses, the result
+// must be bit-identical to the unplanned baseline (StrategyBaseline with
+// OrderAsWritten) and to the modelled engine path.
+func TestPlannerMatchesBaseline(t *testing.T) {
+	tbl, _, _, _ := planTable(t, 1<<15+13) // odd length exercises padding
+	queries := [][]byteslice.Filter{
+		{byteslice.IntFilter("a", byteslice.Lt, 700)},
+		{
+			byteslice.IntFilter("a", byteslice.Between, 2000, 6000),
+			byteslice.IntFilter("c", byteslice.Lt, 9000),
+		},
+		{
+			byteslice.IntFilter("c", byteslice.Ge, 100),
+			byteslice.IntFilter("b", byteslice.Lt, 4000),
+			byteslice.IntFilter("a", byteslice.Ne, 5000),
+		},
+	}
+	strategies := []byteslice.Strategy{
+		byteslice.StrategyColumnFirst, byteslice.StrategyPredicateFirst, byteslice.StrategyBaseline,
+	}
+	for qi, filters := range queries {
+		for _, disjunct := range []bool{false, true} {
+			eval := func(opts ...byteslice.QueryOption) *byteslice.Result {
+				var res *byteslice.Result
+				var err error
+				if disjunct {
+					res, err = tbl.FilterAny(filters, opts...)
+				} else {
+					res, err = tbl.Filter(filters, opts...)
+				}
+				if err != nil {
+					t.Fatalf("query %d disjunct=%v: %v", qi, disjunct, err)
+				}
+				return res
+			}
+			want := eval(byteslice.WithStrategy(byteslice.StrategyBaseline),
+				byteslice.WithFilterOrder(byteslice.OrderAsWritten),
+				byteslice.WithParallelism(1))
+			got := eval() // planner decides everything
+			if got.Count() != want.Count() {
+				t.Fatalf("query %d disjunct=%v: planned count %d, baseline %d\n%s",
+					qi, disjunct, got.Count(), want.Count(), got.Explain())
+			}
+			for _, s := range strategies {
+				if res := eval(byteslice.WithStrategy(s)); res.Count() != want.Count() {
+					t.Fatalf("query %d disjunct=%v strategy=%v: count %d, baseline %d",
+						qi, disjunct, s, res.Count(), want.Count())
+				}
+			}
+			engine := eval(byteslice.WithProfile(byteslice.NewProfile()))
+			if engine.Count() != want.Count() {
+				t.Fatalf("query %d disjunct=%v: engine count %d, baseline %d",
+					qi, disjunct, engine.Count(), want.Count())
+			}
+		}
+	}
+}
+
+// TestFusedAggregatesMatchTwoPass checks every fused *Where entry point
+// against the explicit Filter + aggregate composition, including the
+// fallback cases (profiled run, nullable column, trivial filter).
+func TestFusedAggregatesMatchTwoPass(t *testing.T) {
+	n := 1<<14 + 5
+	rng := rand.New(rand.NewPCG(11, 11)) //nolint:gosec
+	fv := make([]int64, n)
+	iv := make([]int64, n)
+	dv := make([]float64, n)
+	for i := range fv {
+		fv[i] = int64(rng.IntN(1000))
+		iv[i] = int64(rng.IntN(100000)) - 50000
+		dv[i] = float64(rng.IntN(10000)) / 100
+	}
+	fcol := intColumn(t, "f", fv, 0, 999, byteslice.WithZoneMaps())
+	icol := intColumn(t, "v", iv, -50000, 50000)
+	dcol, err := byteslice.NewDecimalColumn("d", dv, 0, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullable, err := byteslice.NewIntColumn("nv", iv, -50000, 50000, byteslice.WithNulls([]int{0, 7, 4097}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(fcol, icol, dcol, nullable)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filters := []byteslice.Filter{
+		byteslice.IntFilter("f", byteslice.Lt, 100),
+		byteslice.IntFilter("f", byteslice.Between, 400, 600),
+		byteslice.IntFilter("f", byteslice.Eq, 512),
+		byteslice.IntFilter("f", byteslice.Lt, -3),    // trivially false
+		byteslice.IntFilter("f", byteslice.Ge, -1000), // trivially true
+	}
+	profile := byteslice.WithProfile(byteslice.NewProfile())
+	for fi, f := range filters {
+		res, err := tbl.Filter([]byteslice.Filter{f})
+		if err != nil {
+			t.Fatalf("filter %d: %v", fi, err)
+		}
+		for _, col := range []string{"v", "nv"} {
+			wantSum, wantN, err := tbl.SumInt(col, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSum, gotN, err := tbl.SumIntWhere(col, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSum != wantSum || gotN != wantN {
+				t.Fatalf("filter %d col %s: SumIntWhere = %d/%d, two-pass %d/%d", fi, col, gotSum, gotN, wantSum, wantN)
+			}
+			// The profiled run must fall back and still agree.
+			gotSum, gotN, err = tbl.SumIntWhere(col, f, profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSum != wantSum || gotN != wantN {
+				t.Fatalf("filter %d col %s: profiled SumIntWhere = %d/%d, want %d/%d", fi, col, gotSum, gotN, wantSum, wantN)
+			}
+		}
+
+		wantMin, wantOK, _ := tbl.MinInt("v", res)
+		gotMin, gotOK, err := tbl.MinIntWhere("v", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || gotMin != wantMin {
+			t.Fatalf("filter %d: MinIntWhere = %d/%v, want %d/%v", fi, gotMin, gotOK, wantMin, wantOK)
+		}
+		wantMax, wantOK, _ := tbl.MaxInt("v", res)
+		gotMax, gotOK, err := tbl.MaxIntWhere("v", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || gotMax != wantMax {
+			t.Fatalf("filter %d: MaxIntWhere = %d/%v, want %d/%v", fi, gotMax, gotOK, wantMax, wantOK)
+		}
+
+		wantDSum, wantDN, _ := tbl.SumDecimal("d", res)
+		gotDSum, gotDN, err := tbl.SumDecimalWhere("d", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDSum != wantDSum || gotDN != wantDN {
+			t.Fatalf("filter %d: SumDecimalWhere = %v/%d, want %v/%d", fi, gotDSum, gotDN, wantDSum, wantDN)
+		}
+		wantDMin, wantDOK, _ := tbl.MinDecimal("d", res)
+		gotDMin, gotDOK, err := tbl.MinDecimalWhere("d", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDOK != wantDOK || gotDMin != wantDMin {
+			t.Fatalf("filter %d: MinDecimalWhere = %v/%v, want %v/%v", fi, gotDMin, gotDOK, wantDMin, wantDOK)
+		}
+		wantDMax, wantDOK, _ := tbl.MaxDecimal("d", res)
+		gotDMax, gotDOK, err := tbl.MaxDecimalWhere("d", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDOK != wantDOK || gotDMax != wantDMax {
+			t.Fatalf("filter %d: MaxDecimalWhere = %v/%v, want %v/%v", fi, gotDMax, gotDOK, wantDMax, wantDOK)
+		}
+	}
+
+	if _, _, err := tbl.SumIntWhere("zzz", filters[0]); err == nil {
+		t.Fatal("unknown value column should error")
+	}
+	if _, _, err := tbl.SumIntWhere("v", byteslice.IntFilter("zzz", byteslice.Lt, 1)); err == nil {
+		t.Fatal("unknown filter column should error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"byteslice/internal/core"
 	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
+	"byteslice/internal/plan"
 	"byteslice/internal/sortpart"
 )
 
@@ -54,7 +55,26 @@ func (t *Table) Column(name string) (*Column, error) {
 // Result is the outcome of a filter evaluation: one bit per row.
 type Result struct {
 	bv *bitvec.Vector
+	// explain records the planner's decision (plan.Decision.Explain) for
+	// the evaluation that produced this result; see Explain.
+	explain string
+	// zoneSkipped counts the segment evaluations the zone maps resolved
+	// without touching column data during this evaluation (native path).
+	zoneSkipped int
 }
+
+// Explain describes how the query was planned and executed: the predicate
+// order with selectivity and zone-prune estimates, the chosen strategy
+// with its cost candidates, and the worker-pool size. It is set by Filter,
+// FilterAny and Query; results derived purely from bit-vector algebra
+// (And/Or) keep the receiver's explain string.
+func (r *Result) Explain() string { return r.explain }
+
+// ZoneSkipped returns the number of per-predicate segment evaluations that
+// zone maps resolved without loading column data while computing this
+// result (always 0 on the modelled WithProfile path, which reports its
+// pruning through the profile's counters instead).
+func (r *Result) ZoneSkipped() int { return r.zoneSkipped }
 
 // Count returns the number of matching rows.
 func (r *Result) Count() int { return r.bv.Count() }
@@ -207,25 +227,6 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		return &Result{bv: out}, nil
 	}
 
-	strategy := cfg.strategy
-	if strategy == StrategyAuto {
-		strategy = StrategyColumnFirst
-	}
-
-	// Evaluate the predicate expected to settle the most rows first: the
-	// most selective one in a conjunction, the least selective in a
-	// disjunction, so the pipelined scans skip the most segments.
-	if cfg.order == OrderBySelectivity && len(rs) > 1 {
-		sort.SliceStable(rs, func(i, j int) bool {
-			si := rs[i].col.hist.estimate(rs[i].pred)
-			sj := rs[j].col.hist.estimate(rs[j].pred)
-			if disjunct {
-				return si > sj
-			}
-			return si < sj
-		})
-	}
-
 	anyNulls := false
 	for _, r := range rs {
 		if r.col.nulls != nil {
@@ -234,26 +235,70 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		}
 	}
 
+	strategy := cfg.strategy
+	var explain string
+	var zoneSkipped int
+	if cfg.native() {
+		// Cost-based planning replaces the static StrategyAuto resolution
+		// on the native path: the planner orders the conjuncts (subsuming
+		// the OrderBySelectivity sort), chooses the evaluation strategy
+		// and sizes the worker pool from histogram selectivities, zone-map
+		// prune rates and the measured kernel throughput constants.
+		d := plan.Plan(t.planQuery(rs, disjunct, anyNulls, &cfg), t.planPreds(rs))
+		if cfg.order == OrderBySelectivity && len(rs) > 1 {
+			ordered := make([]resolved, len(rs))
+			for i, idx := range d.Order {
+				ordered[i] = rs[idx]
+			}
+			rs = ordered
+		}
+		if strategy == StrategyAuto {
+			strategy = nativeStrategy(d.Strategy)
+		}
+		if cfg.workers == 0 {
+			cfg.workers = d.Workers
+		}
+		explain = d.Explain()
+	} else {
+		if strategy == StrategyAuto {
+			strategy = StrategyColumnFirst
+		}
+		// Evaluate the predicate expected to settle the most rows first:
+		// the most selective one in a conjunction, the least selective in
+		// a disjunction, so the pipelined scans skip the most segments.
+		if cfg.order == OrderBySelectivity && len(rs) > 1 {
+			sort.SliceStable(rs, func(i, j int) bool {
+				si := rs[i].col.hist.estimate(rs[i].pred)
+				sj := rs[j].col.hist.estimate(rs[j].pred)
+				if disjunct {
+					return si > sj
+				}
+				return si < sj
+			})
+		}
+		explain = "plan: modelled path (WithProfile); strategy and order follow the paper's static policy"
+	}
+
 	if strategy == StrategyPredicateFirst {
+		pfOK := !anyNulls
 		for _, r := range rs {
 			if r.matchAll {
-				anyNulls = true // forces the baseline below
+				pfOK = false // forces the baseline below
 			}
 		}
-		if anyNulls {
-			// Predicate-first pipelines uncondensed masks across columns;
-			// per-column null clearing does not compose with it, so
-			// nullable tables fall back to the baseline.
-			strategy = StrategyBaseline
-		}
-		if cols, preds, ok := allBS(rs); strategy == StrategyPredicateFirst && ok {
+		// Predicate-first pipelines uncondensed masks across columns;
+		// per-column null clearing does not compose with it, so nullable
+		// tables (and match-all pseudo predicates) fall back to baseline.
+		if cols, preds, ok := allBS(rs); pfOK && ok {
 			out := bitvec.New(t.n)
-			if disjunct {
+			if cfg.native() {
+				zoneSkipped += kernel.ParallelScanMulti(cols, preds, disjunct, cfg.nativeWorkers(cols[0].Segments()), out)
+			} else if disjunct {
 				core.ScanDisjunctionPredicateFirst(e, cols, preds, out)
 			} else {
 				core.ScanConjunctionPredicateFirst(e, cols, preds, out)
 			}
-			return &Result{bv: out}, nil
+			return &Result{bv: out, explain: explain, zoneSkipped: zoneSkipped}, nil
 		}
 		strategy = StrategyBaseline
 	}
@@ -280,6 +325,11 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		if i == 0 {
 			bs, isBS := byteSliceOf(r.col.data)
 			switch {
+			case isBS && cfg.native() && bs.HasZoneMaps():
+				// Native SWAR fast path with zone-map pruning: segments the
+				// first-byte min/max already decides are written without
+				// loading column data.
+				zoneSkipped += kernel.ParallelScanZoned(bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc)
 			case isBS && cfg.native():
 				// Native SWAR fast path: no profile is attached, so the
 				// segment range fans out across the worker pool.
@@ -304,7 +354,11 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			// disjunctive pipelining does not, so a nullable column in a
 			// disjunction is scanned separately.
 			if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() && !(disjunct && r.col.nulls != nil) {
-				kernel.ParallelScanPipelined(bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+				if bs.HasZoneMaps() {
+					zoneSkipped += kernel.ParallelScanPipelinedZoned(bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+				} else {
+					kernel.ParallelScanPipelined(bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+				}
 				if !disjunct {
 					applyNulls(cur, r.col)
 				}
@@ -321,7 +375,13 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			}
 		}
 		if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
-			kernel.ParallelScan(bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+			if bs.HasZoneMaps() {
+				zoneSkipped += kernel.ParallelScanZoned(bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+			} else {
+				kernel.ParallelScan(bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+			}
+		} else if isBS && bs.HasZoneMaps() {
+			bs.ScanZoned(e, r.pred, cur)
 		} else {
 			r.col.data.Scan(e, r.pred, cur)
 		}
@@ -332,7 +392,63 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			acc.And(cur)
 		}
 	}
-	return &Result{bv: acc}, nil
+	return &Result{bv: acc, explain: explain, zoneSkipped: zoneSkipped}, nil
+}
+
+// planQuery gathers the query-level inputs for the cost-based planner.
+func (t *Table) planQuery(rs []resolved, disjunct, anyNulls bool, cfg *queryConfig) plan.Query {
+	pfOK := !anyNulls
+	for _, r := range rs {
+		if r.matchAll {
+			pfOK = false
+			break
+		}
+	}
+	if pfOK {
+		if _, _, ok := allBS(rs); !ok {
+			pfOK = false
+		}
+	}
+	return plan.Query{
+		Rows:             t.n,
+		Segments:         (t.n + core.SegmentSize - 1) / core.SegmentSize,
+		Disjunct:         disjunct,
+		PredicateFirstOK: pfOK,
+		Workers:          cfg.workers,
+		MaxWorkers:       runtime.NumCPU(),
+	}
+}
+
+// planPreds gathers the per-conjunct statistics for the planner: histogram
+// selectivity estimates, byte-slice widths and zone-map prune rates.
+// Match-all pseudo predicates become free (Slices=0, Sel=1) entries so the
+// order still covers every resolved filter.
+func (t *Table) planPreds(rs []resolved) []plan.Pred {
+	preds := make([]plan.Pred, len(rs))
+	for i, r := range rs {
+		p := plan.Pred{Col: r.col.Name(), Sel: 1}
+		if !r.matchAll {
+			p.Sel = r.col.hist.estimate(r.pred)
+			p.Slices = (r.col.Width() + 7) / 8
+			if bs, ok := byteSliceOf(r.col.data); ok && bs.HasZoneMaps() {
+				p.HasZoneMap = true
+				p.ZonePrune = bs.ZonePruneRate(r.pred)
+			}
+		}
+		preds[i] = p
+	}
+	return preds
+}
+
+// nativeStrategy maps the planner's choice onto the facade's strategies.
+func nativeStrategy(s plan.Strategy) Strategy {
+	switch s {
+	case plan.PredicateFirst:
+		return StrategyPredicateFirst
+	case plan.Baseline:
+		return StrategyBaseline
+	}
+	return StrategyColumnFirst
 }
 
 func allBS(rs []resolved) ([]*core.ByteSlice, []layout.Predicate, bool) {
