@@ -50,43 +50,58 @@ func (t *Table) aggColumn(name string, kind Kind) (*Column, error) {
 // aggregate with SIMD; without a profile the native SWAR kernel runs
 // instead of the modelled engine, chunked across workers when the query is
 // parallel.
-func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint64, int) {
+func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint64, int, error) {
 	if bs, ok := byteSliceOf(c.data); ok {
 		if cfg.native() {
-			return kernel.ParallelSum(bs, mask, cfg.nativeWorkers(bs.Segments()))
+			sum, count, err := kernel.ParallelSumCtx(cfg.ctx, bs, mask, cfg.nativeWorkers(bs.Segments()))
+			return sum, count, queryErr(err)
 		}
-		return bs.Sum(cfg.profile.engine(), mask)
+		sum, count := bs.Sum(cfg.profile.engine(), mask)
+		return sum, count, nil
 	}
 	e := cfg.profile.engine()
 	var sum uint64
 	count := 0
 	for i := 0; i < t.n; i++ {
+		if i%8192 == 0 {
+			if err := cfg.ctxErr(); err != nil {
+				return 0, 0, err
+			}
+		}
 		if mask != nil && !mask.Get(i) {
 			continue
 		}
 		sum += uint64(c.data.Lookup(e, i))
 		count++
 	}
-	return sum, count
+	return sum, count, nil
 }
 
 // extremeCode computes min or max of the codes over the mask, dispatching
 // like sumCodes.
-func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, cfg *queryConfig, isMin bool) (uint32, bool) {
+func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, cfg *queryConfig, isMin bool) (uint32, bool, error) {
 	if bs, ok := byteSliceOf(c.data); ok {
 		if cfg.native() {
-			return kernel.ParallelExtreme(bs, mask, isMin, cfg.nativeWorkers(bs.Segments()))
+			v, found, err := kernel.ParallelExtremeCtx(cfg.ctx, bs, mask, isMin, cfg.nativeWorkers(bs.Segments()))
+			return v, found, queryErr(err)
 		}
 		e := cfg.profile.engine()
 		if isMin {
-			return bs.Min(e, mask)
+			v, found := bs.Min(e, mask)
+			return v, found, nil
 		}
-		return bs.Max(e, mask)
+		v, found := bs.Max(e, mask)
+		return v, found, nil
 	}
 	e := cfg.profile.engine()
 	var best uint32
 	found := false
 	for i := 0; i < t.n; i++ {
+		if i%8192 == 0 {
+			if err := cfg.ctxErr(); err != nil {
+				return 0, false, err
+			}
+		}
 		if mask != nil && !mask.Get(i) {
 			continue
 		}
@@ -96,7 +111,7 @@ func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, cfg *queryConfig, is
 			found = true
 		}
 	}
-	return best, found
+	return best, found, nil
 }
 
 // SumInt sums an integer column over the result's rows (all rows when res
@@ -110,7 +125,10 @@ func (t *Table) SumInt(col string, res *Result, opts ...QueryOption) (int64, int
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sum, count := t.sumCodes(c, t.aggMask(c, res), &cfg)
+	sum, count, err := t.sumCodes(c, t.aggMask(c, res), &cfg)
+	if err != nil {
+		return 0, 0, err
+	}
 	// Frame of reference: value = min + code.
 	return int64(count)*c.ints.Min() + int64(sum), count, nil
 }
@@ -125,7 +143,10 @@ func (t *Table) SumDecimal(col string, res *Result, opts ...QueryOption) (float6
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sum, count := t.sumCodes(c, t.aggMask(c, res), &cfg)
+	sum, count, err := t.sumCodes(c, t.aggMask(c, res), &cfg)
+	if err != nil {
+		return 0, 0, err
+	}
 	step := c.decs.Decode(1) - c.decs.Decode(0)
 	return float64(count)*c.decs.Min() + float64(sum)*step, count, nil
 }
@@ -150,7 +171,10 @@ func (t *Table) extremeInt(col string, res *Result, opts []QueryOption, isMin bo
 	for _, o := range opts {
 		o(&cfg)
 	}
-	code, ok := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
+	code, ok, err := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
+	if err != nil {
+		return 0, false, err
+	}
 	if !ok {
 		return 0, false, nil
 	}
@@ -176,7 +200,10 @@ func (t *Table) extremeDecimal(col string, res *Result, opts []QueryOption, isMi
 	for _, o := range opts {
 		o(&cfg)
 	}
-	code, ok := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
+	code, ok, err := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
+	if err != nil {
+		return 0, false, err
+	}
 	if !ok {
 		return 0, false, nil
 	}
@@ -205,7 +232,10 @@ func (t *Table) extremeString(col string, res *Result, opts []QueryOption, isMin
 	for _, o := range opts {
 		o(&cfg)
 	}
-	code, ok := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
+	code, ok, err := t.extremeCode(c, t.aggMask(c, res), &cfg, isMin)
+	if err != nil {
+		return "", false, err
+	}
 	if !ok {
 		return "", false, nil
 	}
@@ -259,7 +289,10 @@ func (t *Table) SumIntWhere(valCol string, f Filter, opts ...QueryOption) (int64
 		return 0, 0, err
 	}
 	if ok {
-		sum, count := kernel.ScanSum(bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		sum, count, err := kernel.ScanSumCtx(cfg.ctx, bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		if err != nil {
+			return 0, 0, queryErr(err)
+		}
 		return int64(count)*c.ints.Min() + int64(sum), count, nil
 	}
 	res, err := t.Filter([]Filter{f}, opts...)
@@ -284,7 +317,10 @@ func (t *Table) SumDecimalWhere(valCol string, f Filter, opts ...QueryOption) (f
 		return 0, 0, err
 	}
 	if ok {
-		sum, count := kernel.ScanSum(bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		sum, count, err := kernel.ScanSumCtx(cfg.ctx, bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		if err != nil {
+			return 0, 0, queryErr(err)
+		}
 		step := c.decs.Decode(1) - c.decs.Decode(0)
 		return float64(count)*c.decs.Min() + float64(sum)*step, count, nil
 	}
@@ -371,7 +407,10 @@ func (t *Table) fusedExtreme(c *Column, f Filter, opts []QueryOption, isMin bool
 	if err != nil || !fused {
 		return 0, false, false, err
 	}
-	code, ok = kernel.ScanExtreme(bsF, pred, bsV, isMin, cfg.nativeWorkers(bsF.Segments()))
+	code, ok, err = kernel.ScanExtremeCtx(cfg.ctx, bsF, pred, bsV, isMin, cfg.nativeWorkers(bsF.Segments()))
+	if err != nil {
+		return 0, false, false, queryErr(err)
+	}
 	return code, ok, true, nil
 }
 
@@ -456,6 +495,11 @@ func (t *Table) sumBy(v *Column, byCol string, res *Result, opts []QueryOption,
 		// Unprofiled runs use the native kernels for both.
 		groupMask := bitvec.New(t.n)
 		for code := uint32(0); code <= g.maxCode(); code++ {
+			// One cancellation point per candidate group: each iteration
+			// runs a full scan plus a masked sum.
+			if err := cfg.ctxErr(); err != nil {
+				return nil, err
+			}
 			if cfg.native() {
 				kernel.Scan(bsGrp, layout.Predicate{Op: Eq, C1: code}, groupMask)
 			} else {
@@ -481,6 +525,11 @@ func (t *Table) sumBy(v *Column, byCol string, res *Result, opts []QueryOption,
 		}
 	} else {
 		for i := 0; i < t.n; i++ {
+			if i%8192 == 0 {
+				if err := cfg.ctxErr(); err != nil {
+					return nil, err
+				}
+			}
 			if mask != nil && !mask.Get(i) {
 				continue
 			}

@@ -17,10 +17,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strings"
 	"time"
 
+	"byteslice"
 	"byteslice/internal/experiments"
 )
 
@@ -39,6 +41,7 @@ func main() {
 		preds    = flag.Int("preds", 0, "with -json: also benchmark an N-way conjunction, column-first vs predicate-first")
 		zonemaps = flag.Bool("zonemaps", false, "with -json: also benchmark zone-map-pruned scans on sorted and clustered data")
 		agg      = flag.Bool("agg", false, "with -json: also benchmark the fused filter→sum kernel vs the two-pass path")
+		snapshot = flag.String("snapshot", "", "benchmark crash-atomic SaveFile/LoadFile on a generated table written to this path")
 	)
 	flag.Parse()
 
@@ -48,8 +51,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" && *jsonOut == "" {
-		fmt.Fprintln(os.Stderr, "bsbench: -exp or -json is required (try -list)")
+	if *exp == "" && *jsonOut == "" && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "bsbench: -exp, -json or -snapshot is required (try -list)")
 		os.Exit(2)
 	}
 
@@ -78,6 +81,16 @@ func main() {
 				os.Exit(2)
 			}
 			cfg.Widths = append(cfg.Widths, k)
+		}
+	}
+
+	if *snapshot != "" {
+		if err := snapshotBench(*snapshot, cfg.N, cfg.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bsbench:", err)
+			os.Exit(1)
+		}
+		if *exp == "" && *jsonOut == "" {
+			return
 		}
 	}
 
@@ -140,4 +153,65 @@ func main() {
 			fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// snapshotBench builds an n-row mixed-kind table, saves it crash-atomically
+// with SaveFile, loads it back with LoadFile (verifying the checksummed v2
+// stream end to end) and reports both durations and the snapshot size.
+func snapshotBench(path string, n int, seed uint64) error {
+	if n == 0 {
+		n = 1 << 20
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)) //nolint:gosec
+	ints := make([]int64, n)
+	decs := make([]float64, n)
+	strs := make([]string, n)
+	words := []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"}
+	for i := 0; i < n; i++ {
+		ints[i] = int64(rng.IntN(100000))
+		decs[i] = float64(rng.IntN(1000000)) / 100
+		strs[i] = words[rng.IntN(len(words))]
+	}
+	ic, err := byteslice.NewIntColumn("quantity", ints, 0, 100000)
+	if err != nil {
+		return err
+	}
+	dc, err := byteslice.NewDecimalColumn("price", decs, 0, 10000, 2)
+	if err != nil {
+		return err
+	}
+	sc, err := byteslice.NewStringColumn("mode", strs)
+	if err != nil {
+		return err
+	}
+	tbl, err := byteslice.NewTable(ic, dc, sc)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	if err := tbl.SaveFile(path); err != nil {
+		return err
+	}
+	saveDur := time.Since(start)
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	start = time.Now()
+	loaded, err := byteslice.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	loadDur := time.Since(start)
+	if loaded.Len() != tbl.Len() {
+		return fmt.Errorf("snapshot round trip lost rows: %d vs %d", loaded.Len(), tbl.Len())
+	}
+
+	mb := float64(info.Size()) / (1 << 20)
+	fmt.Printf("snapshot %s: %d rows, %.1f MiB\n", path, n, mb)
+	fmt.Printf("  save (write+fsync+rename): %8v  %7.1f MiB/s\n", saveDur.Round(time.Millisecond), mb/saveDur.Seconds())
+	fmt.Printf("  load (read+CRC+rebuild):   %8v  %7.1f MiB/s\n", loadDur.Round(time.Millisecond), mb/loadDur.Seconds())
+	return nil
 }

@@ -1,0 +1,113 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriterFailsAtOffset(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 100)
+	for _, failAt := range []int64{0, 1, 7, 50, 99} {
+		var buf bytes.Buffer
+		w := &Writer{W: &buf, FailAt: failAt}
+		n, err := w.Write(src)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("failAt=%d: err = %v, want ErrInjected", failAt, err)
+		}
+		if n != 0 {
+			t.Fatalf("failAt=%d: hard failure wrote %d bytes", failAt, n)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("failAt=%d: %d bytes leaked through", failAt, buf.Len())
+		}
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	src := bytes.Repeat([]byte{0xCD}, 100)
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 60, Short: true}
+	n, err := w.Write(src)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 60 || buf.Len() != 60 {
+		t.Fatalf("short write passed %d bytes (buffered %d), want 60", n, buf.Len())
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after fault: %v, want ErrInjected", err)
+	}
+}
+
+func TestWriterMultipleWrites(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 10, Short: true}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte{1, 2, 3}); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	n, err := w.Write([]byte{4, 5, 6})
+	if !errors.Is(err, ErrInjected) || n != 1 {
+		t.Fatalf("boundary write: n=%d err=%v, want 1, ErrInjected", n, err)
+	}
+	if w.Offset() != 10 || buf.Len() != 10 {
+		t.Fatalf("offset %d, buffered %d, want 10", w.Offset(), buf.Len())
+	}
+}
+
+func TestReaderFailsAtOffset(t *testing.T) {
+	src := bytes.Repeat([]byte{0xEF}, 64)
+	r := &Reader{R: bytes.NewReader(src), FailAt: 40}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(got) != 40 || !bytes.Equal(got, src[:40]) {
+		t.Fatalf("read %d bytes before fault, want 40 matching", len(got))
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	src := []byte("hello, world")
+	got, err := io.ReadAll(TruncateReader(bytes.NewReader(src), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFlipReader(t *testing.T) {
+	src := make([]byte, 300) // spans multiple small reads
+	r := &FlipReader{R: bytes.NewReader(src), Off: 257, Mask: 0x80}
+	got, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0)
+		if i == 257 {
+			want = 0x80
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestFlipAndTruncateCopies(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	f := Flip(src, 2, 0xFF)
+	if src[2] != 3 || f[2] != 3^0xFF {
+		t.Fatalf("Flip mutated source or missed target: src=%v flipped=%v", src, f)
+	}
+	tr := Truncate(src, 2)
+	tr[0] = 9
+	if src[0] != 1 || len(tr) != 2 {
+		t.Fatalf("Truncate aliases source: src=%v trunc=%v", src, tr)
+	}
+}

@@ -3,7 +3,6 @@ package kernel
 import (
 	"encoding/binary"
 	"math/bits"
-	"sync"
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
@@ -97,41 +96,9 @@ func Sum(b *core.ByteSlice, mask *bitvec.Vector) (sum uint64, count int) {
 // ParallelSum is Sum with the segment range fanned out across workers,
 // merging the per-chunk partial sums. workers <= 1 runs serially.
 func ParallelSum(b *core.ByteSlice, mask *bitvec.Vector, workers int) (sum uint64, count int) {
-	if mask != nil && mask.Len() != b.Len() {
-		panic("kernel: aggregate mask length mismatch")
-	}
-	count = b.Len()
-	if mask != nil {
-		count = mask.Count()
-	}
-	pad := uint(8*b.NumSlices() - b.Width())
-	segs := b.Segments()
-	if workers > segs {
-		workers = segs
-	}
-	if workers <= 1 {
-		return sumRange(b, mask, 0, segs) >> pad, count
-	}
-	chunk := core.ChunkEven(segs, workers)
-	partials := make([]uint64, (segs+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
-		hi := lo + chunk
-		if hi > segs {
-			hi = segs
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			partials[i] = sumRange(b, mask, lo, hi)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	var padded uint64
-	for _, p := range partials {
-		padded += p
-	}
-	return padded >> pad, count
+	sum, count, err := ParallelSumCtx(nil, b, mask, workers)
+	mustCtx(err)
+	return sum, count
 }
 
 // extremeRange scans segments [segLo, segHi) for the extreme code among
@@ -188,47 +155,9 @@ func Max(b *core.ByteSlice, mask *bitvec.Vector) (uint32, bool) {
 // ParallelExtreme computes Min (isMin) or Max with the segment range
 // chunked across workers and the per-chunk extremes merged.
 func ParallelExtreme(b *core.ByteSlice, mask *bitvec.Vector, isMin bool, workers int) (uint32, bool) {
-	if mask != nil && mask.Len() != b.Len() {
-		panic("kernel: aggregate mask length mismatch")
-	}
-	segs := b.Segments()
-	if workers > segs {
-		workers = segs
-	}
-	if workers <= 1 {
-		return extremeRange(b, mask, isMin, 0, segs)
-	}
-	chunk := core.ChunkEven(segs, workers)
-	type partial struct {
-		v  uint32
-		ok bool
-	}
-	partials := make([]partial, (segs+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
-		hi := lo + chunk
-		if hi > segs {
-			hi = segs
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			partials[i].v, partials[i].ok = extremeRange(b, mask, isMin, lo, hi)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	var best uint32
-	found := false
-	for _, p := range partials {
-		if !p.ok {
-			continue
-		}
-		if !found || (isMin && p.v < best) || (!isMin && p.v > best) {
-			best = p.v
-			found = true
-		}
-	}
-	return best, found
+	v, ok, err := ParallelExtremeCtx(nil, b, mask, isMin, workers)
+	mustCtx(err)
+	return v, ok
 }
 
 // Lookup stitches code i back together from its byte slices — the native

@@ -1,0 +1,383 @@
+package kernel
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+)
+
+// Fault-isolated kernel execution. Every *Ctx entry point in this file runs
+// the corresponding kernel under two guarantees the bare fan-out loops do
+// not give:
+//
+//   - Cancellation: the segment range is processed in batches of
+//     batchSegments; between batches every worker observes the context, so
+//     a cancelled query stops within one batch (~8K rows per worker)
+//     instead of running the column to completion.
+//   - Panic isolation: each batch runs under recover. A panic inside a
+//     kernel — a latent bug, a corrupt layout — becomes a *PanicError
+//     naming the failing segment range and is returned as an error from
+//     the calling goroutine, instead of killing the process from a worker
+//     goroutine no caller can defend.
+//
+// The first failure wins; the other workers drain at their next batch
+// boundary. A nil context means "never cancelled" — the legacy exported
+// kernels (ParallelScan, ...) route through this file with a nil context,
+// so they too isolate worker panics (re-panicking on the caller's
+// goroutine, where a defer can catch them).
+
+// batchSegments is the cancellation granularity: 256 segments = 8192 codes
+// per check, coarse enough to stay invisible in scan throughput and fine
+// enough to stop a multi-million-row scan in microseconds. It is even, so
+// batches preserve the word-aligned segment partitioning the bit-vector
+// stores rely on.
+const batchSegments = 256
+
+// PanicError reports a panic recovered inside a kernel worker, with the
+// segment range it was processing.
+type PanicError struct {
+	SegLo, SegHi int
+	Value        any
+	Stack        []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("kernel: worker panic in segments [%d,%d): %v", e.SegLo, e.SegHi, e.Value)
+}
+
+// exec coordinates one fan-out: the first error (cancellation or panic)
+// stops every worker at its next batch boundary.
+type exec struct {
+	ctx     context.Context
+	stopped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+func (x *exec) fail(err error) {
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+	x.stopped.Store(true)
+}
+
+// stop reports whether workers should cease scheduling new batches,
+// folding a freshly-cancelled context into the recorded error.
+func (x *exec) stop() bool {
+	if x.stopped.Load() {
+		return true
+	}
+	if x.ctx != nil && x.ctx.Err() != nil {
+		x.fail(x.ctx.Err())
+		return true
+	}
+	return false
+}
+
+func (x *exec) finish() error {
+	x.stop() // fold in a cancellation that raced the last batch
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+// protect runs fn over one batch under recover.
+func protect[T any](lo, hi int, fn func(segLo, segHi int) T) (out T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{SegLo: lo, SegHi: hi, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(lo, hi), nil
+}
+
+// BatchHook, when non-nil, runs inside every worker batch (under the same
+// panic isolation as the kernel itself). It exists purely as a test seam:
+// fault-injection tests block in it to model a stuck segment source, or
+// panic in it to model a kernel bug, without corrupting real column data.
+// Never set outside tests.
+var BatchHook func(segLo, segHi int)
+
+// runRange executes fn over [lo, hi) in cancellation batches with panic
+// isolation, merging per-batch results via combine.
+func runRange[T any](x *exec, lo, hi int, fn func(segLo, segHi int) T, combine func(T, T) T) T {
+	run := fn
+	if hook := BatchHook; hook != nil {
+		run = func(segLo, segHi int) T {
+			hook(segLo, segHi)
+			return fn(segLo, segHi)
+		}
+	}
+	var acc T
+	for b := lo; b < hi; b += batchSegments {
+		if x.stop() {
+			return acc
+		}
+		bhi := b + batchSegments
+		if bhi > hi {
+			bhi = hi
+		}
+		v, err := protect(b, bhi, run)
+		if err != nil {
+			x.fail(err)
+			return acc
+		}
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// parallelRanges partitions [0, segs) into even-aligned chunks across
+// workers (inline when one suffices), running fn batch-wise under the
+// context with panic isolation and merging results via combine. On error
+// the zero T is returned: partial results of a failed fan-out are
+// meaningless because an arbitrary suffix of the work never ran.
+func parallelRanges[T any](ctx context.Context, segs, workers int, fn func(segLo, segHi int) T, combine func(T, T) T) (T, error) {
+	x := &exec{ctx: ctx}
+	var zero T
+	if workers > segs {
+		workers = segs
+	}
+	if workers <= 1 {
+		v := runRange(x, 0, segs, fn, combine)
+		if err := x.finish(); err != nil {
+			return zero, err
+		}
+		return v, nil
+	}
+	chunk := core.ChunkEven(segs, workers)
+	partials := make([]T, (segs+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
+		hi := lo + chunk
+		if hi > segs {
+			hi = segs
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partials[i] = runRange(x, lo, hi, fn, combine)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	if err := x.finish(); err != nil {
+		return zero, err
+	}
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = combine(acc, p)
+	}
+	return acc, nil
+}
+
+func addInt(a, b int) int { return a + b }
+
+// mustCtx adapts a Ctx kernel for the legacy context-free API: with a nil
+// context the only possible error is a recovered worker panic, which is
+// re-raised — on the caller's goroutine, where a defer can still catch it,
+// instead of an unrecoverable worker-goroutine crash.
+func mustCtx(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func dropUnit(a, _ struct{}) struct{} { return a }
+
+// ParallelScanCtx is ParallelScan under ctx: cancellation is observed at
+// segment-batch granularity and worker panics return as *PanicError. A nil
+// ctx disables cancellation but keeps panic isolation.
+func ParallelScanCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) error {
+	if out.Len() != b.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	_, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) struct{} {
+		ScanRange(b, p, lo, hi, out)
+		return struct{}{}
+	}, dropUnit)
+	return err
+}
+
+// ParallelScanZonedCtx is ParallelScanZoned under ctx.
+func ParallelScanZonedCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) (int, error) {
+	if out.Len() != b.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) int {
+		return ScanZonedRange(b, p, lo, hi, out)
+	}, addInt)
+}
+
+// ParallelScanPipelinedCtx is ParallelScanPipelined under ctx.
+func ParallelScanPipelinedCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) error {
+	if prev.Len() != b.Len() {
+		panic("kernel: pipelined scan with mismatched previous result length")
+	}
+	if out.Len() != b.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	_, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) struct{} {
+		ScanPipelinedRange(b, p, prev, negate, lo, hi, out)
+		return struct{}{}
+	}, dropUnit)
+	return err
+}
+
+// ParallelScanPipelinedZonedCtx is ParallelScanPipelinedZoned under ctx.
+func ParallelScanPipelinedZonedCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) (int, error) {
+	if prev.Len() != b.Len() {
+		panic("kernel: pipelined scan with mismatched previous result length")
+	}
+	if out.Len() != b.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) int {
+		return ScanPipelinedZonedRange(b, p, prev, negate, lo, hi, out)
+	}, addInt)
+}
+
+// ParallelScanMultiCtx is ParallelScanMulti under ctx.
+func ParallelScanMultiCtx(ctx context.Context, cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, workers int, out *bitvec.Vector) (int, error) {
+	if len(cols) == 0 {
+		panic("kernel: ParallelScanMulti needs at least one column")
+	}
+	if out.Len() != cols[0].Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelRanges(ctx, cols[0].Segments(), workers, func(lo, hi int) int {
+		return ScanMultiRange(cols, preds, disjunct, lo, hi, out)
+	}, addInt)
+}
+
+// ParallelSumCtx is ParallelSum under ctx.
+func ParallelSumCtx(ctx context.Context, b *core.ByteSlice, mask *bitvec.Vector, workers int) (sum uint64, count int, err error) {
+	if mask != nil && mask.Len() != b.Len() {
+		panic("kernel: aggregate mask length mismatch")
+	}
+	count = b.Len()
+	if mask != nil {
+		count = mask.Count()
+	}
+	pad := uint(8*b.NumSlices() - b.Width())
+	padded, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) uint64 {
+		return sumRange(b, mask, lo, hi)
+	}, func(a, b uint64) uint64 { return a + b })
+	if err != nil {
+		return 0, 0, err
+	}
+	return padded >> pad, count, nil
+}
+
+// extPartial carries one range's extreme candidate through the merge.
+type extPartial struct {
+	v  uint32
+	ok bool
+}
+
+func mergeExtreme(isMin bool) func(a, b extPartial) extPartial {
+	return func(a, b extPartial) extPartial {
+		switch {
+		case !a.ok:
+			return b
+		case !b.ok:
+			return a
+		case isMin == (b.v < a.v):
+			return b
+		default:
+			return a
+		}
+	}
+}
+
+// ParallelExtremeCtx is ParallelExtreme under ctx.
+func ParallelExtremeCtx(ctx context.Context, b *core.ByteSlice, mask *bitvec.Vector, isMin bool, workers int) (uint32, bool, error) {
+	if mask != nil && mask.Len() != b.Len() {
+		panic("kernel: aggregate mask length mismatch")
+	}
+	best, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) extPartial {
+		v, ok := extremeRange(b, mask, isMin, lo, hi)
+		return extPartial{v, ok}
+	}, mergeExtreme(isMin))
+	if err != nil {
+		return 0, false, err
+	}
+	return best.v, best.ok, nil
+}
+
+// ScanSumCtx is ScanSum under ctx. Each batch prepares its own scanner —
+// a few broadcasts per 8K rows, invisible next to the scan itself.
+func ScanSumCtx(ctx context.Context, f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, workers int) (sum uint64, count int, err error) {
+	if f.Len() != v.Len() {
+		panic("kernel: ScanSum columns have different lengths")
+	}
+	type part struct {
+		padded uint64
+		count  int
+	}
+	padv := uint(8*v.NumSlices() - v.Width())
+	res, err := parallelRanges(ctx, f.Segments(), workers, func(lo, hi int) part {
+		sc := prepare(f, p)
+		z := zoneFor(f, p)
+		padded, n := scanSumRange(f, &sc, &z, v, lo, hi)
+		return part{padded, n}
+	}, func(a, b part) part { return part{a.padded + b.padded, a.count + b.count} })
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.padded >> padv, res.count, nil
+}
+
+// ScanExtremeCtx is ScanExtreme under ctx.
+func ScanExtremeCtx(ctx context.Context, f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, isMin bool, workers int) (uint32, bool, error) {
+	if f.Len() != v.Len() {
+		panic("kernel: ScanExtreme columns have different lengths")
+	}
+	best, err := parallelRanges(ctx, f.Segments(), workers, func(lo, hi int) extPartial {
+		sc := prepare(f, p)
+		z := zoneFor(f, p)
+		val, ok := scanExtremeRange(f, &sc, &z, v, isMin, lo, hi)
+		return extPartial{val, ok}
+	}, mergeExtreme(isMin))
+	if err != nil {
+		return 0, false, err
+	}
+	return best.v, best.ok, nil
+}
+
+// LookupManyCtx is LookupMany chunked under ctx with panic isolation; rows
+// are processed in row batches of batchSegments·SegmentSize.
+func LookupManyCtx(ctx context.Context, b *core.ByteSlice, rows []int32, out []uint32) error {
+	if len(out) != len(rows) {
+		panic("kernel: LookupMany output length mismatch")
+	}
+	x := &exec{ctx: ctx}
+	step := batchSegments * core.SegmentSize
+	for lo := 0; lo < len(rows); lo += step {
+		if x.stop() {
+			break
+		}
+		hi := lo + step
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if _, err := protect(lo, hi, func(lo, hi int) struct{} {
+			if hook := BatchHook; hook != nil {
+				hook(lo, hi)
+			}
+			LookupMany(b, rows[lo:hi], out[lo:hi])
+			return struct{}{}
+		}); err != nil {
+			x.fail(err)
+			break
+		}
+	}
+	return x.finish()
+}

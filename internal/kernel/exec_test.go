@@ -1,0 +1,229 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+)
+
+// execColumn builds a native column large enough that every worker has
+// many cancellation batches to run.
+func execColumn(t *testing.T, n int) *core.ByteSlice {
+	t.Helper()
+	codes := make([]uint32, n)
+	for i := range codes {
+		codes[i] = uint32(i % 1000)
+	}
+	return core.New(codes, 10, nil)
+}
+
+func execPred(t *testing.T, b *core.ByteSlice) layout.Predicate {
+	t.Helper()
+	return layout.Predicate{Op: layout.Lt, C1: 500}
+}
+
+func TestCtxScanMatchesSerial(t *testing.T) {
+	b := execColumn(t, 10_000)
+	p := execPred(t, b)
+	want := bitvec.New(b.Len())
+	Scan(b, p, want)
+	got := bitvec.New(b.Len())
+	if err := ParallelScanCtx(context.Background(), b, p, 4, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if got.Get(i) != want.Get(i) {
+			t.Fatalf("row %d: ctx scan %v, serial %v", i, got.Get(i), want.Get(i))
+		}
+	}
+}
+
+// TestCancelStopsEarly blocks every worker batch on a fake segment source
+// that never delivers until the context is cancelled, then asserts the scan
+// returns the context error after only the in-flight batches ran —
+// cancellation at batch granularity, not after the full column.
+func TestCancelStopsEarly(t *testing.T) {
+	b := execColumn(t, 64*batchSegments*core.SegmentSize) // 64 batches minimum
+	p := execPred(t, b)
+	out := bitvec.New(b.Len())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var batches atomic.Int32
+	started := make(chan struct{}, 1)
+	BatchHook = func(segLo, segHi int) {
+		batches.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // the stuck segment source: blocks until cancel
+	}
+	defer func() { BatchHook = nil }()
+
+	done := make(chan error, 1)
+	workers := 4
+	go func() { done <- ParallelScanCtx(ctx, b, p, workers, out) }()
+	<-started
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Only the batches already in flight when cancel hit may have run: at
+	// most one per worker, far below the total.
+	if n := int(batches.Load()); n > workers {
+		t.Fatalf("%d batches ran after cancellation, want <= %d", n, workers)
+	}
+}
+
+func TestCancelledBeforeStart(t *testing.T) {
+	b := execColumn(t, 10_000)
+	p := execPred(t, b)
+	out := bitvec.New(b.Len())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var batches atomic.Int32
+	BatchHook = func(int, int) { batches.Add(1) }
+	defer func() { BatchHook = nil }()
+	if err := ParallelScanCtx(ctx, b, p, 4, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := batches.Load(); n != 0 {
+		t.Fatalf("%d batches ran under a pre-cancelled context", n)
+	}
+}
+
+// TestWorkerPanicBecomesError injects a panic into one worker batch and
+// asserts it surfaces as a *PanicError naming the failing segment range,
+// from the calling goroutine — not a process crash.
+func TestWorkerPanicBecomesError(t *testing.T) {
+	b := execColumn(t, 8*batchSegments*core.SegmentSize)
+	p := execPred(t, b)
+	out := bitvec.New(b.Len())
+	BatchHook = func(segLo, segHi int) {
+		if segLo == batchSegments { // second batch of the first worker
+			panic("injected kernel bug")
+		}
+	}
+	defer func() { BatchHook = nil }()
+	err := ParallelScanCtx(context.Background(), b, p, 2, out)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.SegLo != batchSegments || pe.SegHi != 2*batchSegments {
+		t.Fatalf("failing range [%d,%d), want [%d,%d)", pe.SegLo, pe.SegHi, batchSegments, 2*batchSegments)
+	}
+	if !strings.Contains(pe.Error(), "injected kernel bug") {
+		t.Fatalf("error %q does not name the panic value", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack trace")
+	}
+}
+
+// TestLegacyWrapperRepanics: the context-free API re-raises worker panics
+// on the caller's goroutine, where a defer can catch them.
+func TestLegacyWrapperRepanics(t *testing.T) {
+	b := execColumn(t, 4*batchSegments*core.SegmentSize)
+	p := execPred(t, b)
+	out := bitvec.New(b.Len())
+	BatchHook = func(int, int) { panic("boom") }
+	defer func() { BatchHook = nil }()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("legacy ParallelScan swallowed the worker panic")
+		}
+		if _, ok := v.(*PanicError); !ok {
+			t.Fatalf("recovered %T, want *PanicError", v)
+		}
+	}()
+	ParallelScan(b, p, 2, out)
+}
+
+// TestCtxAggregates: cancellation and panic isolation hold for every Ctx
+// kernel, not just the plain scan.
+func TestCtxAggregates(t *testing.T) {
+	b := execColumn(t, 10_000)
+	p := execPred(t, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := ParallelSumCtx(ctx, b, nil, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelSumCtx: %v", err)
+	}
+	if _, _, err := ParallelExtremeCtx(ctx, b, nil, true, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelExtremeCtx: %v", err)
+	}
+	if _, _, err := ScanSumCtx(ctx, b, p, b, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanSumCtx: %v", err)
+	}
+	if _, _, err := ScanExtremeCtx(ctx, b, p, b, false, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanExtremeCtx: %v", err)
+	}
+	out := bitvec.New(b.Len())
+	if _, err := ParallelScanMultiCtx(ctx, []*core.ByteSlice{b}, []layout.Predicate{p}, false, 4, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelScanMultiCtx: %v", err)
+	}
+	rows := []int32{0, 1, 2}
+	codes := make([]uint32, len(rows))
+	if err := LookupManyCtx(ctx, b, rows, codes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LookupManyCtx: %v", err)
+	}
+
+	// And with a live context they agree with the legacy kernels.
+	sum, n, err := ParallelSumCtx(context.Background(), b, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, wantN := Sum(b, nil)
+	if sum != wantSum || n != wantN {
+		t.Fatalf("ParallelSumCtx = (%d, %d), want (%d, %d)", sum, n, wantSum, wantN)
+	}
+	v, ok, err := ScanExtremeCtx(context.Background(), b, p, b, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantOK := ScanExtreme(b, p, b, false, 1)
+	if v != wantV || ok != wantOK {
+		t.Fatalf("ScanExtremeCtx = (%d, %v), want (%d, %v)", v, ok, wantV, wantOK)
+	}
+}
+
+// TestCtxZonedScans: the zoned variants propagate cancellation and still
+// report prune counts when live.
+func TestCtxZonedScans(t *testing.T) {
+	b := execColumn(t, 10_000)
+	b.BuildZoneMaps()
+	p := execPred(t, b)
+	out := bitvec.New(b.Len())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParallelScanZonedCtx(ctx, b, p, 4, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelScanZonedCtx: %v", err)
+	}
+	prev := bitvec.New(b.Len())
+	prev.Fill()
+	if _, err := ParallelScanPipelinedZonedCtx(ctx, b, p, prev, false, 4, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelScanPipelinedZonedCtx: %v", err)
+	}
+	if err := ParallelScanPipelinedCtx(ctx, b, p, prev, false, 4, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelScanPipelinedCtx: %v", err)
+	}
+
+	got, err := ParallelScanZonedCtx(context.Background(), b, p, 4, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScanZoned(b, p, bitvec.New(b.Len()))
+	if got != want {
+		t.Fatalf("zoned prune count %d, want %d", got, want)
+	}
+}

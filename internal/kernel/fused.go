@@ -3,7 +3,6 @@ package kernel
 import (
 	"encoding/binary"
 	"math/bits"
-	"sync"
 
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
@@ -106,50 +105,9 @@ func scanSumRange(f *core.ByteSlice, sc *scanner, z *zoneInfo, v *core.ByteSlice
 // of Scan + Sum and never materialises the full-table bit vector. Zone
 // maps on f are used when built.
 func ScanSum(f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, workers int) (sum uint64, count int) {
-	if f.Len() != v.Len() {
-		panic("kernel: ScanSum columns have different lengths")
-	}
-	sc := prepare(f, p)
-	z := zoneFor(f, p)
-	padv := uint(8*v.NumSlices() - v.Width())
-	segs := f.Segments()
-	if workers > segs {
-		workers = segs
-	}
-	if workers <= 1 {
-		padded, n := scanSumRange(f, &sc, &z, v, 0, segs)
-		return padded >> padv, n
-	}
-	chunk := core.ChunkEven(segs, workers)
-	type partial struct {
-		padded uint64
-		count  int
-	}
-	partials := make([]partial, (segs+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
-		hi := lo + chunk
-		if hi > segs {
-			hi = segs
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			// Each worker prepares its own scanner: the shared one would
-			// race on nothing, but keeping per-worker state mirrors the
-			// other parallel kernels and costs a few broadcasts.
-			wsc := prepare(f, p)
-			wz := zoneFor(f, p)
-			partials[i].padded, partials[i].count = scanSumRange(f, &wsc, &wz, v, lo, hi)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	var padded uint64
-	for _, pt := range partials {
-		padded += pt.padded
-		count += pt.count
-	}
-	return padded >> padv, count
+	sum, count, err := ScanSumCtx(nil, f, p, v, workers)
+	mustCtx(err)
+	return sum, count
 }
 
 // scanExtremeRange fuses predicate evaluation on f with the extreme stitch
@@ -187,49 +145,7 @@ func scanExtremeRange(f *core.ByteSlice, sc *scanner, z *zoneInfo, v *core.ByteS
 // else max) of v's codes over the matching rows in one pass; ok is false
 // when no row matches. Zone maps on f are used when built.
 func ScanExtreme(f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, isMin bool, workers int) (uint32, bool) {
-	if f.Len() != v.Len() {
-		panic("kernel: ScanExtreme columns have different lengths")
-	}
-	segs := f.Segments()
-	if workers > segs {
-		workers = segs
-	}
-	if workers <= 1 {
-		sc := prepare(f, p)
-		z := zoneFor(f, p)
-		return scanExtremeRange(f, &sc, &z, v, isMin, 0, segs)
-	}
-	chunk := core.ChunkEven(segs, workers)
-	type partial struct {
-		v  uint32
-		ok bool
-	}
-	partials := make([]partial, (segs+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
-		hi := lo + chunk
-		if hi > segs {
-			hi = segs
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			wsc := prepare(f, p)
-			wz := zoneFor(f, p)
-			partials[i].v, partials[i].ok = scanExtremeRange(f, &wsc, &wz, v, isMin, lo, hi)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	var best uint32
-	found := false
-	for _, pt := range partials {
-		if !pt.ok {
-			continue
-		}
-		if !found || (isMin && pt.v < best) || (!isMin && pt.v > best) {
-			best = pt.v
-			found = true
-		}
-	}
-	return best, found
+	v2, ok, err := ScanExtremeCtx(nil, f, p, v, isMin, workers)
+	mustCtx(err)
+	return v2, ok
 }

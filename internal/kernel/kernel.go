@@ -24,7 +24,6 @@ package kernel
 
 import (
 	"encoding/binary"
-	"sync"
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
@@ -631,12 +630,7 @@ func Scan(b *core.ByteSlice, p layout.Predicate, out *bitvec.Vector) {
 // share a result word. workers <= 1 scans serially. out must have length
 // b.Len() and is overwritten.
 func ParallelScan(b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) {
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	parallelSegments(b.Segments(), workers, func(lo, hi int) {
-		ScanRange(b, p, lo, hi, out)
-	})
+	mustCtx(ParallelScanCtx(nil, b, p, workers, out))
 }
 
 // ScanPipelinedRange is the native column-first pipelined scan (Algorithm
@@ -682,39 +676,5 @@ func ScanPipelined(b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, n
 // ParallelScanPipelined is ScanPipelined fanned out across workers with
 // word-aligned segment chunks. workers <= 1 scans serially.
 func ParallelScanPipelined(b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) {
-	if prev.Len() != b.Len() {
-		panic("kernel: pipelined scan with mismatched previous result length")
-	}
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	parallelSegments(b.Segments(), workers, func(lo, hi int) {
-		ScanPipelinedRange(b, p, prev, negate, lo, hi, out)
-	})
-}
-
-// parallelSegments partitions [0, segs) into even-aligned chunks and runs
-// fn over them on workers goroutines (inline when one worker suffices).
-func parallelSegments(segs, workers int, fn func(segLo, segHi int)) {
-	if workers > segs {
-		workers = segs
-	}
-	if workers <= 1 {
-		fn(0, segs)
-		return
-	}
-	chunk := core.ChunkEven(segs, workers)
-	var wg sync.WaitGroup
-	for lo := 0; lo < segs; lo += chunk {
-		hi := lo + chunk
-		if hi > segs {
-			hi = segs
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	mustCtx(ParallelScanPipelinedCtx(nil, b, p, prev, negate, workers, out))
 }

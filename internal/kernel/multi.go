@@ -91,13 +91,7 @@ func ScanMulti(cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, 
 // ParallelScanMulti is ScanMulti fanned out across workers with
 // word-aligned segment chunks. workers <= 1 scans serially.
 func ParallelScanMulti(cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, workers int, out *bitvec.Vector) int {
-	if len(cols) == 0 {
-		panic("kernel: ParallelScanMulti needs at least one column")
-	}
-	if out.Len() != cols[0].Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	return parallelSegmentsCounted(cols[0].Segments(), workers, func(lo, hi int) int {
-		return ScanMultiRange(cols, preds, disjunct, lo, hi, out)
-	})
+	pruned, err := ParallelScanMultiCtx(nil, cols, preds, disjunct, workers, out)
+	mustCtx(err)
+	return pruned
 }

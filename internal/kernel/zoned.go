@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"sync"
-
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
@@ -91,12 +89,9 @@ func ScanZoned(b *core.ByteSlice, p layout.Predicate, out *bitvec.Vector) int {
 // even-segment chunk alignment as ParallelScan; the per-chunk prune counts
 // are summed. workers <= 1 scans serially.
 func ParallelScanZoned(b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) int {
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	return parallelSegmentsCounted(b.Segments(), workers, func(lo, hi int) int {
-		return ScanZonedRange(b, p, lo, hi, out)
-	})
+	pruned, err := ParallelScanZonedCtx(nil, b, p, workers, out)
+	mustCtx(err)
+	return pruned
 }
 
 // ScanPipelinedZonedRange is the pipelined scan with both gates: the
@@ -155,44 +150,7 @@ func ScanPipelinedZonedRange(b *core.ByteSlice, p layout.Predicate, prev *bitvec
 // ParallelScanPipelinedZoned is ScanPipelinedZonedRange over the whole
 // column, fanned out across workers. workers <= 1 scans serially.
 func ParallelScanPipelinedZoned(b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) int {
-	if prev.Len() != b.Len() {
-		panic("kernel: pipelined scan with mismatched previous result length")
-	}
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	return parallelSegmentsCounted(b.Segments(), workers, func(lo, hi int) int {
-		return ScanPipelinedZonedRange(b, p, prev, negate, lo, hi, out)
-	})
-}
-
-// parallelSegmentsCounted is parallelSegments for range functions that
-// return a count; the per-chunk counts are summed after the join.
-func parallelSegmentsCounted(segs, workers int, fn func(segLo, segHi int) int) int {
-	if workers > segs {
-		workers = segs
-	}
-	if workers <= 1 {
-		return fn(0, segs)
-	}
-	chunk := core.ChunkEven(segs, workers)
-	partials := make([]int, (segs+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for i, lo := 0, 0; lo < segs; i, lo = i+1, lo+chunk {
-		hi := lo + chunk
-		if hi > segs {
-			hi = segs
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			partials[i] = fn(lo, hi)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, p := range partials {
-		total += p
-	}
-	return total
+	pruned, err := ParallelScanPipelinedZonedCtx(nil, b, p, prev, negate, workers, out)
+	mustCtx(err)
+	return pruned
 }

@@ -2,9 +2,13 @@ package byteslice
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 
 	"byteslice/internal/encoding"
 )
@@ -16,25 +20,746 @@ import (
 // data, exactly as a column store would rebuild them when mapping a
 // snapshot back into memory.
 //
-// Format (all integers little-endian):
+// Format v2 (all integers little-endian) frames every section with a tag,
+// an explicit length and a CRC32-C of the payload, so torn writes, bit
+// flips and truncation are detected structurally instead of surfacing as
+// garbage tables:
 //
-//	magic "BSLC" | version u16 | columns u32 | rows u64
+//	magic "BSLC" | version u16 = 2
+//	section 'T':  tag u8 | len u64 | payload | crc32c u32
+//	  payload: columns u32 | rows u64
 //	per column:
-//	  name | kind u8 | format | width u8
-//	  encoder params (kind-specific)
-//	  nulls u64 + that many u64 row numbers
-//	  rows × u32 codes
+//	  section 'M': tag u8 | len u64 | payload | crc32c u32
+//	    payload: name | kind u8 | format | width u8
+//	             encoder params (kind-specific)
+//	             nulls u64 + that many u64 row numbers
+//	  section 'C': tag u8 | len u64 (= 4·rows) | rows × u32 codes | crc32c u32
 //
-// Strings are length-prefixed (u32).
+// Strings are length-prefixed (u32). Readers never trust a declared length
+// for allocation: payloads stream in bounded chunks, so a forged header
+// cannot trigger a multi-gigabyte allocation before the stream runs dry.
+//
+// Version 1 streams (the same fields without framing or checksums) are
+// still readable; WriteTo always produces version 2.
 
 const (
-	persistMagic   = "BSLC"
-	persistVersion = 1
+	persistMagic = "BSLC"
+	persistV1    = 1
+	persistV2    = 2
+
+	secTable = 'T' // table header section
+	secMeta  = 'M' // per-column metadata section
+	secCodes = 'C' // per-column codes section
+
+	// ioChunk bounds every streaming read/write and allocation step: a
+	// reader's memory grows only as real bytes arrive, never by a header's
+	// claim.
+	ioChunk = 64 << 10
+
+	maxPersistCols   = 1 << 16
+	maxPersistRows   = 1 << 40
+	maxPersistString = 1 << 24
+	maxPersistDict   = 1 << 24
+	// maxMetaSection caps a metadata section: name, format, dictionary and
+	// NULL-row list all live there, so 2 GiB is far beyond any legitimate
+	// column while still cheap to reject.
+	maxMetaSection = 1 << 31
 )
 
-// WriteTo serialises the table. It returns the number of bytes written.
+// Snapshot error sentinels. Every structural defect a reader detects —
+// bad magic, checksum mismatch, truncated or oversized sections, values
+// inconsistent with their declared encoding — wraps ErrCorrupt, and an
+// unknown format version wraps ErrVersion, so callers can classify
+// failures with errors.Is without parsing messages.
+var (
+	ErrCorrupt = errors.New("byteslice: corrupt snapshot")
+	ErrVersion = errors.New("byteslice: unsupported snapshot version")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// fill reads exactly len(b) bytes, reporting a premature end of stream as
+// corruption (a torn or truncated snapshot) and passing real I/O errors
+// through unchanged.
+func fill(r io.Reader, b []byte) error {
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return corruptf("unexpected end of stream")
+		}
+		return err
+	}
+	return nil
+}
+
+// WriteTo serialises the table in format v2. It returns the number of
+// bytes written.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriter(w)}
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+
+	if _, err := io.WriteString(cw, persistMagic); err != nil {
+		return cw.n, err
+	}
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], persistV2)
+	if _, err := cw.Write(ver[:]); err != nil {
+		return cw.n, err
+	}
+
+	var hdr payloadBuf
+	hdr.u32(uint32(len(t.cols)))
+	hdr.u64(uint64(t.n))
+	if err := writeSection(cw, secTable, hdr.Bytes()); err != nil {
+		return cw.n, err
+	}
+
+	for _, c := range t.cols {
+		if err := writeSection(cw, secMeta, columnMeta(c)); err != nil {
+			return cw.n, err
+		}
+		if err := writeCodesSection(cw, c, t.n); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// payloadBuf builds a section payload in memory (sections other than the
+// streamed codes are small: a header or one column's metadata).
+type payloadBuf struct{ bytes.Buffer }
+
+func (p *payloadBuf) u8(v byte) { p.WriteByte(v) }
+func (p *payloadBuf) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	p.Write(b[:])
+}
+func (p *payloadBuf) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.Write(b[:])
+}
+func (p *payloadBuf) i64(v int64)   { p.u64(uint64(v)) }
+func (p *payloadBuf) f64(v float64) { p.u64(math.Float64bits(v)) }
+func (p *payloadBuf) str(s string)  { p.u32(uint32(len(s))); p.WriteString(s) }
+
+// columnMeta serialises one column's metadata payload.
+func columnMeta(c *Column) []byte {
+	var p payloadBuf
+	p.str(c.name)
+	p.u8(uint8(c.kind))
+	p.str(string(c.Format()))
+	p.u8(uint8(c.Width()))
+	switch c.kind {
+	case KindInt:
+		p.i64(c.ints.Min())
+		p.i64(c.ints.Max())
+	case KindDecimal:
+		p.f64(c.decs.Min())
+		p.f64(c.decs.Max())
+		p.u8(uint8(c.decs.Digits()))
+	case KindString:
+		vals := c.dict.Values()
+		p.u32(uint32(len(vals)))
+		for _, s := range vals {
+			p.str(s)
+		}
+	case KindCode:
+		// Width alone suffices.
+	}
+	var nullRows []int32
+	if c.nulls != nil {
+		nullRows = c.nulls.Positions(nil)
+	}
+	p.u64(uint64(len(nullRows)))
+	for _, r := range nullRows {
+		p.u64(uint64(r))
+	}
+	return p.Bytes()
+}
+
+// writeSection frames one buffered payload: tag, length, payload, CRC32-C.
+func writeSection(cw *countingWriter, tag byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = tag
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := cw.Write(payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(payload, castagnoli))
+	_, err := cw.Write(tail[:])
+	return err
+}
+
+// writeCodesSection streams one column's codes without materialising the
+// payload: the length is known up front (4 bytes per row) and the checksum
+// accumulates chunk by chunk.
+func writeCodesSection(cw *countingWriter, c *Column, n int) error {
+	var hdr [9]byte
+	hdr[0] = secCodes
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(n)*4)
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(castagnoli)
+	buf := make([]byte, 0, ioChunk)
+	e := nilProfile.engine()
+	for i := 0; i < n; i++ {
+		var word [4]byte
+		binary.LittleEndian.PutUint32(word[:], c.data.Lookup(e, i))
+		buf = append(buf, word[:]...)
+		if len(buf) == ioChunk {
+			crc.Write(buf)
+			if _, err := cw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		crc.Write(buf)
+		if _, err := cw.Write(buf); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := cw.Write(tail[:])
+	return err
+}
+
+// nilProfile lets persistence reuse the engine plumbing without metrics.
+var nilProfile *Profile
+
+// ReadTable deserialises a table written by WriteTo, rebuilding every
+// column in the requested format (pass no option to restore the formats
+// recorded in the stream). It reads both the current checksummed format
+// (v2) and legacy v1 streams. Structural defects are reported as errors
+// wrapping ErrCorrupt; an unknown version wraps ErrVersion. ReadTable
+// never allocates more memory than the stream actually delivers, so a
+// corrupt header cannot trigger an outsized allocation.
+func ReadTable(r io.Reader, opts ...ColumnOption) (*Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if err := fill(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != persistMagic {
+		return nil, corruptf("bad magic %q", magic)
+	}
+	var verb [2]byte
+	if err := fill(br, verb[:]); err != nil {
+		return nil, err
+	}
+	switch version := binary.LittleEndian.Uint16(verb[:]); version {
+	case persistV1:
+		return readTableV1(br, opts)
+	case persistV2:
+		return readTableV2(br, opts)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+}
+
+// checkShape validates the table header fields shared by both versions.
+func checkShape(ncols uint32, nrows uint64) error {
+	if ncols == 0 || ncols > maxPersistCols || nrows > maxPersistRows {
+		return corruptf("implausible shape %d×%d", ncols, nrows)
+	}
+	return nil
+}
+
+// columnSpec carries one column's parsed metadata between the version-
+// specific parsers and the shared rebuild step.
+type columnSpec struct {
+	name           string
+	kind           Kind
+	format         Format
+	width          int
+	intMin, intMax int64
+	decMin, decMax float64
+	decDigits      int
+	vocab          []string
+	nullRows       []int
+}
+
+// rebuild reconstructs the column, classifying every rebuild failure as
+// corruption: the stream's own parameters could not reproduce a valid
+// column.
+func (s *columnSpec) rebuild(codes []uint32, override columnConfig) (*Column, error) {
+	format := s.format
+	if override.format != "" {
+		format = override.format
+	}
+	col, err := rebuildColumn(s.name, s.kind, format, s.width, codes,
+		s.intMin, s.intMax, s.decMin, s.decMax, s.decDigits, s.vocab, s.nullRows)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------------------
+// Version 2 reader: framed, checksummed, streaming.
+
+func readTableV2(br *bufio.Reader, opts []ColumnOption) (*Table, error) {
+	chunk := make([]byte, ioChunk)
+	hdr, err := readSection(br, secTable, 12, chunk)
+	if err != nil {
+		return nil, err
+	}
+	h := metaBuf{b: hdr}
+	ncols, err := h.u32()
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := h.u64()
+	if err != nil {
+		return nil, err
+	}
+	if err := h.done(); err != nil {
+		return nil, err
+	}
+	if err := checkShape(ncols, nrows); err != nil {
+		return nil, err
+	}
+
+	override := applyOpts(opts)
+	cols := make([]*Column, 0, min(uint64(ncols), 1024))
+	for ci := uint32(0); ci < ncols; ci++ {
+		meta, err := readSection(br, secMeta, maxMetaSection, chunk)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := parseColumnMeta(meta, nrows)
+		if err != nil {
+			return nil, err
+		}
+		codes, err := readCodesSection(br, nrows, chunk)
+		if err != nil {
+			return nil, err
+		}
+		col, err := spec.rebuild(codes, override)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	tbl, err := NewTable(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return tbl, nil
+}
+
+// readSection reads one framed section with a buffered payload, verifying
+// tag, length bound and checksum. The payload accumulates in ioChunk steps
+// so a forged length fails at the first missing byte, not after a huge
+// allocation.
+func readSection(br *bufio.Reader, tag byte, maxLen uint64, chunk []byte) ([]byte, error) {
+	var hdr [9]byte
+	if err := fill(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != tag {
+		return nil, corruptf("section tag %q, want %q", hdr[0], tag)
+	}
+	ln := binary.LittleEndian.Uint64(hdr[1:])
+	if ln > maxLen {
+		return nil, corruptf("section %q length %d exceeds limit %d", tag, ln, maxLen)
+	}
+	crc := crc32.New(castagnoli)
+	payload := make([]byte, 0, min(ln, uint64(len(chunk))))
+	for remaining := ln; remaining > 0; {
+		n := min(remaining, uint64(len(chunk)))
+		buf := chunk[:n]
+		if err := fill(br, buf); err != nil {
+			return nil, err
+		}
+		crc.Write(buf)
+		payload = append(payload, buf...)
+		remaining -= n
+	}
+	var tail [4]byte
+	if err := fill(br, tail[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != crc.Sum32() {
+		return nil, corruptf("section %q checksum mismatch", tag)
+	}
+	return payload, nil
+}
+
+// readCodesSection streams one column's codes: the framed length must
+// equal 4·rows exactly, and codes decode chunk by chunk while the checksum
+// accumulates, so memory grows only with bytes actually read.
+func readCodesSection(br *bufio.Reader, nrows uint64, chunk []byte) ([]uint32, error) {
+	var hdr [9]byte
+	if err := fill(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != secCodes {
+		return nil, corruptf("section tag %q, want %q", hdr[0], byte(secCodes))
+	}
+	ln := binary.LittleEndian.Uint64(hdr[1:])
+	if ln != nrows*4 {
+		return nil, corruptf("codes section length %d, want %d", ln, nrows*4)
+	}
+	crc := crc32.New(castagnoli)
+	codes := make([]uint32, 0, min(nrows, uint64(len(chunk))/4))
+	for remaining := ln; remaining > 0; {
+		n := min(remaining, uint64(len(chunk)))
+		buf := chunk[:n]
+		if err := fill(br, buf); err != nil {
+			return nil, err
+		}
+		crc.Write(buf)
+		for i := 0; i+4 <= len(buf); i += 4 {
+			codes = append(codes, binary.LittleEndian.Uint32(buf[i:]))
+		}
+		remaining -= n
+	}
+	var tail [4]byte
+	if err := fill(br, tail[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != crc.Sum32() {
+		return nil, corruptf("codes section checksum mismatch")
+	}
+	return codes, nil
+}
+
+// metaBuf parses a verified metadata payload; every overrun is corruption.
+type metaBuf struct {
+	b   []byte
+	off int
+}
+
+func (m *metaBuf) take(n int) ([]byte, error) {
+	if n < 0 || len(m.b)-m.off < n {
+		return nil, corruptf("metadata section truncated")
+	}
+	b := m.b[m.off : m.off+n]
+	m.off += n
+	return b, nil
+}
+
+func (m *metaBuf) u8() (byte, error) {
+	b, err := m.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (m *metaBuf) u32() (uint32, error) {
+	b, err := m.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (m *metaBuf) u64() (uint64, error) {
+	b, err := m.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (m *metaBuf) i64() (int64, error) {
+	v, err := m.u64()
+	return int64(v), err
+}
+
+func (m *metaBuf) f64() (float64, error) {
+	v, err := m.u64()
+	return math.Float64frombits(v), err
+}
+
+func (m *metaBuf) str() (string, error) {
+	n, err := m.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxPersistString {
+		return "", corruptf("implausible string length %d", n)
+	}
+	b, err := m.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (m *metaBuf) done() error {
+	if m.off != len(m.b) {
+		return corruptf("%d trailing bytes in section", len(m.b)-m.off)
+	}
+	return nil
+}
+
+// parseColumnMeta decodes one column's metadata payload.
+func parseColumnMeta(payload []byte, nrows uint64) (*columnSpec, error) {
+	m := metaBuf{b: payload}
+	spec := &columnSpec{}
+	var err error
+	if spec.name, err = m.str(); err != nil {
+		return nil, err
+	}
+	kind, err := m.u8()
+	if err != nil {
+		return nil, err
+	}
+	spec.kind = Kind(kind)
+	formatStr, err := m.str()
+	if err != nil {
+		return nil, err
+	}
+	spec.format = Format(formatStr)
+	width, err := m.u8()
+	if err != nil {
+		return nil, err
+	}
+	spec.width = int(width)
+
+	switch spec.kind {
+	case KindInt:
+		if spec.intMin, err = m.i64(); err != nil {
+			return nil, err
+		}
+		if spec.intMax, err = m.i64(); err != nil {
+			return nil, err
+		}
+	case KindDecimal:
+		if spec.decMin, err = m.f64(); err != nil {
+			return nil, err
+		}
+		if spec.decMax, err = m.f64(); err != nil {
+			return nil, err
+		}
+		digits, err := m.u8()
+		if err != nil {
+			return nil, err
+		}
+		spec.decDigits = int(digits)
+	case KindString:
+		card, err := m.u32()
+		if err != nil {
+			return nil, err
+		}
+		if card > maxPersistDict {
+			return nil, corruptf("implausible dictionary size %d", card)
+		}
+		spec.vocab = make([]string, 0, min(uint64(card), 4096))
+		for i := uint32(0); i < card; i++ {
+			s, err := m.str()
+			if err != nil {
+				return nil, err
+			}
+			spec.vocab = append(spec.vocab, s)
+		}
+	case KindCode:
+	default:
+		return nil, corruptf("unknown column kind %d", kind)
+	}
+
+	nullCount, err := m.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nullCount > nrows {
+		return nil, corruptf("%d nulls in %d rows", nullCount, nrows)
+	}
+	spec.nullRows = make([]int, 0, min(nullCount, ioChunk/8))
+	for i := uint64(0); i < nullCount; i++ {
+		r, err := m.u64()
+		if err != nil {
+			return nil, err
+		}
+		if r >= nrows {
+			return nil, corruptf("null row %d out of range", r)
+		}
+		spec.nullRows = append(spec.nullRows, int(r))
+	}
+	if err := m.done(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Version 1 reader: the legacy unframed stream, kept for compatibility and
+// hardened the same way — bounded chunked allocation, ErrCorrupt wrapping.
+
+func readTableV1(br *bufio.Reader, opts []ColumnOption) (*Table, error) {
+	get := func(v any) error {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return corruptf("unexpected end of stream")
+			}
+			return err
+		}
+		return nil
+	}
+	getStr := func() (string, error) {
+		var n uint32
+		if err := get(&n); err != nil {
+			return "", err
+		}
+		if n > maxPersistString {
+			return "", corruptf("implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if err := fill(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	var ncols uint32
+	var nrows uint64
+	if err := get(&ncols); err != nil {
+		return nil, err
+	}
+	if err := get(&nrows); err != nil {
+		return nil, err
+	}
+	if err := checkShape(ncols, nrows); err != nil {
+		return nil, err
+	}
+
+	override := applyOpts(opts)
+	chunk := make([]byte, ioChunk)
+	cols := make([]*Column, 0, min(uint64(ncols), 1024))
+	for ci := uint32(0); ci < ncols; ci++ {
+		spec := &columnSpec{}
+		var err error
+		if spec.name, err = getStr(); err != nil {
+			return nil, err
+		}
+		var kind uint8
+		if err := get(&kind); err != nil {
+			return nil, err
+		}
+		spec.kind = Kind(kind)
+		formatStr, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		spec.format = Format(formatStr)
+		var width uint8
+		if err := get(&width); err != nil {
+			return nil, err
+		}
+		spec.width = int(width)
+
+		switch spec.kind {
+		case KindInt:
+			if err := get(&spec.intMin); err != nil {
+				return nil, err
+			}
+			if err := get(&spec.intMax); err != nil {
+				return nil, err
+			}
+		case KindDecimal:
+			if err := get(&spec.decMin); err != nil {
+				return nil, err
+			}
+			if err := get(&spec.decMax); err != nil {
+				return nil, err
+			}
+			var digits uint8
+			if err := get(&digits); err != nil {
+				return nil, err
+			}
+			spec.decDigits = int(digits)
+		case KindString:
+			var card uint32
+			if err := get(&card); err != nil {
+				return nil, err
+			}
+			if card > maxPersistDict {
+				return nil, corruptf("implausible dictionary size %d", card)
+			}
+			spec.vocab = make([]string, 0, min(uint64(card), 4096))
+			for i := uint32(0); i < card; i++ {
+				s, err := getStr()
+				if err != nil {
+					return nil, err
+				}
+				spec.vocab = append(spec.vocab, s)
+			}
+		case KindCode:
+		default:
+			return nil, corruptf("unknown column kind %d", kind)
+		}
+
+		var nullCount uint64
+		if err := get(&nullCount); err != nil {
+			return nil, err
+		}
+		if nullCount > nrows {
+			return nil, corruptf("%d nulls in %d rows", nullCount, nrows)
+		}
+		spec.nullRows = make([]int, 0, min(nullCount, ioChunk/8))
+		for i := uint64(0); i < nullCount; i++ {
+			var r uint64
+			if err := get(&r); err != nil {
+				return nil, err
+			}
+			if r >= nrows {
+				return nil, corruptf("null row %d out of range", r)
+			}
+			spec.nullRows = append(spec.nullRows, int(r))
+		}
+
+		// Codes stream in bounded chunks (v1 has no framing, so truncation
+		// surfaces as a short read partway through).
+		codes := make([]uint32, 0, min(nrows, ioChunk/4))
+		for remaining := nrows * 4; remaining > 0; {
+			n := min(remaining, uint64(len(chunk)))
+			buf := chunk[:n]
+			if err := fill(br, buf); err != nil {
+				return nil, err
+			}
+			for i := 0; i+4 <= len(buf); i += 4 {
+				codes = append(codes, binary.LittleEndian.Uint32(buf[i:]))
+			}
+			remaining -= n
+		}
+
+		col, err := spec.rebuild(codes, override)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	tbl, err := NewTable(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return tbl, nil
+}
+
+// writeToV1 serialises the table in the legacy v1 stream layout. It exists
+// so tests and fuzz seeds can exercise the v1 read-compatibility path
+// against freshly built tables; production writes always use v2.
+func (t *Table) writeToV1(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
 	put := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
 	putStr := func(s string) error {
 		if err := put(uint32(len(s))); err != nil {
@@ -47,7 +772,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	if _, err := io.WriteString(cw, persistMagic); err != nil {
 		return cw.n, err
 	}
-	if err := put(uint16(persistVersion)); err != nil {
+	if err := put(uint16(persistV1)); err != nil {
 		return cw.n, err
 	}
 	if err := put(uint32(len(t.cols))); err != nil {
@@ -99,7 +824,6 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 				}
 			}
 		case KindCode:
-			// Width alone suffices.
 		}
 
 		var nullRows []int32
@@ -121,156 +845,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	return cw.n, cw.w.(*bufio.Writer).Flush()
-}
-
-// nilProfile lets persistence reuse the engine plumbing without metrics.
-var nilProfile *Profile
-
-// ReadTable deserialises a table written by WriteTo, rebuilding every
-// column in the requested format (pass no option to restore the formats
-// recorded in the stream).
-func ReadTable(r io.Reader, opts ...ColumnOption) (*Table, error) {
-	br := bufio.NewReader(r)
-	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
-	getStr := func() (string, error) {
-		var n uint32
-		if err := get(&n); err != nil {
-			return "", err
-		}
-		if n > 1<<24 {
-			return "", fmt.Errorf("byteslice: implausible string length %d", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
-	}
-	if string(magic) != persistMagic {
-		return nil, fmt.Errorf("byteslice: bad magic %q", magic)
-	}
-	var version uint16
-	if err := get(&version); err != nil {
-		return nil, err
-	}
-	if version != persistVersion {
-		return nil, fmt.Errorf("byteslice: unsupported version %d", version)
-	}
-	var ncols uint32
-	var nrows uint64
-	if err := get(&ncols); err != nil {
-		return nil, err
-	}
-	if err := get(&nrows); err != nil {
-		return nil, err
-	}
-	if ncols == 0 || ncols > 1<<16 || nrows > 1<<40 {
-		return nil, fmt.Errorf("byteslice: implausible shape %d×%d", ncols, nrows)
-	}
-
-	override := applyOpts(opts)
-	cols := make([]*Column, 0, ncols)
-	for ci := uint32(0); ci < ncols; ci++ {
-		name, err := getStr()
-		if err != nil {
-			return nil, err
-		}
-		var kind uint8
-		if err := get(&kind); err != nil {
-			return nil, err
-		}
-		formatStr, err := getStr()
-		if err != nil {
-			return nil, err
-		}
-		var width uint8
-		if err := get(&width); err != nil {
-			return nil, err
-		}
-		format := Format(formatStr)
-		if override.format != "" {
-			format = override.format
-		}
-
-		var intMin, intMax int64
-		var decMin, decMax float64
-		var decDigits uint8
-		var vocab []string
-		switch Kind(kind) {
-		case KindInt:
-			if err := get(&intMin); err != nil {
-				return nil, err
-			}
-			if err := get(&intMax); err != nil {
-				return nil, err
-			}
-		case KindDecimal:
-			if err := get(&decMin); err != nil {
-				return nil, err
-			}
-			if err := get(&decMax); err != nil {
-				return nil, err
-			}
-			if err := get(&decDigits); err != nil {
-				return nil, err
-			}
-		case KindString:
-			var card uint32
-			if err := get(&card); err != nil {
-				return nil, err
-			}
-			if card > 1<<24 {
-				return nil, fmt.Errorf("byteslice: implausible dictionary size %d", card)
-			}
-			vocab = make([]string, card)
-			for i := range vocab {
-				if vocab[i], err = getStr(); err != nil {
-					return nil, err
-				}
-			}
-		case KindCode:
-		default:
-			return nil, fmt.Errorf("byteslice: unknown column kind %d", kind)
-		}
-
-		var nullCount uint64
-		if err := get(&nullCount); err != nil {
-			return nil, err
-		}
-		if nullCount > nrows {
-			return nil, fmt.Errorf("byteslice: %d nulls in %d rows", nullCount, nrows)
-		}
-		nullRows := make([]int, nullCount)
-		for i := range nullRows {
-			var r uint64
-			if err := get(&r); err != nil {
-				return nil, err
-			}
-			if r >= nrows {
-				return nil, fmt.Errorf("byteslice: null row %d out of range", r)
-			}
-			nullRows[i] = int(r)
-		}
-
-		codes := make([]uint32, nrows)
-		if err := get(codes); err != nil {
-			return nil, err
-		}
-
-		col, err := rebuildColumn(name, Kind(kind), format, int(width), codes,
-			intMin, intMax, decMin, decMax, int(decDigits), vocab, nullRows)
-		if err != nil {
-			return nil, err
-		}
-		cols = append(cols, col)
-	}
-	return NewTable(cols...)
+	return cw.n, bw.Flush()
 }
 
 // rebuildColumn reconstructs a column directly from its stored codes and
@@ -290,14 +865,14 @@ func rebuildColumn(name string, kind Kind, format Format, width int, codes []uin
 	}
 	checkCodes := func(k int) error {
 		if k < 1 || k > 32 {
-			return fmt.Errorf("byteslice: column %s: bad width %d", name, k)
+			return corruptf("column %s: bad width %d", name, k)
 		}
 		if k == 32 {
 			return nil
 		}
 		for i, c := range codes {
 			if c >= 1<<uint(k) {
-				return fmt.Errorf("byteslice: column %s row %d: code %d exceeds width %d", name, i, c, k)
+				return corruptf("column %s row %d: code %d exceeds width %d", name, i, c, k)
 			}
 		}
 		return nil
@@ -329,11 +904,11 @@ func rebuildColumn(name string, kind Kind, format Format, width int, codes []uin
 	case KindString:
 		dict := encoding.NewDictionary(vocab)
 		if dict.Cardinality() != len(vocab) {
-			return nil, fmt.Errorf("byteslice: column %s: stored vocabulary has duplicates", name)
+			return nil, corruptf("column %s: stored vocabulary has duplicates", name)
 		}
 		for i, c := range codes {
 			if int(c) >= dict.Cardinality() {
-				return nil, fmt.Errorf("byteslice: column %s row %d: code %d outside dictionary", name, i, c)
+				return nil, corruptf("column %s row %d: code %d outside dictionary", name, i, c)
 			}
 		}
 		return &Column{nulls: nulls, name: name, kind: KindString, dict: dict,
@@ -347,7 +922,7 @@ func rebuildColumn(name string, kind Kind, format Format, width int, codes []uin
 			hist: buildHistogram(codes, maxCodeFor(width)),
 			data: build(codes, width, arena)}, nil
 	}
-	return nil, fmt.Errorf("byteslice: unknown kind %v", kind)
+	return nil, corruptf("unknown kind %v", kind)
 }
 
 type countingWriter struct {

@@ -1,6 +1,8 @@
 package byteslice
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +15,29 @@ import (
 	"byteslice/internal/plan"
 	"byteslice/internal/sortpart"
 )
+
+// ErrQueryFault marks a query that died inside a native kernel worker: a
+// panic in the scan/aggregate machinery is recovered per segment batch and
+// surfaces as an error wrapping this sentinel (with the failing segment
+// range in the message) instead of crashing the process from a goroutine
+// no caller can defend. Cancellation is reported separately, as the
+// context's own error (errors.Is(err, context.Canceled)).
+var ErrQueryFault = errors.New("byteslice: query fault")
+
+// queryErr converts a kernel-layer failure into the facade's error
+// vocabulary: recovered worker panics wrap ErrQueryFault, context errors
+// pass through untouched so errors.Is(err, context.Canceled) keeps
+// working.
+func queryErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *kernel.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("%w: %v", ErrQueryFault, pe)
+	}
+	return err
+}
 
 // Table is an immutable set of equal-length columns queried together.
 type Table struct {
@@ -100,6 +125,18 @@ type queryConfig struct {
 	strategy Strategy
 	workers  int
 	order    FilterOrder
+	ctx      context.Context
+}
+
+// ctxErr reports the query's context error, if a context was attached and
+// has been cancelled. The modelled path checks it between predicates and
+// row batches (its engine loops are synchronous); the native path passes
+// the context into the kernels, which check it per segment batch.
+func (c *queryConfig) ctxErr() error {
+	if c.ctx != nil && c.ctx.Err() != nil {
+		return c.ctx.Err()
+	}
+	return nil
 }
 
 // native reports whether the query runs on the native SWAR fast path: no
@@ -133,6 +170,15 @@ func (c *queryConfig) nativeWorkers(segs int) int {
 // WithProfile records the evaluation's modelled execution metrics.
 func WithProfile(p *Profile) QueryOption {
 	return func(c *queryConfig) { c.profile = p }
+}
+
+// WithContext attaches a context to the evaluation. On the native path the
+// context is observed inside the parallel kernels at segment-batch
+// granularity (a cancelled multi-million-row scan stops within ~8K rows
+// per worker); on the modelled path it is checked between predicates and
+// projection batches. A cancelled query returns the context's error.
+func WithContext(ctx context.Context) QueryOption {
+	return func(c *queryConfig) { c.ctx = ctx }
 }
 
 // WithStrategy overrides the complex-predicate evaluation strategy.
@@ -279,6 +325,10 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		explain = "plan: modelled path (WithProfile); strategy and order follow the paper's static policy"
 	}
 
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
+	}
+
 	if strategy == StrategyPredicateFirst {
 		pfOK := !anyNulls
 		for _, r := range rs {
@@ -292,7 +342,11 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		if cols, preds, ok := allBS(rs); pfOK && ok {
 			out := bitvec.New(t.n)
 			if cfg.native() {
-				zoneSkipped += kernel.ParallelScanMulti(cols, preds, disjunct, cfg.nativeWorkers(cols[0].Segments()), out)
+				pruned, err := kernel.ParallelScanMultiCtx(cfg.ctx, cols, preds, disjunct, cfg.nativeWorkers(cols[0].Segments()), out)
+				if err != nil {
+					return nil, queryErr(err)
+				}
+				zoneSkipped += pruned
 			} else if disjunct {
 				core.ScanDisjunctionPredicateFirst(e, cols, preds, out)
 			} else {
@@ -306,6 +360,11 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 	acc := bitvec.New(t.n)
 	cur := bitvec.New(t.n)
 	for i, r := range rs {
+		// Between-predicate cancellation point: the modelled engine loops
+		// are synchronous, so this is their only chance to observe ctx.
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		if r.matchAll {
 			target := cur
 			if i == 0 {
@@ -329,11 +388,17 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 				// Native SWAR fast path with zone-map pruning: segments the
 				// first-byte min/max already decides are written without
 				// loading column data.
-				zoneSkipped += kernel.ParallelScanZoned(bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc)
+				pruned, err := kernel.ParallelScanZonedCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc)
+				if err != nil {
+					return nil, queryErr(err)
+				}
+				zoneSkipped += pruned
 			case isBS && cfg.native():
 				// Native SWAR fast path: no profile is attached, so the
 				// segment range fans out across the worker pool.
-				kernel.ParallelScan(bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc)
+				if err := kernel.ParallelScanCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc); err != nil {
+					return nil, queryErr(err)
+				}
 			case isBS && cfg.workers > 1:
 				for _, wp := range bs.ParallelScan(r.pred, cfg.workers, acc) {
 					if cfg.profile != nil {
@@ -355,9 +420,15 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			// disjunction is scanned separately.
 			if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() && !(disjunct && r.col.nulls != nil) {
 				if bs.HasZoneMaps() {
-					zoneSkipped += kernel.ParallelScanPipelinedZoned(bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+					pruned, err := kernel.ParallelScanPipelinedZonedCtx(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+					if err != nil {
+						return nil, queryErr(err)
+					}
+					zoneSkipped += pruned
 				} else {
-					kernel.ParallelScanPipelined(bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+					if err := kernel.ParallelScanPipelinedCtx(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur); err != nil {
+						return nil, queryErr(err)
+					}
 				}
 				if !disjunct {
 					applyNulls(cur, r.col)
@@ -376,9 +447,15 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		}
 		if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
 			if bs.HasZoneMaps() {
-				zoneSkipped += kernel.ParallelScanZoned(bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+				pruned, err := kernel.ParallelScanZonedCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+				if err != nil {
+					return nil, queryErr(err)
+				}
+				zoneSkipped += pruned
 			} else {
-				kernel.ParallelScan(bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+				if err := kernel.ParallelScanCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur); err != nil {
+					return nil, queryErr(err)
+				}
 			}
 		} else if isBS && bs.HasZoneMaps() {
 			bs.ScanZoned(e, r.pred, cur)
@@ -545,27 +622,42 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 			workers = max
 		}
 		if workers <= 1 {
-			kernel.LookupMany(bs, rows, codes)
+			if err := kernel.LookupManyCtx(cfg.ctx, bs, rows, codes); err != nil {
+				return nil, nil, queryErr(err)
+			}
 			return rows, codes, nil
 		}
 		chunk := (len(rows) + workers - 1) / workers
+		errs := make([]error, (len(rows)+chunk-1)/chunk)
 		var wg sync.WaitGroup
-		for lo := 0; lo < len(rows); lo += chunk {
+		for i, lo := 0, 0; lo < len(rows); i, lo = i+1, lo+chunk {
 			hi := lo + chunk
 			if hi > len(rows) {
 				hi = len(rows)
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(i, lo, hi int) {
 				defer wg.Done()
-				kernel.LookupMany(bs, rows[lo:hi], codes[lo:hi])
-			}(lo, hi)
+				errs[i] = kernel.LookupManyCtx(cfg.ctx, bs, rows[lo:hi], codes[lo:hi])
+			}(i, lo, hi)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, queryErr(err)
+			}
+		}
 		return rows, codes, nil
 	}
 	e := cfg.profile.engine()
 	for i, r := range rows {
+		// Modelled per-lookup path: observe cancellation between row
+		// batches so a huge profiled projection can still be stopped.
+		if i%8192 == 0 {
+			if err := cfg.ctxErr(); err != nil {
+				return nil, nil, err
+			}
+		}
 		codes[i] = c.data.Lookup(e, int(r))
 	}
 	return rows, codes, nil
@@ -587,6 +679,9 @@ func (t *Table) OrderBy(col string, res *Result, opts ...QueryOption) ([]int32, 
 	var cfg queryConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := cfg.ctxErr(); err != nil {
+		return nil, err
 	}
 	e := cfg.profile.engine()
 
