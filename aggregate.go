@@ -53,8 +53,11 @@ func (t *Table) aggColumn(name string, kind Kind) (*Column, error) {
 func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint64, int, error) {
 	if bs, ok := byteSliceOf(c.data); ok {
 		if cfg.native() {
-			sum, count, err := kernel.ParallelSumCtx(cfg.ctx, bs, mask, cfg.nativeWorkers(bs.Segments()))
-			return sum, count, queryErr(err)
+			st, finish := cfg.aggStage("sum("+c.Name()+")", "sum")
+			sum, count, err := kernel.ParallelSumObs(cfg.ctx, bs, mask, cfg.nativeWorkers(bs.Segments()), st)
+			err = queryErr(err)
+			finish(err)
+			return sum, count, err
 		}
 		sum, count := bs.Sum(cfg.profile.engine(), mask)
 		return sum, count, nil
@@ -82,8 +85,15 @@ func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint
 func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, cfg *queryConfig, isMin bool) (uint32, bool, error) {
 	if bs, ok := byteSliceOf(c.data); ok {
 		if cfg.native() {
-			v, found, err := kernel.ParallelExtremeCtx(cfg.ctx, bs, mask, isMin, cfg.nativeWorkers(bs.Segments()))
-			return v, found, queryErr(err)
+			name := "max(" + c.Name() + ")"
+			if isMin {
+				name = "min(" + c.Name() + ")"
+			}
+			st, finish := cfg.aggStage(name, "extreme")
+			v, found, err := kernel.ParallelExtremeObs(cfg.ctx, bs, mask, isMin, cfg.nativeWorkers(bs.Segments()), st)
+			err = queryErr(err)
+			finish(err)
+			return v, found, err
 		}
 		e := cfg.profile.engine()
 		if isMin {
@@ -289,9 +299,12 @@ func (t *Table) SumIntWhere(valCol string, f Filter, opts ...QueryOption) (int64
 		return 0, 0, err
 	}
 	if ok {
-		sum, count, err := kernel.ScanSumCtx(cfg.ctx, bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		st, finish := cfg.aggStage("scan_sum("+f.Col+"→"+valCol+")", "scan_sum")
+		sum, count, err := kernel.ScanSumObs(cfg.ctx, bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()), st)
+		err = queryErr(err)
+		finish(err)
 		if err != nil {
-			return 0, 0, queryErr(err)
+			return 0, 0, err
 		}
 		return int64(count)*c.ints.Min() + int64(sum), count, nil
 	}
@@ -317,9 +330,12 @@ func (t *Table) SumDecimalWhere(valCol string, f Filter, opts ...QueryOption) (f
 		return 0, 0, err
 	}
 	if ok {
-		sum, count, err := kernel.ScanSumCtx(cfg.ctx, bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()))
+		st, finish := cfg.aggStage("scan_sum("+f.Col+"→"+valCol+")", "scan_sum")
+		sum, count, err := kernel.ScanSumObs(cfg.ctx, bsF, pred, bsV, cfg.nativeWorkers(bsF.Segments()), st)
+		err = queryErr(err)
+		finish(err)
 		if err != nil {
-			return 0, 0, queryErr(err)
+			return 0, 0, err
 		}
 		step := c.decs.Decode(1) - c.decs.Decode(0)
 		return float64(count)*c.decs.Min() + float64(sum)*step, count, nil
@@ -407,9 +423,12 @@ func (t *Table) fusedExtreme(c *Column, f Filter, opts []QueryOption, isMin bool
 	if err != nil || !fused {
 		return 0, false, false, err
 	}
-	code, ok, err = kernel.ScanExtremeCtx(cfg.ctx, bsF, pred, bsV, isMin, cfg.nativeWorkers(bsF.Segments()))
+	st, finish := cfg.aggStage("scan_extreme("+f.Col+"→"+c.Name()+")", "scan_extreme")
+	code, ok, err = kernel.ScanExtremeObs(cfg.ctx, bsF, pred, bsV, isMin, cfg.nativeWorkers(bsF.Segments()), st)
+	err = queryErr(err)
+	finish(err)
 	if err != nil {
-		return 0, false, false, queryErr(err)
+		return 0, false, false, err
 	}
 	return code, ok, true, nil
 }

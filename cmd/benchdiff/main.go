@@ -1,0 +1,225 @@
+// Command benchdiff compares two bsbench -json payloads and fails when
+// the current run regresses against the committed baseline.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_scan.json -current /tmp/bench.json [-threshold 0.25] [-out diff.txt]
+//
+// Measurements are keyed by (width, path, mode); within a key the best
+// rows-per-second across worker counts, data distributions and predicate
+// counts is compared, so scheduler jitter on one configuration doesn't
+// fail the gate while a real kernel regression — which slows every
+// configuration of the key — does. A key present only in the baseline is
+// reported as missing and fails the gate; keys only in the current run
+// are reported as new and pass (the baseline is regenerated when
+// benchmarks are added).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// entry mirrors the fields of experiments.ScanBenchEntry that the gate
+// keys and compares on; unknown fields are ignored so the baseline format
+// can grow.
+type entry struct {
+	Width      int     `json:"width"`
+	Path       string  `json:"path"`
+	Workers    int     `json:"workers"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Data       string  `json:"data,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	Preds      int     `json:"preds,omitempty"`
+}
+
+type payload struct {
+	Rows    int     `json:"rows"`
+	Results []entry `json:"results"`
+}
+
+type key struct {
+	Width int
+	Path  string
+	Mode  string
+}
+
+func (k key) String() string {
+	mode := k.Mode
+	if mode == "" {
+		mode = "scan"
+	}
+	return fmt.Sprintf("w%-2d %-6s %s", k.Width, k.Path, mode)
+}
+
+// best folds a payload into the per-key maximum rows/sec.
+func best(p *payload) map[key]float64 {
+	m := make(map[key]float64)
+	for _, e := range p.Results {
+		k := key{e.Width, e.Path, e.Mode}
+		if e.RowsPerSec > m[k] {
+			m[k] = e.RowsPerSec
+		}
+	}
+	return m
+}
+
+type row struct {
+	Key     key
+	Base    float64
+	Cur     float64
+	Delta   float64 // (cur-base)/base; +faster, -slower
+	Verdict string
+	Failing bool
+}
+
+// diff compares baseline vs current best-per-key at the given regression
+// threshold (0.25 = fail when current is more than 25% slower).
+func diff(base, cur map[key]float64, threshold float64) []row {
+	keys := make(map[key]bool)
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range cur {
+		keys[k] = true
+	}
+	rows := make([]row, 0, len(keys))
+	for k := range keys {
+		b, inBase := base[k]
+		c, inCur := cur[k]
+		r := row{Key: k, Base: b, Cur: c}
+		switch {
+		case !inCur:
+			r.Verdict, r.Failing = "MISSING", true
+		case !inBase:
+			r.Verdict = "new"
+		default:
+			r.Delta = (c - b) / b
+			if r.Delta < -threshold {
+				r.Verdict, r.Failing = "REGRESSION", true
+			} else {
+				r.Verdict = "ok"
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Failing != b.Failing {
+			return a.Failing
+		}
+		if a.Key.Path != b.Key.Path {
+			return a.Key.Path < b.Key.Path
+		}
+		if a.Key.Mode != b.Key.Mode {
+			return a.Key.Mode < b.Key.Mode
+		}
+		return a.Key.Width < b.Key.Width
+	})
+	return rows
+}
+
+func render(w io.Writer, rows []row, threshold float64) (failed int) {
+	fmt.Fprintf(w, "benchdiff: threshold %.0f%% (best rows/sec per width+path+mode)\n", threshold*100)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s  %s\n", "key", "baseline", "current", "delta", "verdict")
+	for _, r := range rows {
+		delta := "-"
+		if r.Base > 0 && r.Cur > 0 {
+			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
+		}
+		fmt.Fprintf(w, "%-22s %14s %14s %8s  %s\n",
+			r.Key, mrows(r.Base), mrows(r.Cur), delta, r.Verdict)
+		if r.Failing {
+			failed++
+		}
+	}
+	return failed
+}
+
+func mrows(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f Mrows/s", v/1e6)
+}
+
+func load(path string) (*payload, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p payload
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(p.Results) == 0 {
+		return nil, fmt.Errorf("%s: no measurements", path)
+	}
+	return &p, nil
+}
+
+// run is main minus process concerns, for testing: returns the rendered
+// report and the number of failing keys. currentPath may name several
+// comma-separated payloads from repeated measurement runs; the per-key
+// maximum across all of them is compared, squeezing scheduler jitter out
+// of the gate without loosening the threshold.
+func run(baselinePath, currentPath string, threshold float64) (string, int, error) {
+	base, err := load(baselinePath)
+	if err != nil {
+		return "", 0, err
+	}
+	cur := make(map[key]float64)
+	for _, path := range strings.Split(currentPath, ",") {
+		p, err := load(strings.TrimSpace(path))
+		if err != nil {
+			return "", 0, err
+		}
+		for k, v := range best(p) {
+			if v > cur[k] {
+				cur[k] = v
+			}
+		}
+	}
+	var sb strings.Builder
+	failed := render(&sb, diff(best(base), cur, threshold), threshold)
+	if failed > 0 {
+		fmt.Fprintf(&sb, "FAIL: %d key(s) regressed beyond %.0f%%\n", failed, threshold*100)
+	} else {
+		fmt.Fprintln(&sb, "PASS")
+	}
+	return sb.String(), failed, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_scan.json", "committed baseline payload")
+		current   = flag.String("current", "", "freshly measured payload(s) to compare; comma-separated runs fold to their per-key best")
+		threshold = flag.Float64("threshold", 0.25, "relative slowdown that fails the gate (0.25 = 25%)")
+		out       = flag.String("out", "", "also write the report to this file (CI artifact)")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	report, failed, err := run(*baseline, *current, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `{
+  "rows": 1048576,
+  "results": [
+    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 4.0e9},
+    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e9},
+    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8},
+    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 6.0e9, "data": "sorted", "mode": "scan_zoned"}
+  ]
+}`
+
+// TestDetectsTenfoldSlowdown is the gate's reason to exist: a current run
+// where one key collapsed 10x must fail, naming the key.
+func TestDetectsTenfoldSlowdown(t *testing.T) {
+	current := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 4.0e8},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e8},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 6.0e9, "data": "sorted", "mode": "scan_zoned"}
+	  ]
+	}`
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1\n%s", failed, report)
+	}
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "-90.0%") {
+		t.Fatalf("report must name the 10x regression:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report must carry the FAIL verdict:\n%s", report)
+	}
+}
+
+// TestPassesWithinThreshold pins the jitter tolerance: a uniform 20%
+// slowdown stays under the 25% gate, and best-of-workers keying means a
+// slow single-worker sample is masked by a healthy 4-worker one.
+func TestPassesWithinThreshold(t *testing.T) {
+	current := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 1.0e9},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 7.2e9},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 1.7e8},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 5.0e9, "data": "sorted", "mode": "scan_zoned"}
+	  ]
+	}`
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, report)
+	}
+	if !strings.Contains(report, "PASS") {
+		t.Fatalf("report must carry PASS:\n%s", report)
+	}
+}
+
+// TestMissingKeyFails pins that silently dropping a benchmarked
+// configuration cannot sneak past the gate.
+func TestMissingKeyFails(t *testing.T) {
+	current := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e9},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
+	  ]
+	}`
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 || !strings.Contains(report, "MISSING") {
+		t.Fatalf("dropped key must fail as MISSING (failed=%d):\n%s", failed, report)
+	}
+}
+
+// TestNewKeyPasses pins that adding benchmarks doesn't fail the gate
+// before the baseline is regenerated.
+func TestNewKeyPasses(t *testing.T) {
+	current := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e9},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 6.0e9, "data": "sorted", "mode": "scan_zoned"},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 3.0e9, "mode": "multi_column_first", "preds": 3}
+	  ]
+	}`
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 || !strings.Contains(report, "new") {
+		t.Fatalf("new key must pass and be reported (failed=%d):\n%s", failed, report)
+	}
+}
+
+// TestMultiRunFold pins the jitter squeeze: a key that dipped 10x in one
+// measurement run but recovered in a second passes, because the gate
+// compares the per-key best across all -current payloads.
+func TestMultiRunFold(t *testing.T) {
+	slow := `{
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e8},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 6.0e9, "data": "sorted", "mode": "scan_zoned"}
+	  ]
+	}`
+	good := `{
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 8.8e9},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 6.0e9, "data": "sorted", "mode": "scan_zoned"}
+	  ]
+	}`
+	currents := write(t, "cur1.json", slow) + "," + write(t, "cur2.json", good)
+	report, failed, err := run(write(t, "base.json", baseline), currents, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("recovered key must pass with multi-run fold (failed=%d):\n%s", failed, report)
+	}
+}
+
+func TestRejectsEmptyPayload(t *testing.T) {
+	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", `{"results": []}`), 0.25); err == nil {
+		t.Fatal("empty current payload must be an error, not a pass")
+	}
+}

@@ -15,9 +15,11 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -42,6 +44,8 @@ func main() {
 		zonemaps = flag.Bool("zonemaps", false, "with -json: also benchmark zone-map-pruned scans on sorted and clustered data")
 		agg      = flag.Bool("agg", false, "with -json: also benchmark the fused filter→sum kernel vs the two-pass path")
 		snapshot = flag.String("snapshot", "", "benchmark crash-atomic SaveFile/LoadFile on a generated table written to this path")
+		stats    = flag.Bool("stats", false, "after the run, print the process-wide query-observability snapshot as JSON")
+		serve    = flag.String("serve", "", "after the run, serve the observability registry over HTTP on this address (e.g. :8080; /stats and expvar's /debug/vars)")
 	)
 	flag.Parse()
 
@@ -51,8 +55,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" && *jsonOut == "" && *snapshot == "" {
-		fmt.Fprintln(os.Stderr, "bsbench: -exp, -json or -snapshot is required (try -list)")
+	if *exp == "" && *jsonOut == "" && *snapshot == "" && *serve == "" {
+		fmt.Fprintln(os.Stderr, "bsbench: -exp, -json, -snapshot or -serve is required (try -list)")
 		os.Exit(2)
 	}
 
@@ -90,6 +94,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *exp == "" && *jsonOut == "" {
+			finish(*stats, *serve)
 			return
 		}
 	}
@@ -125,10 +130,15 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d measurements in %v)\n", *jsonOut, len(res.Results), time.Since(start).Round(time.Millisecond))
 		if *exp == "" {
+			finish(*stats, *serve)
 			return
 		}
 	}
 
+	if *exp == "" { // -stats / -serve with no other work
+		finish(*stats, *serve)
+		return
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -151,6 +161,32 @@ func main() {
 		}
 		if *format != "csv" {
 			fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	finish(*stats, *serve)
+}
+
+// finish handles the observability flags after the requested work ran:
+// -stats prints the process-wide registry snapshot, -serve blocks serving
+// it over HTTP (the library's ObsHandler on /stats, plus expvar's
+// /debug/vars, which carries the same snapshot under the "byteslice" key).
+func finish(stats bool, serve string) {
+	if stats {
+		buf, err := json.MarshalIndent(byteslice.StatsSnapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(buf))
+	}
+	if serve != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", byteslice.ObsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		fmt.Fprintf(os.Stderr, "bsbench: serving observability on %s (/stats, /debug/vars)\n", serve)
+		if err := http.ListenAndServe(serve, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "bsbench:", err)
+			os.Exit(1)
 		}
 	}
 }
@@ -207,6 +243,22 @@ func snapshotBench(path string, n int, seed uint64) error {
 	loadDur := time.Since(start)
 	if loaded.Len() != tbl.Len() {
 		return fmt.Errorf("snapshot round trip lost rows: %d vs %d", loaded.Len(), tbl.Len())
+	}
+
+	// Same query on both tables must agree — a semantic round-trip check
+	// beyond the row count, and it populates the observability registry
+	// that -stats/-serve report.
+	q := []byteslice.Filter{byteslice.IntFilter("quantity", byteslice.Lt, 50000)}
+	before, err := tbl.Filter(q)
+	if err != nil {
+		return err
+	}
+	after, err := loaded.Filter(q)
+	if err != nil {
+		return err
+	}
+	if before.Count() != after.Count() {
+		return fmt.Errorf("snapshot round trip changed query result: %d vs %d matches", before.Count(), after.Count())
 	}
 
 	mb := float64(info.Size()) / (1 << 20)

@@ -113,6 +113,13 @@ func (t *Table) evalExpr(e Expr, opts []QueryOption) (*Result, error) {
 				acc.explain += r.explain
 			}
 			acc.zoneSkipped += r.zoneSkipped
+			if r.stats != nil {
+				if acc.stats == nil {
+					acc.stats = r.stats
+				} else {
+					acc.stats.Absorb(r.stats)
+				}
+			}
 		}
 		var run []Filter
 		flush := func() error {

@@ -6,10 +6,12 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
+	"byteslice/internal/obs"
 )
 
 // Fault-isolated kernel execution. Every *Ctx entry point in this file runs
@@ -55,6 +57,7 @@ func (e *PanicError) Error() string {
 // stops every worker at its next batch boundary.
 type exec struct {
 	ctx     context.Context
+	st      *obs.Stage // nil = observability disabled
 	stopped atomic.Bool
 	mu      sync.Mutex
 	err     error
@@ -116,6 +119,15 @@ func runRange[T any](x *exec, lo, hi int, fn func(segLo, segHi int) T, combine f
 			return fn(segLo, segHi)
 		}
 	}
+	if st := x.st; st != nil {
+		inner := run
+		run = func(segLo, segHi int) T {
+			t0 := time.Now()
+			v := inner(segLo, segHi)
+			st.ObserveBatch(time.Since(t0).Nanoseconds())
+			return v
+		}
+	}
 	var acc T
 	for b := lo; b < hi; b += batchSegments {
 		if x.stop() {
@@ -140,11 +152,18 @@ func runRange[T any](x *exec, lo, hi int, fn func(segLo, segHi int) T, combine f
 // context with panic isolation and merging results via combine. On error
 // the zero T is returned: partial results of a failed fan-out are
 // meaningless because an arbitrary suffix of the work never ran.
-func parallelRanges[T any](ctx context.Context, segs, workers int, fn func(segLo, segHi int) T, combine func(T, T) T) (T, error) {
-	x := &exec{ctx: ctx}
+func parallelRanges[T any](ctx context.Context, segs, workers int, st *obs.Stage, fn func(segLo, segHi int) T, combine func(T, T) T) (T, error) {
+	x := &exec{ctx: ctx, st: st}
 	var zero T
 	if workers > segs {
 		workers = segs
+	}
+	if st != nil {
+		if workers <= 1 {
+			st.SetWorkers(1)
+		} else {
+			st.SetWorkers(workers)
+		}
 	}
 	if workers <= 1 {
 		v := runRange(x, 0, segs, fn, combine)
@@ -196,84 +215,32 @@ func dropUnit(a, _ struct{}) struct{} { return a }
 // segment-batch granularity and worker panics return as *PanicError. A nil
 // ctx disables cancellation but keeps panic isolation.
 func ParallelScanCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) error {
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	_, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) struct{} {
-		ScanRange(b, p, lo, hi, out)
-		return struct{}{}
-	}, dropUnit)
-	return err
+	return ParallelScanObs(ctx, b, p, workers, out, nil)
 }
 
 // ParallelScanZonedCtx is ParallelScanZoned under ctx.
 func ParallelScanZonedCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, workers int, out *bitvec.Vector) (int, error) {
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	return parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) int {
-		return ScanZonedRange(b, p, lo, hi, out)
-	}, addInt)
+	return ParallelScanZonedObs(ctx, b, p, workers, out, nil)
 }
 
 // ParallelScanPipelinedCtx is ParallelScanPipelined under ctx.
 func ParallelScanPipelinedCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) error {
-	if prev.Len() != b.Len() {
-		panic("kernel: pipelined scan with mismatched previous result length")
-	}
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	_, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) struct{} {
-		ScanPipelinedRange(b, p, prev, negate, lo, hi, out)
-		return struct{}{}
-	}, dropUnit)
-	return err
+	return ParallelScanPipelinedObs(ctx, b, p, prev, negate, workers, out, nil)
 }
 
 // ParallelScanPipelinedZonedCtx is ParallelScanPipelinedZoned under ctx.
 func ParallelScanPipelinedZonedCtx(ctx context.Context, b *core.ByteSlice, p layout.Predicate, prev *bitvec.Vector, negate bool, workers int, out *bitvec.Vector) (int, error) {
-	if prev.Len() != b.Len() {
-		panic("kernel: pipelined scan with mismatched previous result length")
-	}
-	if out.Len() != b.Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	return parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) int {
-		return ScanPipelinedZonedRange(b, p, prev, negate, lo, hi, out)
-	}, addInt)
+	return ParallelScanPipelinedZonedObs(ctx, b, p, prev, negate, workers, out, nil)
 }
 
 // ParallelScanMultiCtx is ParallelScanMulti under ctx.
 func ParallelScanMultiCtx(ctx context.Context, cols []*core.ByteSlice, preds []layout.Predicate, disjunct bool, workers int, out *bitvec.Vector) (int, error) {
-	if len(cols) == 0 {
-		panic("kernel: ParallelScanMulti needs at least one column")
-	}
-	if out.Len() != cols[0].Len() {
-		panic("kernel: result vector length mismatch")
-	}
-	return parallelRanges(ctx, cols[0].Segments(), workers, func(lo, hi int) int {
-		return ScanMultiRange(cols, preds, disjunct, lo, hi, out)
-	}, addInt)
+	return ParallelScanMultiObs(ctx, cols, preds, disjunct, workers, out, nil)
 }
 
 // ParallelSumCtx is ParallelSum under ctx.
 func ParallelSumCtx(ctx context.Context, b *core.ByteSlice, mask *bitvec.Vector, workers int) (sum uint64, count int, err error) {
-	if mask != nil && mask.Len() != b.Len() {
-		panic("kernel: aggregate mask length mismatch")
-	}
-	count = b.Len()
-	if mask != nil {
-		count = mask.Count()
-	}
-	pad := uint(8*b.NumSlices() - b.Width())
-	padded, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) uint64 {
-		return sumRange(b, mask, lo, hi)
-	}, func(a, b uint64) uint64 { return a + b })
-	if err != nil {
-		return 0, 0, err
-	}
-	return padded >> pad, count, nil
+	return ParallelSumObs(ctx, b, mask, workers, nil)
 }
 
 // extPartial carries one range's extreme candidate through the merge.
@@ -299,85 +266,22 @@ func mergeExtreme(isMin bool) func(a, b extPartial) extPartial {
 
 // ParallelExtremeCtx is ParallelExtreme under ctx.
 func ParallelExtremeCtx(ctx context.Context, b *core.ByteSlice, mask *bitvec.Vector, isMin bool, workers int) (uint32, bool, error) {
-	if mask != nil && mask.Len() != b.Len() {
-		panic("kernel: aggregate mask length mismatch")
-	}
-	best, err := parallelRanges(ctx, b.Segments(), workers, func(lo, hi int) extPartial {
-		v, ok := extremeRange(b, mask, isMin, lo, hi)
-		return extPartial{v, ok}
-	}, mergeExtreme(isMin))
-	if err != nil {
-		return 0, false, err
-	}
-	return best.v, best.ok, nil
+	return ParallelExtremeObs(ctx, b, mask, isMin, workers, nil)
 }
 
 // ScanSumCtx is ScanSum under ctx. Each batch prepares its own scanner —
 // a few broadcasts per 8K rows, invisible next to the scan itself.
 func ScanSumCtx(ctx context.Context, f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, workers int) (sum uint64, count int, err error) {
-	if f.Len() != v.Len() {
-		panic("kernel: ScanSum columns have different lengths")
-	}
-	type part struct {
-		padded uint64
-		count  int
-	}
-	padv := uint(8*v.NumSlices() - v.Width())
-	res, err := parallelRanges(ctx, f.Segments(), workers, func(lo, hi int) part {
-		sc := prepare(f, p)
-		z := zoneFor(f, p)
-		padded, n := scanSumRange(f, &sc, &z, v, lo, hi)
-		return part{padded, n}
-	}, func(a, b part) part { return part{a.padded + b.padded, a.count + b.count} })
-	if err != nil {
-		return 0, 0, err
-	}
-	return res.padded >> padv, res.count, nil
+	return ScanSumObs(ctx, f, p, v, workers, nil)
 }
 
 // ScanExtremeCtx is ScanExtreme under ctx.
 func ScanExtremeCtx(ctx context.Context, f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, isMin bool, workers int) (uint32, bool, error) {
-	if f.Len() != v.Len() {
-		panic("kernel: ScanExtreme columns have different lengths")
-	}
-	best, err := parallelRanges(ctx, f.Segments(), workers, func(lo, hi int) extPartial {
-		sc := prepare(f, p)
-		z := zoneFor(f, p)
-		val, ok := scanExtremeRange(f, &sc, &z, v, isMin, lo, hi)
-		return extPartial{val, ok}
-	}, mergeExtreme(isMin))
-	if err != nil {
-		return 0, false, err
-	}
-	return best.v, best.ok, nil
+	return ScanExtremeObs(ctx, f, p, v, isMin, workers, nil)
 }
 
 // LookupManyCtx is LookupMany chunked under ctx with panic isolation; rows
 // are processed in row batches of batchSegments·SegmentSize.
 func LookupManyCtx(ctx context.Context, b *core.ByteSlice, rows []int32, out []uint32) error {
-	if len(out) != len(rows) {
-		panic("kernel: LookupMany output length mismatch")
-	}
-	x := &exec{ctx: ctx}
-	step := batchSegments * core.SegmentSize
-	for lo := 0; lo < len(rows); lo += step {
-		if x.stop() {
-			break
-		}
-		hi := lo + step
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		if _, err := protect(lo, hi, func(lo, hi int) struct{} {
-			if hook := BatchHook; hook != nil {
-				hook(lo, hi)
-			}
-			LookupMany(b, rows[lo:hi], out[lo:hi])
-			return struct{}{}
-		}); err != nil {
-			x.fail(err)
-			break
-		}
-	}
-	return x.finish()
+	return LookupManyObs(ctx, b, rows, out, nil)
 }

@@ -28,6 +28,7 @@ import (
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
+	"byteslice/internal/obs"
 )
 
 // SWAR masks, repeated per byte of a 64-bit word.
@@ -155,12 +156,23 @@ func seg32(s []byte, off int) []byte {
 // The per-op bodies are manually 4x-unrolled over scalar mask words (see
 // movemask4) — a 32-code segment is 4 uint64s of 8 byte lanes each.
 func (sc *scanner) segment(seg int) uint32 {
+	r, _ := sc.segmentDepth(seg)
+	return r
+}
+
+// segmentDepth is segment plus the early-stop depth: the number of byte
+// slices the evaluation loaded before the segment's outcome was decided
+// (1 <= depth <= nb). The observability layer's depth histograms are
+// built from it; tracking costs one register, so segment() shares the
+// same bodies.
+func (sc *scanner) segmentDepth(seg int) (uint32, int) {
 	off := seg * core.SegmentSize
 	switch sc.op {
 	case layout.Eq:
 		return sc.segEq(off)
 	case layout.Ne:
-		return ^sc.segEq(off)
+		r, d := sc.segEq(off)
+		return ^r, d
 	case layout.Lt:
 		return sc.segCmp(off, true, false)
 	case layout.Le:
@@ -175,8 +187,9 @@ func (sc *scanner) segment(seg int) uint32 {
 	panic("kernel: unknown operator")
 }
 
-func (sc *scanner) segEq(off int) uint32 {
+func (sc *scanner) segEq(off int) (uint32, int) {
 	m0, m1, m2, m3 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
+	d := 0
 	for j := 0; j < sc.nb; j++ {
 		s := seg32(sc.slices[j], off)
 		c := sc.c1[j]
@@ -184,16 +197,18 @@ func (sc *scanner) segEq(off int) uint32 {
 		m1 &= eq8(binary.LittleEndian.Uint64(s[8:16]), c)
 		m2 &= eq8(binary.LittleEndian.Uint64(s[16:24]), c)
 		m3 &= eq8(binary.LittleEndian.Uint64(s[24:32]), c)
+		d = j + 1
 		if m0|m1|m2|m3 == 0 {
 			break
 		}
 	}
-	return movemask4(m0, m1, m2, m3)
+	return movemask4(m0, m1, m2, m3), d
 }
 
-func (sc *scanner) segCmp(off int, lt, orEq bool) uint32 {
+func (sc *scanner) segCmp(off int, lt, orEq bool) (uint32, int) {
 	meq0, meq1, meq2, meq3 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
 	var r0, r1, r2, r3 uint64
+	d := 0
 	for j := 0; j < sc.nb; j++ {
 		s := seg32(sc.slices[j], off)
 		c := sc.c1[j]
@@ -216,6 +231,7 @@ func (sc *scanner) segCmp(off int, lt, orEq bool) uint32 {
 		meq1 &= eq8(w1, c)
 		meq2 &= eq8(w2, c)
 		meq3 &= eq8(w3, c)
+		d = j + 1
 		if meq0|meq1|meq2|meq3 == 0 {
 			break
 		}
@@ -226,14 +242,15 @@ func (sc *scanner) segCmp(off int, lt, orEq bool) uint32 {
 		r2 |= meq2
 		r3 |= meq3
 	}
-	return movemask4(r0, r1, r2, r3)
+	return movemask4(r0, r1, r2, r3), d
 }
 
-func (sc *scanner) segBetween(off int) uint32 {
+func (sc *scanner) segBetween(off int) (uint32, int) {
 	// Fused single-pass BETWEEN, one load per byte for both bounds.
 	e10, e11, e12, e13 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
 	e20, e21, e22, e23 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
 	var g0, g1, g2, g3, l0, l1, l2, l3 uint64
+	d := 0
 	for j := 0; j < sc.nb; j++ {
 		s := seg32(sc.slices[j], off)
 		c1, c2 := sc.c1[j], sc.c2[j]
@@ -257,12 +274,13 @@ func (sc *scanner) segBetween(off int) uint32 {
 		e21 &= eq8(w1, c2)
 		e22 &= eq8(w2, c2)
 		e23 &= eq8(w3, c2)
+		d = j + 1
 		if (e10|e20)|(e11|e21)|(e12|e22)|(e13|e23) == 0 {
 			break
 		}
 	}
 	return movemask4((g0|e10)&(l0|e20), (g1|e11)&(l1|e21),
-		(g2|e12)&(l2|e22), (g3|e13)&(l3|e23))
+		(g2|e12)&(l2|e22), (g3|e13)&(l3|e23)), d
 }
 
 // ScanRange evaluates p over segments [segLo, segHi), writing each
@@ -274,22 +292,34 @@ func (sc *scanner) segBetween(off int) uint32 {
 // broadcast constants out of the segment loop is worth ~2x wall clock.
 func ScanRange(b *core.ByteSlice, p layout.Predicate, segLo, segHi int, out *bitvec.Vector) {
 	sc := prepare(b, p)
+	sc.scanRange(segLo, segHi, out, nil)
+}
+
+// scanRange dispatches the monolithic range loops. dh, when non-nil,
+// accumulates the early-stop depth histogram (observability path); a nil
+// dh costs one predicted branch per segment, keeping the uninstrumented
+// scan at its original throughput.
+func (sc *scanner) scanRange(segLo, segHi int, out *bitvec.Vector, dh *obs.DepthCounts) {
 	switch sc.op {
 	case layout.Eq:
-		sc.rangeEq(segLo, segHi, false, out)
+		sc.rangeEq(segLo, segHi, false, out, dh)
 	case layout.Ne:
-		sc.rangeEq(segLo, segHi, true, out)
+		sc.rangeEq(segLo, segHi, true, out, dh)
 	case layout.Lt:
-		sc.rangeCmpStrict(segLo, segHi, true, out)
+		sc.rangeCmpStrict(segLo, segHi, true, out, dh)
 	case layout.Le:
-		sc.rangeCmp(segLo, segHi, true, true, out)
+		sc.rangeCmp(segLo, segHi, true, true, out, dh)
 	case layout.Gt:
-		sc.rangeCmpStrict(segLo, segHi, false, out)
+		sc.rangeCmpStrict(segLo, segHi, false, out, dh)
 	case layout.Ge:
-		sc.rangeCmp(segLo, segHi, false, true, out)
+		sc.rangeCmp(segLo, segHi, false, true, out, dh)
 	case layout.Between:
 		for seg := segLo; seg < segHi; seg++ {
-			out.SetWord32(seg*core.SegmentSize, sc.segBetween(seg*core.SegmentSize))
+			r, d := sc.segBetween(seg * core.SegmentSize)
+			out.SetWord32(seg*core.SegmentSize, r)
+			if dh != nil {
+				dh[d]++
+			}
 		}
 	default:
 		panic("kernel: unknown operator")
@@ -305,7 +335,7 @@ func ScanRange(b *core.ByteSlice, p layout.Predicate, segLo, segHi int, out *bit
 // rangeEq is the monolithic Eq/Ne scan loop. The first byte slice is
 // evaluated unconditionally with the initial all-ones mask folded away;
 // deeper slices run only while some lane is still undecided.
-func (sc *scanner) rangeEq(segLo, segHi int, ne bool, out *bitvec.Vector) {
+func (sc *scanner) rangeEq(segLo, segHi int, ne bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	s0, c0, nb := sc.slices[0], sc.c1[0], sc.nb
 	var acc uint64
 	for seg := segLo; seg < segHi; seg++ {
@@ -315,6 +345,7 @@ func (sc *scanner) rangeEq(segLo, segHi int, ne bool, out *bitvec.Vector) {
 		m1 := eq8(binary.LittleEndian.Uint64(s[8:16]), c0)
 		m2 := eq8(binary.LittleEndian.Uint64(s[16:24]), c0)
 		m3 := eq8(binary.LittleEndian.Uint64(s[24:32]), c0)
+		d := 1
 		for j := 1; j < nb && m0|m1|m2|m3 != 0; j++ {
 			s := sc.slices[j][off : off+32 : off+32]
 			c := sc.c1[j]
@@ -322,6 +353,10 @@ func (sc *scanner) rangeEq(segLo, segHi int, ne bool, out *bitvec.Vector) {
 			m1 &= eq8(binary.LittleEndian.Uint64(s[8:16]), c)
 			m2 &= eq8(binary.LittleEndian.Uint64(s[16:24]), c)
 			m3 &= eq8(binary.LittleEndian.Uint64(s[24:32]), c)
+			d = j + 1
+		}
+		if dh != nil {
+			dh[d]++
 		}
 		r := movemask4(m0, m1, m2, m3)
 		if ne {
@@ -355,13 +390,14 @@ func anyEq4(z0, z1, z2, z3 uint64) bool {
 // first slice's words are reloaded from cache rather than passed so the
 // caller's hot loop doesn't have to keep eight words live across the
 // call, which would spill its registers.
-func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uint64, uint64, uint64) {
+func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uint64, uint64, uint64, int) {
 	c0 := sc.c1[0]
 	s0 := sc.slices[0][off : off+32 : off+32]
 	m0 := eq8(binary.LittleEndian.Uint64(s0[0:8]), c0)
 	m1 := eq8(binary.LittleEndian.Uint64(s0[8:16]), c0)
 	m2 := eq8(binary.LittleEndian.Uint64(s0[16:24]), c0)
 	m3 := eq8(binary.LittleEndian.Uint64(s0[24:32]), c0)
+	d := 1
 	for j := 1; j < sc.nb; j++ {
 		s := sc.slices[j][off : off+32 : off+32]
 		c := sc.c1[j]
@@ -370,6 +406,7 @@ func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uin
 		w1 := binary.LittleEndian.Uint64(s[8:16])
 		w2 := binary.LittleEndian.Uint64(s[16:24])
 		w3 := binary.LittleEndian.Uint64(s[24:32])
+		d = j + 1
 		if lt {
 			r0 |= m0 & ltc8(w0, cLo, cHi)
 			r1 |= m1 & ltc8(w1, cLo, cHi)
@@ -392,7 +429,7 @@ func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uin
 			break
 		}
 	}
-	return r0, r1, r2, r3
+	return r0, r1, r2, r3, d
 }
 
 // rangeCmpStrict is the monolithic Lt/Gt scan loop. Without the or-equal
@@ -407,12 +444,12 @@ func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uin
 // only the packed accumulator (never the eight words or eight lane masks)
 // is live across the rare deep-path calls, which keeps the register
 // spilling around the branch merges off the hot path.
-func (sc *scanner) rangeCmpStrict(segLo, segHi int, lt bool, out *bitvec.Vector) {
+func (sc *scanner) rangeCmpStrict(segLo, segHi int, lt bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	s0, c0, nb := sc.slices[0], sc.c1[0], sc.nb
 	c0lo, c0or, c0hi := c0&^uint64(msb), c0|uint64(msb), c0&msb != 0
 	seg := segLo
 	if seg < segHi && seg&1 == 1 {
-		sc.cmpStrictSeg(seg, lt, out)
+		sc.cmpStrictSeg(seg, lt, out, dh)
 		seg++
 	}
 	for ; seg+2 <= segHi; seg += 2 {
@@ -483,30 +520,40 @@ func (sc *scanner) rangeCmpStrict(segLo, segHi int, lt bool, out *bitvec.Vector)
 		x = x ^ t ^ t<<14
 		t = (x ^ x>>28) & 0x00000000F0F0F0F0
 		x = x ^ t ^ t<<28
+		d0, d1 := 1, 1
 		if g0 {
-			x |= uint64(sc.deep32(off, lt))
+			r, dd := sc.deep32(off, lt)
+			x |= uint64(r)
+			d0 = dd
 		}
 		if g1 {
-			x |= uint64(sc.deep32(off+core.SegmentSize, lt)) << 32
+			r, dd := sc.deep32(off+core.SegmentSize, lt)
+			x |= uint64(r) << 32
+			d1 = dd
 		}
 		out.SetWord64(off, x)
+		if dh != nil {
+			dh[d0]++
+			dh[d1]++
+		}
 	}
 	if seg < segHi {
-		sc.cmpStrictSeg(seg, lt, out)
+		sc.cmpStrictSeg(seg, lt, out, dh)
 	}
 }
 
 // deep32 resolves one gated segment's deeper byte slices and returns the
 // additional match bits (rows equal on the first slice that the deeper
-// slices decide) as a segment-local movemask for the caller to OR in.
-func (sc *scanner) deep32(off int, lt bool) uint32 {
-	r0, r1, r2, r3 := sc.cmpDeep(off, lt, 0, 0, 0, 0)
-	return movemask4(r0, r1, r2, r3)
+// slices decide) as a segment-local movemask for the caller to OR in,
+// plus the segment's early-stop depth.
+func (sc *scanner) deep32(off int, lt bool) (uint32, int) {
+	r0, r1, r2, r3, d := sc.cmpDeep(off, lt, 0, 0, 0, 0)
+	return movemask4(r0, r1, r2, r3), d
 }
 
 // cmpStrictSeg handles the odd-aligned prologue and tail segments of
 // rangeCmpStrict one segment at a time.
-func (sc *scanner) cmpStrictSeg(seg int, lt bool, out *bitvec.Vector) {
+func (sc *scanner) cmpStrictSeg(seg int, lt bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	c0 := sc.c1[0]
 	c0lo, c0or, c0hi := c0&^uint64(msb), c0|uint64(msb), c0&msb != 0
 	off := seg * core.SegmentSize
@@ -527,8 +574,12 @@ func (sc *scanner) cmpStrictSeg(seg int, lt bool, out *bitvec.Vector) {
 		r2 = gtc8(w2, c0or, c0hi)
 		r3 = gtc8(w3, c0or, c0hi)
 	}
+	d := 1
 	if sc.nb > 1 && anyEq4(w0^c0, w1^c0, w2^c0, w3^c0) {
-		r0, r1, r2, r3 = sc.cmpDeep(off, lt, r0, r1, r2, r3)
+		r0, r1, r2, r3, d = sc.cmpDeep(off, lt, r0, r1, r2, r3)
+	}
+	if dh != nil {
+		dh[d]++
 	}
 	out.SetWord32(off, movemask4(r0, r1, r2, r3))
 }
@@ -538,7 +589,7 @@ func (sc *scanner) cmpStrictSeg(seg int, lt bool, out *bitvec.Vector) {
 // byte slice — by far the hottest, since early stopping rarely lets a
 // segment past it — uses the constant-specialised ltc8/gtc8 compares; its
 // direction and high-bit branches run the same way every iteration.
-func (sc *scanner) rangeCmp(segLo, segHi int, lt, orEq bool, out *bitvec.Vector) {
+func (sc *scanner) rangeCmp(segLo, segHi int, lt, orEq bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	s0, c0, nb := sc.slices[0], sc.c1[0], sc.nb
 	c0lo, c0or, c0hi := c0&^uint64(msb), c0|uint64(msb), c0&msb != 0
 	var acc uint64
@@ -565,6 +616,7 @@ func (sc *scanner) rangeCmp(segLo, segHi int, lt, orEq bool, out *bitvec.Vector)
 		m1 := eq8(w1, c0)
 		m2 := eq8(w2, c0)
 		m3 := eq8(w3, c0)
+		d := 1
 		for j := 1; j < nb && m0|m1|m2|m3 != 0; j++ {
 			s := sc.slices[j][off : off+32 : off+32]
 			c := sc.c1[j]
@@ -573,6 +625,7 @@ func (sc *scanner) rangeCmp(segLo, segHi int, lt, orEq bool, out *bitvec.Vector)
 			w1 := binary.LittleEndian.Uint64(s[8:16])
 			w2 := binary.LittleEndian.Uint64(s[16:24])
 			w3 := binary.LittleEndian.Uint64(s[24:32])
+			d = j + 1
 			if lt {
 				r0 |= m0 & ltc8(w0, cLo, cHi)
 				r1 |= m1 & ltc8(w1, cLo, cHi)
@@ -594,6 +647,9 @@ func (sc *scanner) rangeCmp(segLo, segHi int, lt, orEq bool, out *bitvec.Vector)
 			} else {
 				break
 			}
+		}
+		if dh != nil {
+			dh[d]++
 		}
 		if orEq {
 			r0 |= m0

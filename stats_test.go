@@ -1,0 +1,256 @@
+package byteslice_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"byteslice"
+)
+
+// TestStatsZonedScanPartition pins the headline accounting invariant: on
+// a zoned scan, segments scanned plus zone-skipped equals the column's
+// segment count, and the zone-skipped segments appear as depth 0 in the
+// early-stop histogram.
+func TestStatsZonedScanPartition(t *testing.T) {
+	const n = 1 << 16
+	tbl, _, _, _ := planTable(t, n)
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Between, 1000, 2000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats()
+	if qs == nil {
+		t.Fatal("Stats() must be non-nil on a default native query")
+	}
+	segs := int64(n / 32)
+	if got := qs.SegmentsScanned() + qs.ZoneSkipped(); got != segs {
+		t.Fatalf("segments %d + zone-skipped %d = %d, want %d",
+			qs.SegmentsScanned(), qs.ZoneSkipped(), got, segs)
+	}
+	if qs.ZoneSkipped() == 0 {
+		t.Fatal("sorted zone-mapped column should zone-skip segments")
+	}
+	d := qs.EarlyStopDepths()
+	if d[0] != qs.ZoneSkipped() {
+		t.Fatalf("depth[0] = %d, want zone-skipped %d", d[0], qs.ZoneSkipped())
+	}
+	if qs.BytesTouched() == 0 {
+		t.Fatal("bytes touched must be recorded")
+	}
+	if qs.Plan == "" || qs.Strategy == "" || qs.Workers == 0 {
+		t.Fatalf("planner decision missing from stats: %+v", qs)
+	}
+	if qs.WallNs <= 0 {
+		t.Fatal("wall time must be recorded")
+	}
+}
+
+// TestStatsEarlyStopHistogram pins the paper's byte-level early stop as
+// observable evidence: a low-selectivity scan over a multi-byte column
+// must resolve the overwhelming majority of segments at depth 1, with the
+// depth histogram non-empty and summing to the segment count.
+func TestStatsEarlyStopHistogram(t *testing.T) {
+	const n = 1 << 16
+	tbl, _, _, c := planTable(t, n)
+	_ = c
+	// Column "c" is uniform on [0, 9999] (14-bit codes, 2 byte slices) with
+	// no zone maps; Eq against one value is ~0.01% selective, so nearly
+	// every segment early-stops after its first byte slice.
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("c", byteslice.Eq, 1234),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats()
+	if qs == nil {
+		t.Fatal("Stats() must be non-nil")
+	}
+	d := qs.EarlyStopDepths()
+	segs := int64(n / 32)
+	var sum int64
+	for depth := 1; depth < len(d); depth++ {
+		sum += d[depth]
+	}
+	if sum != segs {
+		t.Fatalf("depth histogram sums to %d, want %d (hist %v)", sum, segs, d)
+	}
+	if d[1] == 0 {
+		t.Fatalf("low-selectivity multi-byte scan must early-stop at depth 1: %v", d)
+	}
+	if d[1] < segs/2 {
+		t.Fatalf("expected most segments to stop at depth 1, got %d of %d: %v", d[1], segs, d)
+	}
+}
+
+// TestExplainAnalyze pins the enriched Explain: the planner's block is
+// followed by the executed-stage analyze section.
+func TestExplainAnalyze(t *testing.T) {
+	tbl, _, _, _ := planTable(t, 1<<14)
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Lt, 5000),
+		byteslice.IntFilter("b", byteslice.Gt, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Explain()
+	for _, want := range []string{"plan:", "analyze:", "segments", "wall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWithObservabilityDisabled pins the off switch: Stats() is nil and
+// the query still answers correctly.
+func TestWithObservabilityDisabled(t *testing.T) {
+	tbl, a, _, _ := planTable(t, 1<<14)
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Lt, 5000),
+	}, byteslice.WithObservability(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats() != nil {
+		t.Fatal("Stats() must be nil with observability disabled")
+	}
+	want := 0
+	for _, v := range a {
+		if v < 5000 {
+			want++
+		}
+	}
+	if res.Count() != want {
+		t.Fatalf("count = %d, want %d", res.Count(), want)
+	}
+	if strings.Contains(res.Explain(), "analyze:") {
+		t.Fatal("Explain must not contain an analyze section when disabled")
+	}
+}
+
+// TestTracerSpans pins the pluggable tracer hooks: one span per executed
+// plan stage, opened and closed in order.
+func TestTracerSpans(t *testing.T) {
+	tbl, _, _, _ := planTable(t, 1<<14)
+	var mu sync.Mutex
+	var started, ended []string
+	tr := byteslice.TracerFunc(func(name string) func() {
+		mu.Lock()
+		started = append(started, name)
+		mu.Unlock()
+		return func() {
+			mu.Lock()
+			ended = append(ended, name)
+			mu.Unlock()
+		}
+	})
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Lt, 5000),
+		byteslice.IntFilter("b", byteslice.Gt, 100),
+	}, byteslice.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats()
+	if qs == nil {
+		t.Fatal("stats expected")
+	}
+	if len(started) != len(qs.Stages) || len(ended) != len(started) {
+		t.Fatalf("spans started %d / ended %d, want %d (one per stage)",
+			len(started), len(ended), len(qs.Stages))
+	}
+	for i, st := range qs.Stages {
+		if started[i] != st.Name {
+			t.Fatalf("span %d = %q, want stage %q", i, started[i], st.Name)
+		}
+	}
+}
+
+// TestStatsExprAbsorb pins stats flowing through expression evaluation:
+// the combined result carries every group's stages.
+func TestStatsExprAbsorb(t *testing.T) {
+	tbl, _, _, _ := planTable(t, 1<<14)
+	res, err := tbl.Query(byteslice.Any(
+		byteslice.AllFilters(
+			byteslice.IntFilter("a", byteslice.Lt, 2000),
+			byteslice.IntFilter("b", byteslice.Gt, 8000),
+		),
+		byteslice.Leaf(byteslice.IntFilter("c", byteslice.Gt, 9900)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats()
+	if qs == nil {
+		t.Fatal("expression result must carry stats")
+	}
+	if len(qs.Stages) < 2 {
+		t.Fatalf("expected stages from both groups, got %d: %+v", len(qs.Stages), qs.Stages)
+	}
+	if strings.Count(qs.Plan, "plan:") < 2 {
+		t.Fatalf("expected both groups' plans joined:\n%s", qs.Plan)
+	}
+}
+
+// TestStatsProjectionStage pins the scan-to-lookup stage landing in the
+// same result's stats.
+func TestStatsProjectionStage(t *testing.T) {
+	tbl, _, _, _ := planTable(t, 1<<14)
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Lt, 500),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := tbl.ProjectInt("c", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats()
+	var proj *byteslice.StageStats
+	for i := range qs.Stages {
+		if qs.Stages[i].Kind == "project" {
+			proj = &qs.Stages[i]
+		}
+	}
+	if proj == nil {
+		t.Fatalf("projection stage missing: %+v", qs.Stages)
+	}
+	if proj.Rows != int64(len(rows)) {
+		t.Fatalf("projection rows = %d, want %d", proj.Rows, len(rows))
+	}
+}
+
+// TestRegistryAggregation pins the process-wide fold: query counts and
+// segment counters advance across evaluations, and aggregates register
+// their own stages.
+func TestRegistryAggregation(t *testing.T) {
+	before := byteslice.StatsSnapshot()
+	tbl, _, _, _ := planTable(t, 1<<14)
+	res, err := tbl.Filter([]byteslice.Filter{
+		byteslice.IntFilter("a", byteslice.Lt, 5000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tbl.SumInt("c", res); err != nil {
+		t.Fatal(err)
+	}
+	after := byteslice.StatsSnapshot()
+	if after.Queries < before.Queries+2 {
+		t.Fatalf("queries %d -> %d, want at least +2 (filter + aggregate)", before.Queries, after.Queries)
+	}
+	if after.Segments+after.ZoneSkipped <= before.Segments+before.ZoneSkipped {
+		t.Fatal("segment counters must advance")
+	}
+	if after.Bytes <= before.Bytes {
+		t.Fatal("byte counter must advance")
+	}
+	if after.QueryNs.Count <= before.QueryNs.Count {
+		t.Fatal("query wall-time histogram must advance")
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/core"
 	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
+	"byteslice/internal/obs"
 	"byteslice/internal/plan"
 	"byteslice/internal/sortpart"
 )
@@ -86,14 +88,41 @@ type Result struct {
 	// zoneSkipped counts the segment evaluations the zone maps resolved
 	// without touching column data during this evaluation (native path).
 	zoneSkipped int
+	// stats is the live observability collector for the evaluation, nil
+	// when observability was disabled or the modelled path ran.
+	stats *obs.Query
 }
 
 // Explain describes how the query was planned and executed: the predicate
 // order with selectivity and zone-prune estimates, the chosen strategy
 // with its cost candidates, and the worker-pool size. It is set by Filter,
 // FilterAny and Query; results derived purely from bit-vector algebra
-// (And/Or) keep the receiver's explain string.
-func (r *Result) Explain() string { return r.explain }
+// (And/Or) keep the receiver's explain string. When the evaluation
+// collected statistics, an "analyze" section with the executed stages —
+// segments, zone pruning, early-stop depths, bytes, wall times — follows
+// the plan.
+func (r *Result) Explain() string {
+	if r.stats == nil {
+		return r.explain
+	}
+	a := r.stats.Snapshot().Analyze()
+	if r.explain == "" {
+		return a
+	}
+	return r.explain + "\n" + a
+}
+
+// Stats returns the evaluation's statistics snapshot: the planner's
+// decision, per-stage segment/zone/byte counters, early-stop depth
+// histograms, worker batches and wall times. It returns nil when the
+// query ran with WithObservability(false) or on the modelled WithProfile
+// path (whose evidence is the Profile's counters).
+func (r *Result) Stats() *QueryStats {
+	if r.stats == nil {
+		return nil
+	}
+	return r.stats.Snapshot()
+}
 
 // ZoneSkipped returns the number of per-predicate segment evaluations that
 // zone maps resolved without loading column data while computing this
@@ -126,6 +155,10 @@ type queryConfig struct {
 	workers  int
 	order    FilterOrder
 	ctx      context.Context
+	// noObs disables per-query statistics (WithObservability(false));
+	// tracer receives span hooks per plan stage.
+	noObs  bool
+	tracer obs.Tracer
 }
 
 // ctxErr reports the query's context error, if a context was attached and
@@ -227,6 +260,21 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 	for _, o := range opts {
 		o(&cfg)
 	}
+	q := cfg.obsQuery()
+	var t0 time.Time
+	if q != nil {
+		t0 = time.Now()
+	}
+	res, err := t.evalFiltered(filters, disjunct, &cfg, q)
+	finishQuery(q, t0, err)
+	if res != nil {
+		res.stats = q
+	}
+	return res, err
+}
+
+func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig, q *obs.Query) (*Result, error) {
+	cfg := *cfgp
 	e := cfg.profile.engine()
 
 	rs := make([]resolved, 0, len(filters))
@@ -305,6 +353,9 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			cfg.workers = d.Workers
 		}
 		explain = d.Explain()
+		if q != nil {
+			q.SetPlan(explain, d.Strategy.String(), d.Workers)
+		}
 	} else {
 		if strategy == StrategyAuto {
 			strategy = StrategyColumnFirst
@@ -342,7 +393,9 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		if cols, preds, ok := allBS(rs); pfOK && ok {
 			out := bitvec.New(t.n)
 			if cfg.native() {
-				pruned, err := kernel.ParallelScanMultiCtx(cfg.ctx, cols, preds, disjunct, cfg.nativeWorkers(cols[0].Segments()), out)
+				st, done := cfg.stage(q, "scan(multi)", "scan_multi")
+				pruned, err := kernel.ParallelScanMultiObs(cfg.ctx, cols, preds, disjunct, cfg.nativeWorkers(cols[0].Segments()), out, st)
+				done()
 				if err != nil {
 					return nil, queryErr(err)
 				}
@@ -388,7 +441,9 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 				// Native SWAR fast path with zone-map pruning: segments the
 				// first-byte min/max already decides are written without
 				// loading column data.
-				pruned, err := kernel.ParallelScanZonedCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc)
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_zoned")
+				pruned, err := kernel.ParallelScanZonedObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc, st)
+				done()
 				if err != nil {
 					return nil, queryErr(err)
 				}
@@ -396,7 +451,10 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			case isBS && cfg.native():
 				// Native SWAR fast path: no profile is attached, so the
 				// segment range fans out across the worker pool.
-				if err := kernel.ParallelScanCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc); err != nil {
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan")
+				err := kernel.ParallelScanObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc, st)
+				done()
+				if err != nil {
 					return nil, queryErr(err)
 				}
 			case isBS && cfg.workers > 1:
@@ -420,13 +478,18 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 			// disjunction is scanned separately.
 			if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() && !(disjunct && r.col.nulls != nil) {
 				if bs.HasZoneMaps() {
-					pruned, err := kernel.ParallelScanPipelinedZonedCtx(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur)
+					st, done := cfg.stage(q, "scan("+r.col.Name()+")", "pipelined")
+					pruned, err := kernel.ParallelScanPipelinedZonedObs(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur, st)
+					done()
 					if err != nil {
 						return nil, queryErr(err)
 					}
 					zoneSkipped += pruned
 				} else {
-					if err := kernel.ParallelScanPipelinedCtx(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur); err != nil {
+					st, done := cfg.stage(q, "scan("+r.col.Name()+")", "pipelined")
+					err := kernel.ParallelScanPipelinedObs(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur, st)
+					done()
+					if err != nil {
 						return nil, queryErr(err)
 					}
 				}
@@ -447,13 +510,18 @@ func (t *Table) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Resu
 		}
 		if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
 			if bs.HasZoneMaps() {
-				pruned, err := kernel.ParallelScanZonedCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur)
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_zoned")
+				pruned, err := kernel.ParallelScanZonedObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur, st)
+				done()
 				if err != nil {
 					return nil, queryErr(err)
 				}
 				zoneSkipped += pruned
 			} else {
-				if err := kernel.ParallelScanCtx(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur); err != nil {
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan")
+				err := kernel.ParallelScanObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur, st)
+				done()
+				if err != nil {
 					return nil, queryErr(err)
 				}
 			}
@@ -617,12 +685,20 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 	}
 	codes := make([]uint32, len(rows))
 	if bs, isBS := byteSliceOf(c.data); isBS && cfg.native() {
+		// The projection stage lands in the filter result's collector, so
+		// res.Stats() after a projection shows scan and lookup together.
+		var obsQ *obs.Query
+		if !cfg.noObs {
+			obsQ = res.stats
+		}
+		st, done := cfg.stage(obsQ, "project("+c.Name()+")", "project")
+		defer done()
 		workers := cfg.workers
 		if max := len(rows) / (minSegmentsPerWorker * core.SegmentSize); workers > max {
 			workers = max
 		}
 		if workers <= 1 {
-			if err := kernel.LookupManyCtx(cfg.ctx, bs, rows, codes); err != nil {
+			if err := kernel.LookupManyObs(cfg.ctx, bs, rows, codes, st); err != nil {
 				return nil, nil, queryErr(err)
 			}
 			return rows, codes, nil
@@ -638,7 +714,7 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 			wg.Add(1)
 			go func(i, lo, hi int) {
 				defer wg.Done()
-				errs[i] = kernel.LookupManyCtx(cfg.ctx, bs, rows[lo:hi], codes[lo:hi])
+				errs[i] = kernel.LookupManyObs(cfg.ctx, bs, rows[lo:hi], codes[lo:hi], st)
 			}(i, lo, hi)
 		}
 		wg.Wait()
@@ -695,6 +771,16 @@ func (t *Table) OrderBy(col string, res *Result, opts ...QueryOption) ([]int32, 
 	if len(rows) == 0 {
 		return rows, nil
 	}
+
+	var obsQ *obs.Query
+	if cfg.native() && !cfg.noObs {
+		obsQ = res.stats
+	}
+	st, done := cfg.stage(obsQ, "orderby("+col+")", "orderby")
+	if st != nil {
+		st.AddRows(int64(len(rows)), int64(len(rows))*int64((c.Width()+7)/8))
+	}
+	defer done()
 
 	if bs, ok := byteSliceOf(c.data); ok {
 		// Materialise the survivors' codes as a small ByteSlice column and
