@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -159,6 +160,16 @@ func load(path string) (*payload, error) {
 	}
 	if len(p.Results) == 0 {
 		return nil, fmt.Errorf("%s: no measurements", path)
+	}
+	// A zero or non-finite rows/sec is a harness failure, not a slow run.
+	// Left in, a zero baseline either vanishes from best() (the key is
+	// never compared) or divides the delta into ±Inf — both silently pass
+	// the gate, which is exactly backwards.
+	for i, e := range p.Results {
+		if math.IsNaN(e.RowsPerSec) || math.IsInf(e.RowsPerSec, 0) || e.RowsPerSec <= 0 {
+			return nil, fmt.Errorf("%s: results[%d] (width=%d path=%q mode=%q workers=%d): rows_per_sec %v is not a positive finite measurement",
+				path, i, e.Width, e.Path, e.Mode, e.Workers, e.RowsPerSec)
+		}
 	}
 	return &p, nil
 }

@@ -151,3 +151,44 @@ func TestRejectsEmptyPayload(t *testing.T) {
 		t.Fatal("empty current payload must be an error, not a pass")
 	}
 }
+
+// TestRejectsZeroBaseline pins the divide-through-zero hole: a baseline
+// row with rows_per_sec 0 must be rejected at load time, not fold into a
+// ±Inf delta (or drop out of best()) and silently pass the gate.
+func TestRejectsZeroBaseline(t *testing.T) {
+	zeroed := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 0},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
+	  ]
+	}`
+	current := `{
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e9},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
+	  ]
+	}`
+	_, _, err := run(write(t, "base.json", zeroed), write(t, "cur.json", current), 0.25)
+	if err == nil {
+		t.Fatal("zero baseline rows_per_sec must be an error, not a pass")
+	}
+	if !strings.Contains(err.Error(), "rows_per_sec") || !strings.Contains(err.Error(), "native") {
+		t.Fatalf("error must name the field and the offending key: %v", err)
+	}
+}
+
+// TestRejectsNonFiniteMeasurement covers the same guard on the current
+// side with a negative value (JSON cannot carry NaN, but the loader also
+// refuses NaN/Inf should the payload format ever grow a path for them).
+func TestRejectsNonFiniteMeasurement(t *testing.T) {
+	current := `{
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": -1.0},
+	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
+	  ]
+	}`
+	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25); err == nil {
+		t.Fatal("negative current rows_per_sec must be an error")
+	}
+}

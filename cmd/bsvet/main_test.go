@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles bsvet once per test binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bsvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build bsvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runTool runs the built binary from the module root.
+func runTool(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = "../.." // module root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run bsvet %v: %v\n%s", args, err, out.String())
+	}
+	return out.String(), code
+}
+
+// TestStandaloneCleanTree is the headline invocation from the README:
+// the suite must pass on the repository itself.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes the whole module")
+	}
+	bin := buildTool(t)
+	out, code := runTool(t, bin, "./...")
+	if code != 0 {
+		t.Fatalf("bsvet ./... = exit %d on clean tree:\n%s", code, out)
+	}
+}
+
+// TestSeededHotloopAllocationFails covers acceptance criterion (a): a
+// fixture introducing an allocation in a //bsvet:hotloop function must
+// fail the suite.
+func TestSeededHotloopAllocationFails(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runTool(t, bin, "./internal/analysis/testdata/src/hotloop")
+	if code == 0 {
+		t.Fatalf("bsvet passed the seeded hotloop fixture:\n%s", out)
+	}
+	if !strings.Contains(out, "builtin make allocates on the heap") {
+		t.Errorf("output does not name the seeded allocation:\n%s", out)
+	}
+}
+
+// TestSeededMissingCtxVariantFails covers acceptance criterion (b): a
+// kernel entry point without its Ctx variant must fail the suite.
+func TestSeededMissingCtxVariantFails(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runTool(t, bin, "./internal/analysis/testdata/src/kernelparity")
+	if code == 0 {
+		t.Fatalf("bsvet passed the seeded kernelparity fixture:\n%s", out)
+	}
+	if !strings.Contains(out, "has an Obs variant but no SoloCtx") {
+		t.Errorf("output does not name the missing Ctx variant:\n%s", out)
+	}
+}
+
+// TestGcflagsGateNamesFunctionAndLine runs the compiler gate against
+// the seeded bounds-check fixture and checks the report shape.
+func TestGcflagsGateNamesFunctionAndLine(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runTool(t, bin, "-gcflags", "-allow", "/dev/null",
+		"./internal/analysis/testdata/src/bcegate")
+	if code == 0 {
+		t.Fatalf("bsvet -gcflags passed the seeded bounds check:\n%s", out)
+	}
+	if !strings.Contains(out, "sumFirst") || !strings.Contains(out, "bcegate.go:10") {
+		t.Errorf("gate output does not name function and line:\n%s", out)
+	}
+}
+
+// TestGcflagsGateCleanKernel mirrors the CI gate invocation.
+func TestGcflagsGateCleanKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the kernel packages")
+	}
+	bin := buildTool(t)
+	out, code := runTool(t, bin, "-gcflags",
+		"./internal/kernel", "./internal/core", "./internal/bitvec")
+	if code != 0 {
+		t.Fatalf("gate = exit %d against committed allowlist:\n%s", code, out)
+	}
+}
+
+// TestVettoolProtocol drives bsvet through go vet itself, exercising
+// the -V/-flags handshakes and the .cfg/.vetx unit protocol.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over kernel packages")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/kernel", "./internal/bitvec")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestVersionHandshake checks the -V=full fingerprint line cmd/go
+// parses before trusting a vettool.
+func TestVersionHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, code := runTool(t, bin, "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full = exit %d", code)
+	}
+	if !strings.Contains(out, "version") || !strings.Contains(out, "buildID=") {
+		t.Errorf("-V=full output %q lacks version/buildID", out)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"byteslice/internal/analysis"
+)
+
+// unitConfig mirrors the fields of cmd/go's vet .cfg file that bsvet
+// consumes (the protocol behind `go vet -vettool`).
+type unitConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit executes one compilation unit of the go vet protocol: scan
+// this unit's //bsvet:hotloop annotations, merge facts from dependency
+// .vetx files, ALWAYS write the unit's own .vetx (cmd/go requires it,
+// even for fact-only dependency units), and — unless VetxOnly — run the
+// analyzers and report.
+func runUnit(cfgPath, checks string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsvet:", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bsvet: %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts visible to this unit: dependencies' tables plus our own.
+	// Re-exporting dependency facts makes them transitive, matching how
+	// annotated kernels call annotated helpers across packages.
+	facts := map[string]bool{}
+	for _, vetx := range cfg.PackageVetx {
+		deps, err := analysis.ReadFactsFile(vetx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsvet:", err)
+			return 1
+		}
+		for k := range deps {
+			facts[k] = true
+		}
+	}
+
+	// Fact-only units (dependencies) never need type information.
+	if cfg.VetxOnly {
+		own, err := analysis.ScanFilesForFacts(cfg.ImportPath, cfg.GoFiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsvet:", err)
+			return 1
+		}
+		for k := range own {
+			facts[k] = true
+		}
+		return writeVetx(cfg.VetxOutput, facts)
+	}
+
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsvet:", err)
+		return 1
+	}
+	for k := range pkg.HotloopFacts {
+		facts[k] = true
+	}
+	if code := writeVetx(cfg.VetxOutput, facts); code != 0 {
+		return code
+	}
+
+	if pkg.TypeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "bsvet:", pkg.TypeErr)
+		return 1
+	}
+
+	analyzers, err := analysis.ByName(checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsvet:", err)
+		return 1
+	}
+	pkg.HotloopFacts = facts // full table, not just this unit's
+	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(path string, facts map[string]bool) int {
+	if path == "" {
+		return 0
+	}
+	if err := analysis.WriteFactsFile(path, facts); err != nil {
+		fmt.Fprintln(os.Stderr, "bsvet:", err)
+		return 1
+	}
+	return 0
+}

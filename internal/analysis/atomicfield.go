@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer guards the two ways atomic counters rot:
+//
+//  1. Old-style fields (plain int64/uint64 passed by address to
+//     sync/atomic functions) that are also read or written without
+//     atomic outside their constructor — a data race the race detector
+//     only catches when the interleaving happens to fire.
+//  2. Old-style 64-bit fields whose struct offset is not 8-byte aligned:
+//     on 32-bit platforms atomic 64-bit ops on them fault at runtime.
+//  3. New-style atomic.Int64-family values copied by value (assignment,
+//     range value, argument) — the copy silently forks the counter.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc: "check that atomically-updated struct fields are never accessed " +
+		"plainly outside constructors, are alignment-safe, and are never copied",
+	Run: runAtomicField,
+}
+
+// atomicValueTypes are the sync/atomic wrapper types that must not be
+// copied after first use.
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runAtomicField(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	// Pass 1: collect old-style atomic fields — struct fields whose
+	// address is taken as the pointer argument of a sync/atomic call.
+	atomicFields := map[*types.Var]bool{}
+	// sanctioned marks the SelectorExprs that ARE those atomic call
+	// arguments, so pass 2 does not report them.
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(p.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(p.Info, sel); fld != nil {
+					atomicFields[fld] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any other selector of those fields outside a constructor
+	// is a plain racy access.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isConstructor(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fld := fieldOf(p.Info, sel)
+				if fld != nil && atomicFields[fld] {
+					p.Reportf(sel.Pos(), "field %s is updated with sync/atomic elsewhere; plain access outside a constructor races — use atomic.Load/Store or an atomic.%s field",
+						fld.Name(), atomicName(fld.Type()))
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: alignment of old-style 64-bit fields under 32-bit layout.
+	sizes := types.SizesFor("gc", "386")
+	checked := map[*types.Struct]bool{}
+	for fld := range atomicFields {
+		if !is64Bit(fld.Type()) {
+			continue
+		}
+		st, fields := owningStruct(p, fld)
+		if st == nil || checked[st] {
+			continue
+		}
+		checked[st] = true
+		offsets := sizes.Offsetsof(fields)
+		for i, f2 := range fields {
+			if atomicFields[f2] && is64Bit(f2.Type()) && offsets[i]%8 != 0 {
+				p.Reportf(f2.Pos(), "64-bit atomic field %s sits at offset %d under 32-bit layout; move it to the front of the struct or use atomic.%s",
+					f2.Name(), offsets[i], atomicName(f2.Type()))
+			}
+		}
+	}
+
+	// Pass 4: copies of new-style atomic values.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if name := atomicValueTypeName(p.Info.TypeOf(rhs)); name != "" && !isZeroValueExpr(rhs) {
+						p.Reportf(rhs.Pos(), "copies atomic.%s by value; the copy forks the counter — keep a pointer or index into the original", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if name := atomicValueTypeName(p.Info.TypeOf(n.Value)); name != "" {
+						p.Reportf(n.Value.Pos(), "range copies atomic.%s elements by value; range over indices instead", name)
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					if name := atomicValueTypeName(p.Info.TypeOf(arg)); name != "" {
+						p.Reportf(arg.Pos(), "passes atomic.%s by value; pass a pointer instead", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncAtomicCall reports calls to package sync/atomic's functions
+// (not methods of its wrapper types — those are the safe new style).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, _ := typeutilCallee(info, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// fieldOf resolves a selector to the struct field it names, if any.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isConstructor: New*-named functions and init set fields before the
+// value is shared, so plain writes there are fine.
+func isConstructor(fd *ast.FuncDecl) bool {
+	return strings.HasPrefix(fd.Name.Name, "New") || fd.Name.Name == "init"
+}
+
+func is64Bit(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}
+
+func atomicName(t types.Type) string {
+	b, _ := t.Underlying().(*types.Basic)
+	if b != nil && b.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}
+
+// owningStruct finds the struct type declaring fld within the package.
+func owningStruct(p *Pass, fld *types.Var) (*types.Struct, []*types.Var) {
+	if p.Pkg == nil {
+		return nil, nil
+	}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fields []*types.Var
+		found := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			fields = append(fields, f)
+			if f == fld {
+				found = true
+			}
+		}
+		if found {
+			return st, fields
+		}
+	}
+	return nil, nil
+}
+
+// atomicValueTypeName returns "Int64" etc. when t is one of sync/atomic's
+// non-copyable wrapper types (by value, not pointer), else "".
+func atomicValueTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !atomicValueTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isZeroValueExpr reports expressions that construct a fresh value
+// rather than copy an existing one (composite literals).
+func isZeroValueExpr(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BoundedAllocAnalyzer preserves the corrupt-input defense of the
+// persistence readers: a length decoded from untrusted bytes must pass
+// through a bound check before it sizes an allocation.
+//
+// The analysis is per-function and flow-ordered: values produced by
+// binary.LittleEndian/BigEndian.UintNN or binary.Read are tainted;
+// taint propagates through assignments and arithmetic; any comparison
+// of a tainted variable (or a min/max call over it) sanitizes it; a
+// make whose length or capacity mentions a still-unsanitized tainted
+// variable is reported. Straight-line decode code — the only shape the
+// readers use — is handled exactly; the ordering approximation errs
+// toward silence for exotic control flow rather than false alarms.
+var BoundedAllocAnalyzer = &Analyzer{
+	Name: "boundedalloc",
+	Doc: "check that allocation sizes decoded from input flow through a " +
+		"bound check before make",
+	Run: runBoundedAlloc,
+}
+
+func runBoundedAlloc(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkBoundedAlloc(p, fd)
+			}
+		}
+	}
+}
+
+// event is one taint-relevant site, replayed in source order.
+type event struct {
+	pos  token.Pos
+	kind int // evAssign | evSanitize | evSink
+	node ast.Node
+}
+
+const (
+	evAssign = iota
+	evSanitize
+	evSink
+)
+
+func checkBoundedAlloc(p *Pass, fd *ast.FuncDecl) {
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			events = append(events, event{n.Pos(), evAssign, n})
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				events = append(events, event{n.Pos(), evSanitize, n})
+			}
+		case *ast.CallExpr:
+			if fn, ok := typeutilCallee(p.Info, n).(*types.Builtin); ok {
+				switch fn.Name() {
+				case "make":
+					events = append(events, event{n.Pos(), evSink, n})
+				case "min", "max":
+					events = append(events, event{n.Pos(), evSanitize, n})
+				}
+			}
+			// binary.Read(r, order, &x) taints x through its pointer arg.
+			if isBinaryRead(p.Info, n) && len(n.Args) == 3 {
+				events = append(events, event{n.Pos(), evAssign, n})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	tainted := map[types.Object]bool{}
+	sanitized := map[types.Object]bool{}
+	// hot finds a tainted, unsanitized variable mentioned by e. Subtrees
+	// under min/max calls are skipped: min(n, limit) bounds n in place.
+	hot := func(e ast.Expr) types.Object {
+		var found types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn, ok := typeutilCallee(p.Info, call).(*types.Builtin); ok {
+					if fn.Name() == "min" || fn.Name() == "max" {
+						return false
+					}
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && tainted[obj] && !sanitized[obj] {
+					found = obj
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case evAssign:
+			switch n := ev.node.(type) {
+			case *ast.AssignStmt:
+				dirty := false
+				for _, rhs := range n.Rhs {
+					if exprDecodesInput(p.Info, rhs) || hot(rhs) != nil {
+						dirty = true
+					}
+				}
+				if !dirty {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := lhsObj(p.Info, id); obj != nil {
+							tainted[obj] = true
+							delete(sanitized, obj)
+						}
+					}
+				}
+			case *ast.CallExpr: // binary.Read
+				if un, ok := ast.Unparen(n.Args[2]).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					if id, ok := ast.Unparen(un.X).(*ast.Ident); ok {
+						if obj := p.Info.Uses[id]; obj != nil {
+							tainted[obj] = true
+							delete(sanitized, obj)
+						}
+					}
+				}
+			}
+		case evSanitize:
+			ast.Inspect(ev.node, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && tainted[obj] {
+						sanitized[obj] = true
+					}
+				}
+				return true
+			})
+		case evSink:
+			call := ev.node.(*ast.CallExpr)
+			for _, sizeArg := range call.Args[1:] { // args after the type
+				if obj := hot(sizeArg); obj != nil {
+					p.Reportf(call.Pos(), "make sized by %s, which was decoded from input and never bound-checked — compare it against a limit first", obj.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+func lhsObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// exprDecodesInput reports whether e contains a call that decodes
+// untrusted bytes: a ByteOrder UintNN method or binary.Read.
+func exprDecodesInput(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isByteOrderDecode(info, call) || isBinaryRead(info, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isByteOrderDecode matches binary.LittleEndian.Uint16/32/64 and the
+// BigEndian forms (method calls on encoding/binary's ByteOrder types).
+func isByteOrderDecode(info *types.Info, call *ast.CallExpr) bool {
+	fn, _ := typeutilCallee(info, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return false
+	}
+	switch fn.Name() {
+	case "Uint16", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}
+
+func isBinaryRead(info *types.Info, call *ast.CallExpr) bool {
+	fn, _ := typeutilCallee(info, call).(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" && fn.Name() == "Read"
+}

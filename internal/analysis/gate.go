@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The compiler-output gate. The AST analyzers prove a hot loop contains
+// no allocation *syntax*; only the compiler knows whether the generated
+// code kept its promises — whether bounds checks were eliminated and
+// whether anything escaped to the heap. Gate recompiles every package
+// that declares //bsvet:hotloop functions with
+//
+//	go tool compile -d=ssa/check_bce/debug=1 -m
+//
+// and fails on any "Found IsInBounds"/"Found IsSliceInBounds" or
+// "escapes to heap"/"moved to heap" diagnostic positioned inside an
+// annotated function. `go build -gcflags` is deliberately NOT used: the
+// build cache suppresses compiler diagnostics on cache hits, which
+// would make the gate silently pass. Invoking the compiler directly
+// (with an importcfg generated from `go list -export -deps`) always
+// compiles and always reports.
+//
+// Known-irreducible cases live in an allowlist file with lines of the
+// form
+//
+//	<import path> <func> <bounds|escape> <max count>  # reason
+//
+// where <func> is the function name, receiver-qualified for methods
+// ("scanner.rangeEq"). An entry caps the diagnostics of that kind in
+// that function; exceeding the cap, or any unlisted diagnostic, fails
+// the gate.
+
+// GateFinding is one compiler diagnostic inside an annotated function.
+type GateFinding struct {
+	Pkg     string // import path
+	Func    string // receiver-qualified function name
+	Kind    string // "bounds" or "escape"
+	File    string
+	Line    int
+	Message string // raw compiler message
+}
+
+func (g GateFinding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s in //bsvet:hotloop func %s (%s)",
+		g.File, g.Line, g.Kind, g.Message, g.Func, g.Pkg)
+}
+
+// allowEntry is one parsed allowlist line.
+type allowEntry struct {
+	pkg, fn, kind string
+	max           int
+}
+
+// Gate compiles every pattern-matched package that declares hotloop
+// functions and returns the findings that exceed the allowlist. The
+// returned strings describe allowlist entries that no longer match
+// anything (stale entries must be pruned, or the list only grows).
+func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []GateFinding, stale []string, err error) {
+	allow, err := readAllowlist(allowPath)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	listed, err := decodeList(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets, err := listTargets(cfg, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// One importcfg covering the whole dependency closure serves every
+	// compile; extra entries are harmless.
+	tmp, err := os.MkdirTemp("", "bsvet-gate-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(tmp)
+	var cfgBuf bytes.Buffer
+	for _, lp := range listed {
+		if lp.Export != "" {
+			fmt.Fprintf(&cfgBuf, "packagefile %s=%s\n", lp.ImportPath, lp.Export)
+		}
+	}
+	importcfg := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(importcfg, cfgBuf.Bytes(), 0o644); err != nil {
+		return nil, nil, err
+	}
+
+	counts := map[allowEntry]int{} // keyed with max=0: observed totals
+	for _, lp := range listed {
+		if !targets[lp.ImportPath] || lp.Standard || len(lp.CgoFiles) > 0 {
+			continue
+		}
+		fns, files, perr := annotatedRanges(lp)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		if len(fns) == 0 {
+			continue // nothing to gate in this package
+		}
+		diags, cerr := compileForDiagnostics(tmp, importcfg, lp, files)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		for _, d := range diags {
+			fn := enclosing(fns, d.file, d.line)
+			if fn == "" {
+				continue // diagnostic outside any annotated function
+			}
+			f := GateFinding{Pkg: lp.ImportPath, Func: fn, Kind: d.kind,
+				File: d.file, Line: d.line, Message: d.msg}
+			key := allowEntry{pkg: lp.ImportPath, fn: fn, kind: d.kind}
+			counts[key]++
+			if counts[key] > allow[key] {
+				findings = append(findings, f)
+			}
+		}
+	}
+
+	for key, max := range allow {
+		if counts[key] == 0 && max > 0 {
+			stale = append(stale, fmt.Sprintf("%s %s %s %d", key.pkg, key.fn, key.kind, max))
+		}
+	}
+	sort.Strings(stale)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return findings, stale, nil
+}
+
+func decodeList(out []byte) ([]*listPackage, error) {
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			return listed, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+}
+
+// parsePkgFiles parses a listed package's Go files with comments.
+func parsePkgFiles(lp *listPackage) (*token.FileSet, []*ast.File, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	return fset, files, nil
+}
+
+// funcRange is one annotated function's span within a file.
+type funcRange struct {
+	file       string
+	start, end int
+	name       string
+}
+
+// annotatedRanges parses the package's files and returns the line spans
+// of its //bsvet:hotloop functions plus the absolute file list.
+func annotatedRanges(lp *listPackage) ([]funcRange, []string, error) {
+	var ranges []funcRange
+	var files []string
+	fset, parsed, err := parsePkgFiles(lp)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, f := range parsed {
+		path := fset.Position(f.Pos()).Filename
+		files = append(files, path)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasPragma(fd.Doc, pragmaHotloop) {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				t := fd.Recv.List[0].Type
+				if star, ok := t.(*ast.StarExpr); ok {
+					t = star.X
+				}
+				if id, ok := t.(*ast.Ident); ok {
+					name = id.Name + "." + name
+				}
+			}
+			ranges = append(ranges, funcRange{
+				file:  path,
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.End()).Line,
+				name:  name,
+			})
+		}
+	}
+	return ranges, files, nil
+}
+
+func enclosing(fns []funcRange, file string, line int) string {
+	for _, fr := range fns {
+		if fr.file == file && fr.start <= line && line <= fr.end {
+			return fr.name
+		}
+	}
+	return ""
+}
+
+// compilerDiag is one parsed bounds/escape line of compiler output.
+type compilerDiag struct {
+	file string
+	line int
+	kind string
+	msg  string
+}
+
+var (
+	diagRE              = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+	constStringEscapeRE = regexp.MustCompile(`^".*" escapes to heap$`)
+)
+
+// compileForDiagnostics invokes the compiler directly so diagnostics are
+// produced unconditionally (no build cache in the way).
+func compileForDiagnostics(tmp, importcfg string, lp *listPackage, files []string) ([]compilerDiag, error) {
+	obj := filepath.Join(tmp, strings.ReplaceAll(lp.ImportPath, "/", "_")+".o")
+	args := []string{"tool", "compile",
+		"-p", lp.ImportPath,
+		"-importcfg", importcfg,
+		"-d=ssa/check_bce/debug=1",
+		"-m",
+		"-o", obj,
+	}
+	args = append(args, files...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = lp.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go tool compile %s: %v\n%s", lp.ImportPath, err, out.String())
+	}
+	var diags []compilerDiag
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		var kind string
+		switch {
+		case strings.Contains(msg, "Found IsInBounds") || strings.Contains(msg, "Found IsSliceInBounds"):
+			kind = "bounds"
+		case strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap"):
+			// A quoted string constant "escaping" is a panic argument
+			// inlined into the caller: the hotloop analyzer bans every
+			// other interface conversion, and the panic path is cold.
+			if constStringEscapeRE.MatchString(msg) {
+				continue
+			}
+			kind = "escape"
+		default:
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(lp.Dir, file)
+		}
+		diags = append(diags, compilerDiag{file: file, line: line, kind: kind, msg: msg})
+	}
+	return diags, nil
+}
+
+// readAllowlist parses the committed allowlist; a missing file is an
+// empty list.
+func readAllowlist(path string) (map[allowEntry]int, error) {
+	allow := map[allowEntry]int{}
+	if path == "" {
+		return allow, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return allow, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want \"<import path> <func> <bounds|escape> <max>\", got %q", path, i+1, line)
+		}
+		max, err := strconv.Atoi(fields[3])
+		if err != nil || max < 1 {
+			return nil, fmt.Errorf("%s:%d: bad max count %q", path, i+1, fields[3])
+		}
+		if fields[2] != "bounds" && fields[2] != "escape" {
+			return nil, fmt.Errorf("%s:%d: kind must be bounds or escape, got %q", path, i+1, fields[2])
+		}
+		allow[allowEntry{pkg: fields[0], fn: fields[1], kind: fields[2]}] = max
+	}
+	return allow, nil
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The bcegate fixture's deliberate bounds check: p[i] with an
+// unconstrained index inside a //bsvet:hotloop function.
+const bceFixture = "./testdata/src/bcegate"
+
+func fixtureBoundsLine(t *testing.T) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata/src/bcegate", "bcegate.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "p[i]") {
+			return i + 1
+		}
+	}
+	t.Fatal("fixture lost its p[i] line")
+	return 0
+}
+
+func TestGateFindsSeededBoundsCheck(t *testing.T) {
+	findings, stale, err := Gate(LoadConfig{}, "", bceFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale = %v; want none", stale)
+	}
+	if len(findings) == 0 {
+		t.Fatal("gate reported no findings on the seeded bounds check")
+	}
+	wantLine := fixtureBoundsLine(t)
+	for _, f := range findings {
+		if f.Func != "sumFirst" || f.Kind != "bounds" {
+			t.Errorf("finding %v; want func sumFirst kind bounds", f)
+		}
+		if f.Line != wantLine {
+			t.Errorf("finding at line %d; want %d", f.Line, wantLine)
+		}
+		if !strings.Contains(f.String(), "sumFirst") || !strings.Contains(f.String(), "bcegate.go") {
+			t.Errorf("finding text %q does not name function and file", f.String())
+		}
+	}
+}
+
+func TestGateAllowlistCapsAndStaleness(t *testing.T) {
+	dir := t.TempDir()
+	allow := filepath.Join(dir, "allow")
+	content := "# test allowlist\n" +
+		"byteslice/internal/analysis/testdata/src/bcegate sumFirst bounds 8\n" +
+		"byteslice/internal/analysis/testdata/src/bcegate gone bounds 1\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, stale, err := Gate(LoadConfig{}, allow, bceFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("allowlisted run still reported %v", findings)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "gone") {
+		t.Errorf("stale = %v; want the unused 'gone' entry", stale)
+	}
+}
+
+func TestGateRejectsMalformedAllowlist(t *testing.T) {
+	dir := t.TempDir()
+	for _, bad := range []string{
+		"pkg fn bounds\n",        // missing count
+		"pkg fn bounds zero\n",   // non-numeric count
+		"pkg fn bounds 0\n",      // count below 1
+		"pkg fn offbyone 3\n",    // unknown kind
+		"pkg fn bounds 1 junk\n", // trailing field
+	} {
+		allow := filepath.Join(dir, "allow")
+		if err := os.WriteFile(allow, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readAllowlist(allow); err == nil {
+			t.Errorf("readAllowlist accepted %q", bad)
+		}
+	}
+}
+
+func TestGateCleanOnAnnotatedTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the kernel packages")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, _, err := Gate(LoadConfig{Dir: root}, filepath.Join(root, "bsvet.allow"),
+		"./internal/kernel", "./internal/core", "./internal/bitvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("gate not clean against committed allowlist: %s", f)
+	}
+}

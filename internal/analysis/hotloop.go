@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotloopAnalyzer enforces that //bsvet:hotloop functions stay tight.
+//
+// Annotated bodies may not contain heap allocations (make, new, append,
+// composite literals, string<->[]byte conversions, string concatenation),
+// interface conversions or type assertions, defer, go, closures, or calls
+// to functions that are neither intrinsic nor themselves annotated.
+// Arguments of panic calls are exempt: a panicking hot loop is already
+// off the fast path.
+var HotloopAnalyzer = &Analyzer{
+	Name: "hotloop",
+	Doc: "check that //bsvet:hotloop functions contain no allocations, " +
+		"interface conversions, defers, closures, or calls to non-hotloop functions",
+	Run: runHotloop,
+}
+
+// intrinsicPkgs are packages whose functions compile to branch-free
+// register code (or are compiler intrinsics) and are therefore callable
+// from hot loops without annotation.
+var intrinsicPkgs = map[string]bool{
+	"math/bits":       true,
+	"unsafe":          true,
+	"encoding/binary": true, // ByteOrder loads/stores are intrinsified
+}
+
+// allowedBuiltins never allocate; panic is allowed because its entire
+// call is cold.
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true,
+	"min": true, "max": true, "panic": true,
+}
+
+// allocatingBuiltins always (or may) allocate on the heap.
+var allocatingBuiltins = map[string]bool{
+	"make": true, "new": true, "append": true,
+}
+
+func runHotloop(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasPragma(fd.Doc, pragmaHotloop) {
+				continue
+			}
+			w := &hotloopWalker{p: p, fn: fd.Name.Name}
+			w.walk(fd.Body)
+		}
+	}
+}
+
+type hotloopWalker struct {
+	p  *Pass
+	fn string
+}
+
+// walk descends the annotated body; subtrees under a panic call's
+// arguments are skipped entirely (cold path).
+func (w *hotloopWalker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			w.p.Reportf(n.Pos(), "hotloop %s: defer is not allowed in a hot loop", w.fn)
+		case *ast.GoStmt:
+			w.p.Reportf(n.Pos(), "hotloop %s: goroutine launch is not allowed in a hot loop", w.fn)
+		case *ast.FuncLit:
+			w.p.Reportf(n.Pos(), "hotloop %s: closure allocates and defeats inlining", w.fn)
+			return false // don't double-report the closure's own body
+		case *ast.CompositeLit:
+			w.p.Reportf(n.Pos(), "hotloop %s: composite literal may allocate", w.fn)
+		case *ast.TypeAssertExpr:
+			w.p.Reportf(n.Pos(), "hotloop %s: type assertion requires an interface value", w.fn)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(w.p.Info.TypeOf(n)) {
+				w.p.Reportf(n.Pos(), "hotloop %s: string concatenation allocates", w.fn)
+			}
+		case *ast.CallExpr:
+			return w.call(n)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression; returns false to stop descent.
+func (w *hotloopWalker) call(call *ast.CallExpr) bool {
+	// Conversion, not a call.
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if types.IsInterface(dst.Underlying()) {
+			w.p.Reportf(call.Pos(), "hotloop %s: conversion to interface type %s", w.fn, dst)
+		}
+		if isAllocConversion(dst, w.p.Info.TypeOf(call.Args[0])) {
+			w.p.Reportf(call.Pos(), "hotloop %s: conversion %s allocates", w.fn, types.ExprString(call.Fun))
+		}
+		return true
+	}
+	switch callee := typeutilCallee(w.p.Info, call).(type) {
+	case *types.Builtin:
+		name := callee.Name()
+		switch {
+		case allocatingBuiltins[name]:
+			w.p.Reportf(call.Pos(), "hotloop %s: builtin %s allocates on the heap", w.fn, name)
+		case name == "panic":
+			return false // cold path: don't analyze panic arguments
+		case !allowedBuiltins[name]:
+			w.p.Reportf(call.Pos(), "hotloop %s: builtin %s is not allowed in a hot loop", w.fn, name)
+		}
+	case *types.Func:
+		if callee.Pkg() == nil || intrinsicPkgs[callee.Pkg().Path()] {
+			return true
+		}
+		if !w.p.Hotloop[ObjKey(callee)] {
+			w.p.Reportf(call.Pos(), "hotloop %s: call to %s, which is not //bsvet:hotloop or intrinsic", w.fn, ObjKey(callee))
+		}
+	default:
+		w.p.Reportf(call.Pos(), "hotloop %s: indirect call cannot be inlined or verified", w.fn)
+	}
+	return true
+}
+
+// typeutilCallee resolves a call's callee object: a *types.Func for
+// static calls and method calls, a *types.Builtin for builtins, nil for
+// indirect calls through function values.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isAllocConversion reports conversions that copy memory: string <->
+// []byte / []rune in either direction.
+func isAllocConversion(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KernelParityAnalyzer keeps kernel entry points in lockstep with their
+// instrumented twins.
+//
+// An exported function F that has either an FCtx or an FObs variant must
+// have both, and the variants' signatures must be mechanical extensions
+// of F's:
+//
+//	FCtx(ctx context.Context, <F params>) (<F results>, error)
+//	FObs(ctx context.Context, <F params>, st *obs.Stage) (<F results>, error)
+//
+// This is the drift PR 4 caught by hand: an entry point gaining a
+// parameter in one variant but not the others, or a new entry point
+// shipping without its cancellable/observable forms.
+var KernelParityAnalyzer = &Analyzer{
+	Name: "kernelparity",
+	Doc: "check that kernel entry points with Ctx/Obs variants have both, " +
+		"with parameter cores that agree with the base function",
+	Run: runKernelParity,
+}
+
+func runKernelParity(p *Pass) {
+	if p.Pkg == nil {
+		return
+	}
+	scope := p.Pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		fn, ok := scope.Lookup(name).(*types.Func)
+		if !ok || !fn.Exported() {
+			continue
+		}
+		if strings.HasSuffix(name, "Ctx") || strings.HasSuffix(name, "Obs") {
+			continue // variants are checked from their base
+		}
+		ctxFn := lookupFunc(scope, name+"Ctx")
+		obsFn := lookupFunc(scope, name+"Obs")
+		if ctxFn == nil && obsFn == nil {
+			continue // plain entry point with no instrumented family
+		}
+		if ctxFn == nil {
+			p.Reportf(fn.Pos(), "kernel entry point %s has an Obs variant but no %sCtx", name, name)
+		} else {
+			checkVariant(p, fn, ctxFn, "Ctx", 0)
+		}
+		if obsFn == nil {
+			p.Reportf(fn.Pos(), "kernel entry point %s has a Ctx variant but no %sObs", name, name)
+		} else {
+			checkVariant(p, fn, obsFn, "Obs", 1)
+		}
+	}
+}
+
+func lookupFunc(scope *types.Scope, name string) *types.Func {
+	fn, _ := scope.Lookup(name).(*types.Func)
+	return fn
+}
+
+// checkVariant verifies one variant against the base: first parameter
+// context.Context, then the base's parameters verbatim, plus (for Obs)
+// trailing extras — and the base's results followed by a final error.
+func checkVariant(p *Pass, base, variant *types.Func, kind string, trailingExtras int) {
+	bSig := base.Type().(*types.Signature)
+	vSig := variant.Type().(*types.Signature)
+	vName := variant.Name()
+
+	wantParams := bSig.Params().Len() + 1 + trailingExtras
+	if vSig.Params().Len() != wantParams {
+		p.Reportf(variant.Pos(), "%s: %s variant of %s must take (ctx, %d base params%s), got %d params",
+			vName, kind, base.Name(), bSig.Params().Len(), extraDesc(trailingExtras), vSig.Params().Len())
+		return
+	}
+	if !isContext(vSig.Params().At(0).Type()) {
+		p.Reportf(variant.Pos(), "%s: first parameter must be context.Context, got %s",
+			vName, vSig.Params().At(0).Type())
+	}
+	for i := 0; i < bSig.Params().Len(); i++ {
+		want := bSig.Params().At(i).Type()
+		got := vSig.Params().At(i + 1).Type()
+		if !types.Identical(want, got) {
+			p.Reportf(variant.Pos(), "%s: parameter %d is %s, but %s declares %s — variant core drifted from base",
+				vName, i+1, got, base.Name(), want)
+		}
+	}
+
+	wantResults := bSig.Results().Len() + 1
+	if vSig.Results().Len() != wantResults {
+		p.Reportf(variant.Pos(), "%s: must return %s's %d results plus a final error, got %d results",
+			vName, base.Name(), bSig.Results().Len(), vSig.Results().Len())
+		return
+	}
+	for i := 0; i < bSig.Results().Len(); i++ {
+		want := bSig.Results().At(i).Type()
+		got := vSig.Results().At(i).Type()
+		if !types.Identical(want, got) {
+			p.Reportf(variant.Pos(), "%s: result %d is %s, but %s declares %s — variant core drifted from base",
+				vName, i, got, base.Name(), want)
+		}
+	}
+	last := vSig.Results().At(vSig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		p.Reportf(variant.Pos(), "%s: final result must be error, got %s", vName, last)
+	}
+}
+
+func extraDesc(n int) string {
+	if n > 0 {
+		return ", stage"
+	}
+	return ""
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

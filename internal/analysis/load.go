@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and (for analysis targets) type-checked
+// package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Analyze marks packages the analyzers run on; module-local
+	// dependencies are loaded parse-only for annotation facts.
+	Analyze bool
+	// HotloopFacts are the //bsvet:hotloop object keys declared here.
+	HotloopFacts map[string]bool
+	// TypeErr records a type-check failure (the package is then skipped
+	// by the analyzers but still contributes annotation facts).
+	TypeErr error
+}
+
+// listPackage mirrors the `go list -json` fields the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// LoadConfig controls Load.
+type LoadConfig struct {
+	// Dir is the module directory `go list` runs in ("" = cwd).
+	Dir string
+	// Tests includes *_test.go files via `go list -test`: internal test
+	// variants and external _test packages become analysis targets.
+	Tests bool
+}
+
+// Load resolves patterns with the go tool and returns the matched
+// packages type-checked from source, with module-local dependencies
+// loaded parse-only so cross-package //bsvet:hotloop facts resolve.
+// Dependency type information comes from the build cache's export data
+// (`go list -export`), so loading needs no network and no third-party
+// importer.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	listed, err := decodeList(out)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// The -deps closure lists dependencies first, targets last; `go list`
+	// echoes the named patterns at the end, so targets are the packages
+	// matched by the patterns — everything whose ImportPath is not only a
+	// dependency. Rebuilding that split exactly requires a second plain
+	// `go list` of the same patterns.
+	targets, err := listTargets(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // stdlib and generated test mains carry no pragmas of ours
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			continue // no cgo in this module; skip rather than mis-parse
+		}
+		// A test variant ("p [p.test]" or "p_test [p.test]") is a target
+		// when the package it tests is one.
+		isTarget := targets[strip(lp.ImportPath)] || (lp.ForTest != "" && targets[lp.ForTest])
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(lp.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		pkg := &Package{
+			ImportPath:   lp.ImportPath,
+			Dir:          lp.Dir,
+			Fset:         fset,
+			Files:        files,
+			Analyze:      isTarget,
+			HotloopFacts: ScanAnnotations(strip(lp.ImportPath), files),
+		}
+		if isTarget {
+			pkg.Types, pkg.Info, pkg.TypeErr = typeCheck(fset, lp, files, exports)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	// When tests are loaded, the plain package and its test-augmented
+	// variant ("p" and "p [p.test]") are both targets; analyzing both
+	// only duplicates work that dedupe() would throw away. Prefer the
+	// augmented variant, which is a superset.
+	augmented := map[string]bool{}
+	for _, p := range pkgs {
+		if p.Analyze && p.ImportPath != strip(p.ImportPath) {
+			augmented[strip(p.ImportPath)] = true
+		}
+	}
+	for _, p := range pkgs {
+		if p.Analyze && augmented[p.ImportPath] {
+			p.Analyze = false
+		}
+	}
+	return pkgs, nil
+}
+
+// strip removes the " [p.test]" suffix of a test-variant import path.
+func strip(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// listTargets resolves which import paths the patterns name directly.
+func listTargets(cfg LoadConfig, patterns []string) (map[string]bool, error) {
+	args := []string{"list", "-e"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	targets := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			targets[line] = true
+		}
+	}
+	return targets, nil
+}
+
+// typeCheck checks one package from source, resolving imports through the
+// build cache export data go list handed us. ImportMap redirects matter
+// for test variants: an external test package importing "p" must see
+// "p [p.test]" so symbols from p's internal _test.go files resolve.
+func typeCheck(fset *token.FileSet, lp *listPackage, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(strip(lp.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: typecheck: %v", lp.ImportPath, err)
+	}
+	return pkg, info, nil
+}

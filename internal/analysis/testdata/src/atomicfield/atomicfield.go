@@ -1,0 +1,76 @@
+// Package atomicfield is a bsvet test fixture for the atomic-field
+// access, alignment, and copy rules.
+package atomicfield
+
+import "sync/atomic"
+
+// counters mixes a 32-bit field before a 64-bit atomic one: misaligned
+// under 32-bit layout.
+type counters struct {
+	flag uint32
+	hits int64 // want `64-bit atomic field hits sits at offset 4 under 32-bit layout`
+}
+
+// NewCounters is a constructor: plain writes here are pre-publication.
+func NewCounters() *counters {
+	c := &counters{}
+	c.hits = 0
+	return c
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `plain access outside a constructor races`
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 42 // want `plain access outside a constructor races`
+}
+
+// aligned keeps its 64-bit atomic field first: no alignment finding.
+type aligned struct {
+	n    uint64
+	flag uint32
+}
+
+func (a *aligned) inc() { atomic.AddUint64(&a.n, 1) }
+
+// gauges uses the new-style wrappers, which must never be copied.
+type gauges struct {
+	vals [4]atomic.Int64
+}
+
+func sum(g *gauges) int64 {
+	var s int64
+	for _, v := range g.vals { // want `range copies atomic.Int64 elements by value`
+		s += v.Load()
+	}
+	for i := range g.vals { // good: index form
+		s += g.vals[i].Load()
+	}
+	return s
+}
+
+func snapshot(g *gauges) int64 {
+	c := g.vals[0] // want `copies atomic.Int64 by value`
+	return c.Load()
+}
+
+func report(v atomic.Int64) int64 { return v.Load() }
+
+func passesByValue(g *gauges) int64 {
+	return report(g.vals[1]) // want `passes atomic.Int64 by value`
+}
+
+func pointerIsFine(g *gauges) *atomic.Int64 {
+	p := &g.vals[2]
+	p.Add(1)
+	return p
+}

@@ -1,0 +1,13 @@
+// Package bcegate is a bsvet gate fixture: sumFirst carries a bounds
+// check the compiler cannot eliminate, so `bsvet -gcflags` must fail on
+// it (the gate test asserts the function name and line are reported).
+package bcegate
+
+//bsvet:hotloop
+func sumFirst(p []byte, idx []int) int {
+	s := 0
+	for _, i := range idx {
+		s += int(p[i]) // deliberate: i is unconstrained, BCE impossible
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+// Package boundedalloc is a bsvet test fixture for the decoded-size
+// bound-check rule.
+package boundedalloc
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxLen = 1 << 20
+
+func badRead(r io.Reader, hdr []byte) ([]byte, error) {
+	n := binary.LittleEndian.Uint32(hdr)
+	buf := make([]byte, n) // want `make sized by n, which was decoded from input and never bound-checked`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func badPropagate(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint64(hdr)
+	count := int(n) * 8
+	return make([]byte, count) // want `make sized by count, which was decoded from input and never bound-checked`
+}
+
+func badBinaryRead(r io.Reader) ([]uint32, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	return make([]uint32, n), nil // want `make sized by n, which was decoded from input and never bound-checked`
+}
+
+func goodChecked(r io.Reader, hdr []byte) ([]byte, error) {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxLen {
+		return nil, errors.New("length exceeds limit")
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+func goodMin(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(hdr))
+	return make([]byte, min(n, maxLen))
+}
+
+func goodConstant() []byte {
+	return make([]byte, 64)
+}
+
+func goodUntainted(sizes []int) []byte {
+	return make([]byte, sizes[0])
+}

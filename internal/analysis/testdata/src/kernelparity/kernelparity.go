@@ -1,0 +1,64 @@
+// Package kernelparity is a bsvet test fixture for the Ctx/Obs variant
+// parity rules.
+package kernelparity
+
+import "context"
+
+// Stage stands in for obs.Stage; the analyzer only counts the trailing
+// extra, it does not pin its type.
+type Stage struct{}
+
+// Good has both variants with agreeing cores.
+func Good(a int, b string) int { return a }
+
+func GoodCtx(ctx context.Context, a int, b string) (int, error) { return a, nil }
+
+func GoodObs(ctx context.Context, a int, b string, st *Stage) (int, error) { return a, nil }
+
+// Plain has no variants, so no rule applies.
+func Plain(a int) int { return a }
+
+// Partial has only a Ctx twin.
+func Partial(a int) {} // want `has a Ctx variant but no PartialObs`
+
+func PartialCtx(ctx context.Context, a int) error { return nil }
+
+// Solo has only an Obs twin.
+func Solo(a int) {} // want `has an Obs variant but no SoloCtx`
+
+func SoloObs(ctx context.Context, a int, st *Stage) error { return nil }
+
+// Drift's Ctx variant changed a parameter type without the base keeping up.
+func Drift(a int) {}
+
+func DriftCtx(ctx context.Context, a int64) error { return nil } // want `variant core drifted from base`
+
+func DriftObs(ctx context.Context, a int, st *Stage) error { return nil }
+
+// NoCtxFirst forgot the context parameter.
+func NoCtxFirst(a string) {}
+
+func NoCtxFirstCtx(b string, a string) error { return nil } // want `first parameter must be context.Context`
+
+func NoCtxFirstObs(ctx context.Context, a string, st *Stage) error { return nil }
+
+// ResultDrift's Ctx variant dropped the base result.
+func ResultDrift(a int) int { return a }
+
+func ResultDriftCtx(ctx context.Context, a int) error { return nil } // want `must return ResultDrift's 1 results plus a final error`
+
+func ResultDriftObs(ctx context.Context, a int, st *Stage) (int, error) { return a, nil }
+
+// NoError's variant forgot the trailing error.
+func NoError(a int) int { return a }
+
+func NoErrorCtx(ctx context.Context, a int) (int, int) { return a, a } // want `final result must be error`
+
+func NoErrorObs(ctx context.Context, a int, st *Stage) (int, error) { return a, nil }
+
+// WrongArity's Obs variant lost a base parameter.
+func WrongArity(a int, b int) {}
+
+func WrongArityCtx(ctx context.Context, a int, b int) error { return nil }
+
+func WrongArityObs(ctx context.Context, a int, st *Stage) error { return nil } // want `must take \(ctx, 2 base params, stage\)`

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// CheckExpectations compares a run's diagnostics against the fixture's
+// `// want "regex"` comments, analysistest-style: every want comment
+// must be matched by a diagnostic on its line, and every diagnostic must
+// be anticipated by a want. It returns one error string per mismatch.
+//
+// Want comments carry one or more double-quoted regexps:
+//
+//	x := make([]byte, n) // want `make sized by n`
+//	y := foo()           // want "first" "second"
+//
+// Both backquoted and double-quoted forms are accepted.
+func CheckExpectations(pkgs []*Package, diags []Diagnostic) []string {
+	wants := collectWants(pkgs)
+	var errs []string
+
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ok := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+			}
+		}
+		if !ok {
+			errs = append(errs, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				errs = append(errs, fmt.Sprintf("%s: no diagnostic matched want %q", key, w.re))
+			}
+		}
+	}
+	return errs
+}
+
+type want struct{ re *regexp.Regexp }
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(pkgs []*Package) map[string][]*want {
+	wants := map[string][]*want{}
+	for _, p := range pkgs {
+		if !p.Analyze {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRE.FindAllString(text[len("want "):], -1) {
+						pat := m[1 : len(m)-1]
+						if m[0] == '"' {
+							pat = strings.ReplaceAll(pat, `\"`, `"`)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							// Surface as a mismatch later rather than panic.
+							re = regexp.MustCompile(regexp.QuoteMeta(m))
+						}
+						wants[key] = append(wants[key], &want{re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

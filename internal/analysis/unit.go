@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Support for the go vet unit-checker protocol: cmd/go hands the tool
+// one compilation unit at a time (explicit file list, import map, and
+// export-data paths), and facts flow between units through .vetx files.
+// bsvet's only cross-package fact is the //bsvet:hotloop annotation
+// table, serialized as a sorted JSON array of object keys.
+
+// CheckFiles parses and type-checks one explicitly described
+// compilation unit. importMap translates source import paths to
+// canonical ones (test variants); packageFile maps canonical paths to
+// export-data files. The returned package has Analyze set and its own
+// annotation facts scanned; merge dependency facts into HotloopFacts
+// before running analyzers.
+func CheckFiles(importPath string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	lp := &listPackage{ImportPath: importPath, ImportMap: importMap}
+	parsed, err := parseFiles(fset, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath:   importPath,
+		Fset:         fset,
+		Files:        parsed,
+		Analyze:      true,
+		HotloopFacts: ScanAnnotations(strip(importPath), parsed),
+	}
+	pkg.Types, pkg.Info, pkg.TypeErr = typeCheck(fset, lp, parsed, packageFile)
+	return pkg, nil
+}
+
+// ScanFilesForFacts is the parse-only path for fact-gathering units
+// (VetxOnly): no type information, just the annotation table.
+func ScanFilesForFacts(importPath string, goFiles []string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	parsed, err := parseFiles(fset, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	return ScanAnnotations(strip(importPath), parsed), nil
+}
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ReadFactsFile loads one .vetx annotation table; empty or missing
+// content yields an empty table.
+func ReadFactsFile(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	facts := map[string]bool{}
+	if len(data) == 0 {
+		return facts, nil
+	}
+	var keys []string
+	if err := json.Unmarshal(data, &keys); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	for _, k := range keys {
+		facts[k] = true
+	}
+	return facts, nil
+}
+
+// WriteFactsFile persists an annotation table as its .vetx form.
+func WriteFactsFile(path string, facts map[string]bool) error {
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	data, err := json.Marshal(keys)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}

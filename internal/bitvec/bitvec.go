@@ -109,6 +109,8 @@ func (v *Vector) Set(i int, b bool) {
 // Word32 returns the 32-bit block starting at bit i (i must be a multiple
 // of 32). The column-first pipelined scan reads the previous predicate's
 // result segment-by-segment through this.
+//
+//bsvet:hotloop
 func (v *Vector) Word32(i int) uint32 {
 	if i&31 != 0 {
 		panic("bitvec: Word32 index not 32-bit aligned")
@@ -219,6 +221,8 @@ func (v *Vector) clearTail() {
 // multiple of 32), truncating bits past Len. It writes without the append
 // cursor, so disjoint blocks can be filled concurrently — parallel scans
 // give each worker an aligned range of segments.
+//
+//bsvet:hotloop
 func (v *Vector) SetWord32(i int, w uint32) {
 	if i&31 != 0 {
 		panic("bitvec: SetWord32 index not 32-bit aligned")
@@ -238,6 +242,8 @@ func (v *Vector) SetWord32(i int, w uint32) {
 // bypasses the append cursor; the native scan kernels use it to store two
 // 32-bit segment results with one plain write instead of two
 // read-modify-writes.
+//
+//bsvet:hotloop
 func (v *Vector) SetWord64(i int, w uint64) {
 	if i&63 != 0 {
 		panic("bitvec: SetWord64 index not 64-bit aligned")
@@ -255,6 +261,8 @@ func (v *Vector) SetWord64(i int, w uint64) {
 // multiple of 32), truncating bits past Len. Like SetWord32 it bypasses
 // the append cursor; the native strict-compare scan uses it to patch
 // deferred deep-slice results into already-stored segments.
+//
+//bsvet:hotloop
 func (v *Vector) OrWord32(i int, w uint32) {
 	if i&31 != 0 {
 		panic("bitvec: OrWord32 index not 32-bit aligned")

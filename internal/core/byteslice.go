@@ -100,9 +100,13 @@ func NewBuilder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
 func (b *ByteSlice) Name() string { return "ByteSlice" }
 
 // Width implements layout.Layout.
+//
+//bsvet:hotloop
 func (b *ByteSlice) Width() int { return b.k }
 
 // Len implements layout.Layout.
+//
+//bsvet:hotloop
 func (b *ByteSlice) Len() int { return b.n }
 
 // SizeBytes implements layout.Layout.
@@ -120,6 +124,8 @@ func (b *ByteSlice) SetEarlyStop(on bool) { b.earlyStop = on }
 
 // Segments returns the number of 32-code segments (including the final
 // padded one).
+//
+//bsvet:hotloop
 func (b *ByteSlice) Segments() int { return len(b.slices[0]) / SegmentSize }
 
 // padConst pads a comparison constant the same way codes are padded.
@@ -402,9 +408,13 @@ func (b *ByteSlice) Lookup(e *simd.Engine, i int) uint32 {
 
 // SliceByte exposes byte j of code i for the §6 extensions (partitioning,
 // sorting, searching operate directly on byte slices) and for bsinspect.
+//
+//bsvet:hotloop
 func (b *ByteSlice) SliceByte(j, i int) byte { return b.slices[j][i] }
 
 // NumSlices returns ⌈k/8⌉.
+//
+//bsvet:hotloop
 func (b *ByteSlice) NumSlices() int { return b.nb }
 
 // SliceAddr returns the simulated base address of slice j.
@@ -412,4 +422,6 @@ func (b *ByteSlice) SliceAddr(j int) uint64 { return b.addrs[j] }
 
 // Slice returns the backing bytes of slice j (padded to whole segments).
 // The returned slice must not be modified.
+//
+//bsvet:hotloop
 func (b *ByteSlice) Slice(j int) []byte { return b.slices[j] }

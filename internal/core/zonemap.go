@@ -73,6 +73,8 @@ func (b *ByteSlice) HasZoneMaps() bool { return b.zones != nil }
 // The native zoned kernels in internal/kernel share the core pruning
 // rules through this; it is the implementation, not a wrapper, so it
 // stays within the inlining budget at their per-segment call sites.
+//
+//bsvet:hotloop
 func ZoneDecisionBytes(op layout.Op, mn, mx, c1, c2 byte) int {
 	// The shared compares keep this small enough to inline into the native
 	// kernels' per-segment loops (budget 80); below/above are "every first

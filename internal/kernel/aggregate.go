@@ -26,6 +26,8 @@ const evenB = 0x00FF00FF00FF00FF
 
 // expand8 widens 8 mask bits into 8 byte lanes of 0xFF/0x00 — the inverse
 // movemask the masked kernels use to apply a result bit vector.
+//
+//bsvet:hotloop
 func expand8(v byte) uint64 {
 	x := uint64(v) * lsb & 0x8040201008040201 // lane l holds 1<<l iff bit l set
 	t := (x & lo7) + lo7                      // bit 7 of t set iff lane's low 7 bits nonzero
@@ -33,12 +35,16 @@ func expand8(v byte) uint64 {
 }
 
 // fold16 sums the four 16-bit lanes of a SWAR accumulator.
+//
+//bsvet:hotloop
 func fold16(acc uint64) uint64 {
 	return acc&0xFFFF + acc>>16&0xFFFF + acc>>32&0xFFFF + acc>>48
 }
 
 // pairSum widens a word's bytes into four 16-bit lane pair-sums
 // (byte 2i + byte 2i+1), each at most 510.
+//
+//bsvet:hotloop
 func pairSum(w uint64) uint64 {
 	return (w & evenB) + (w >> 8 & evenB)
 }
@@ -50,6 +56,8 @@ const foldEvery = 124
 // SumRange returns the padded byte-weighted sum over segments
 // [segLo, segHi): Σ (code << pad) for the selected rows. Range partials
 // add, and the caller removes the shared pad shift once at the end.
+//
+//bsvet:hotloop
 func sumRange(b *core.ByteSlice, mask *bitvec.Vector, segLo, segHi int) uint64 {
 	nb, n := b.NumSlices(), b.Len()
 	var padded uint64
@@ -103,6 +111,8 @@ func ParallelSum(b *core.ByteSlice, mask *bitvec.Vector, workers int) (sum uint6
 
 // extremeRange scans segments [segLo, segHi) for the extreme code among
 // the selected rows, stitching candidate codes straight from the slices.
+//
+//bsvet:hotloop
 func extremeRange(b *core.ByteSlice, mask *bitvec.Vector, isMin bool, segLo, segHi int) (uint32, bool) {
 	nb, n := b.NumSlices(), b.Len()
 	pad := uint(8*nb - b.Width())
@@ -162,6 +172,8 @@ func ParallelExtreme(b *core.ByteSlice, mask *bitvec.Vector, isMin bool, workers
 
 // Lookup stitches code i back together from its byte slices — the native
 // counterpart of the modelled ByteSlice.Lookup.
+//
+//bsvet:hotloop
 func Lookup(b *core.ByteSlice, i int) uint32 {
 	nb := b.NumSlices()
 	var v uint32
@@ -174,6 +186,8 @@ func Lookup(b *core.ByteSlice, i int) uint32 {
 // LookupMany stitches the codes of rows into out (len(out) must equal
 // len(rows)); the projection fast path. Disjoint row ranges may be filled
 // concurrently.
+//
+//bsvet:hotloop
 func LookupMany(b *core.ByteSlice, rows []int32, out []uint32) {
 	nb := b.NumSlices()
 	pad := uint(8*nb - b.Width())

@@ -25,6 +25,8 @@ import (
 
 // segMask evaluates one segment's predicate mask with zone shortcuts and
 // truncates the final segment's padding bits.
+//
+//bsvet:hotloop
 func segMask(sc *scanner, z *zoneInfo, seg int) uint32 {
 	var r uint32
 	switch z.decide(sc.op, seg) {
@@ -44,6 +46,8 @@ func segMask(sc *scanner, z *zoneInfo, seg int) uint32 {
 // scanSumRange fuses predicate evaluation on f with the slice-wise SWAR
 // sum over v for segments [segLo, segHi), returning the padded
 // byte-weighted partial sum (as sumRange) and the matching row count.
+//
+//bsvet:hotloop
 func scanSumRange(f *core.ByteSlice, sc *scanner, z *zoneInfo, v *core.ByteSlice, segLo, segHi int) (uint64, int) {
 	nbv := v.NumSlices()
 	var vslices [4][]byte
@@ -112,6 +116,8 @@ func ScanSum(f *core.ByteSlice, p layout.Predicate, v *core.ByteSlice, workers i
 
 // scanExtremeRange fuses predicate evaluation on f with the extreme stitch
 // over v for segments [segLo, segHi).
+//
+//bsvet:hotloop
 func scanExtremeRange(f *core.ByteSlice, sc *scanner, z *zoneInfo, v *core.ByteSlice, isMin bool, segLo, segHi int) (uint32, bool) {
 	nbv := v.NumSlices()
 	padv := uint(8*nbv - v.Width())

@@ -43,6 +43,8 @@ const (
 )
 
 // eq8 returns a mask with bit 7 of lane l set iff x's byte l equals y's.
+//
+//bsvet:hotloop
 func eq8(x, y uint64) uint64 {
 	z := x ^ y
 	return ^(((z & lo7) + lo7) | z) & msb
@@ -53,15 +55,21 @@ func eq8(x, y uint64) uint64 {
 // difference in [1, 255], so the subtraction cannot borrow across lanes;
 // bit 7 of d is then the lane's low-7-bit carry, and the top bits resolve
 // the comparison directly.
+//
+//bsvet:hotloop
 func ge8(x, y uint64) uint64 {
 	d := (x | msb) - (y &^ msb)
 	return ((x &^ y) | (^(x ^ y) & d)) & msb
 }
 
 // lt8 is the per-byte unsigned x < y mask.
+//
+//bsvet:hotloop
 func lt8(x, y uint64) uint64 { return ^ge8(x, y) & msb }
 
 // gt8 is the per-byte unsigned x > y mask.
+//
+//bsvet:hotloop
 func gt8(x, y uint64) uint64 { return ^ge8(y, x) & msb }
 
 // ltc8 is lt8(w, c) for a broadcast constant whose low-7-bit lanes (cLo =
@@ -70,6 +78,8 @@ func gt8(x, y uint64) uint64 { return ^ge8(y, x) & msb }
 // the full unsigned ge collapses to one extra op: hi lanes of w win
 // outright when c < 0x80 (ge = w|d) and are required when c >= 0x80
 // (ge = w&d).
+//
+//bsvet:hotloop
 func ltc8(w, cLo uint64, hi bool) uint64 {
 	if hi {
 		return ltc8hi(w, cLo)
@@ -79,13 +89,18 @@ func ltc8(w, cLo uint64, hi bool) uint64 {
 
 // ltc8lo and ltc8hi are ltc8 with the constant's high bit resolved at the
 // call site, so loops that know it can hoist the branch out entirely.
+//
+//bsvet:hotloop
 func ltc8lo(w, cLo uint64) uint64 { return ^(w | ((w | msb) - cLo)) & msb }
 
+//bsvet:hotloop
 func ltc8hi(w, cLo uint64) uint64 { return ^(w & ((w | msb) - cLo)) & msb }
 
 // gtc8 is gt8(w, c) with cOr = (c | msb)-per-lane precomputed: d's lane
 // bit 7 reads "c's low 7 bits >= w's", so gt needs the complement plus
 // the known high bit of c.
+//
+//bsvet:hotloop
 func gtc8(w, cOr uint64, hi bool) uint64 {
 	if hi {
 		return gtc8hi(w, cOr)
@@ -95,12 +110,17 @@ func gtc8(w, cOr uint64, hi bool) uint64 {
 
 // gtc8lo and gtc8hi are gtc8 with the constant's high bit resolved at the
 // call site.
+//
+//bsvet:hotloop
 func gtc8lo(w, cOr uint64) uint64 { return (w | ^(cOr - (w &^ msb))) & msb }
 
+//bsvet:hotloop
 func gtc8hi(w, cOr uint64) uint64 { return w &^ (cOr - (w &^ msb)) & msb }
 
 // movemask condenses a lane mask (bit 7 per byte) into 8 result bits,
 // lane l -> bit l — the SWAR equivalent of vpmovmskb.
+//
+//bsvet:hotloop
 func movemask(m uint64) uint32 {
 	return uint32(((m >> 7) * mmMul) >> 56)
 }
@@ -109,6 +129,8 @@ func movemask(m uint64) uint32 {
 // bits. The masks are kept in 4 scalar uint64s rather than a [4]uint64:
 // the compiler does not register-allocate arrays, and the scan loops below
 // are hot enough that the difference is ~3x wall clock.
+//
+//bsvet:hotloop
 func movemask4(m0, m1, m2, m3 uint64) uint32 {
 	return movemask(m0) | movemask(m1)<<8 | movemask(m2)<<16 | movemask(m3)<<24
 }
@@ -143,6 +165,8 @@ func prepare(b *core.ByteSlice, p layout.Predicate) scanner {
 
 // seg32 gives bounds-check-free access to the 32 bytes of one segment in
 // one byte slice.
+//
+//bsvet:hotloop
 func seg32(s []byte, off int) []byte {
 	return s[off : off+32 : off+32]
 }
@@ -155,6 +179,8 @@ func seg32(s []byte, off int) []byte {
 //
 // The per-op bodies are manually 4x-unrolled over scalar mask words (see
 // movemask4) — a 32-code segment is 4 uint64s of 8 byte lanes each.
+//
+//bsvet:hotloop
 func (sc *scanner) segment(seg int) uint32 {
 	r, _ := sc.segmentDepth(seg)
 	return r
@@ -165,6 +191,8 @@ func (sc *scanner) segment(seg int) uint32 {
 // (1 <= depth <= nb). The observability layer's depth histograms are
 // built from it; tracking costs one register, so segment() shares the
 // same bodies.
+//
+//bsvet:hotloop
 func (sc *scanner) segmentDepth(seg int) (uint32, int) {
 	off := seg * core.SegmentSize
 	switch sc.op {
@@ -187,6 +215,7 @@ func (sc *scanner) segmentDepth(seg int) (uint32, int) {
 	panic("kernel: unknown operator")
 }
 
+//bsvet:hotloop
 func (sc *scanner) segEq(off int) (uint32, int) {
 	m0, m1, m2, m3 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
 	d := 0
@@ -205,6 +234,7 @@ func (sc *scanner) segEq(off int) (uint32, int) {
 	return movemask4(m0, m1, m2, m3), d
 }
 
+//bsvet:hotloop
 func (sc *scanner) segCmp(off int, lt, orEq bool) (uint32, int) {
 	meq0, meq1, meq2, meq3 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
 	var r0, r1, r2, r3 uint64
@@ -245,6 +275,7 @@ func (sc *scanner) segCmp(off int, lt, orEq bool) (uint32, int) {
 	return movemask4(r0, r1, r2, r3), d
 }
 
+//bsvet:hotloop
 func (sc *scanner) segBetween(off int) (uint32, int) {
 	// Fused single-pass BETWEEN, one load per byte for both bounds.
 	e10, e11, e12, e13 := uint64(msb), uint64(msb), uint64(msb), uint64(msb)
@@ -299,6 +330,8 @@ func ScanRange(b *core.ByteSlice, p layout.Predicate, segLo, segHi int, out *bit
 // accumulates the early-stop depth histogram (observability path); a nil
 // dh costs one predicted branch per segment, keeping the uninstrumented
 // scan at its original throughput.
+//
+//bsvet:hotloop
 func (sc *scanner) scanRange(segLo, segHi int, out *bitvec.Vector, dh *obs.DepthCounts) {
 	switch sc.op {
 	case layout.Eq:
@@ -335,6 +368,8 @@ func (sc *scanner) scanRange(segLo, segHi int, out *bitvec.Vector, dh *obs.Depth
 // rangeEq is the monolithic Eq/Ne scan loop. The first byte slice is
 // evaluated unconditionally with the initial all-ones mask folded away;
 // deeper slices run only while some lane is still undecided.
+//
+//bsvet:hotloop
 func (sc *scanner) rangeEq(segLo, segHi int, ne bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	s0, c0, nb := sc.slices[0], sc.c1[0], sc.nb
 	var acc uint64
@@ -380,6 +415,8 @@ func (sc *scanner) rangeEq(segLo, segHi int, ne bool, out *bitvec.Vector, dh *ob
 // predicate: exact as a yes/no answer (bit positions are unreliable, which
 // is fine — callers recompute exact masks when it fires), and two ops per
 // word cheaper than eq8.
+//
+//bsvet:hotloop
 func anyEq4(z0, z1, z2, z3 uint64) bool {
 	return ((z0-lsb)&^z0|(z1-lsb)&^z1|(z2-lsb)&^z2|(z3-lsb)&^z3)&msb != 0
 }
@@ -390,6 +427,8 @@ func anyEq4(z0, z1, z2, z3 uint64) bool {
 // first slice's words are reloaded from cache rather than passed so the
 // caller's hot loop doesn't have to keep eight words live across the
 // call, which would spill its registers.
+//
+//bsvet:hotloop
 func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uint64, uint64, uint64, int) {
 	c0 := sc.c1[0]
 	s0 := sc.slices[0][off : off+32 : off+32]
@@ -444,6 +483,8 @@ func (sc *scanner) cmpDeep(off int, lt bool, r0, r1, r2, r3 uint64) (uint64, uin
 // only the packed accumulator (never the eight words or eight lane masks)
 // is live across the rare deep-path calls, which keeps the register
 // spilling around the branch merges off the hot path.
+//
+//bsvet:hotloop
 func (sc *scanner) rangeCmpStrict(segLo, segHi int, lt bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	s0, c0, nb := sc.slices[0], sc.c1[0], sc.nb
 	c0lo, c0or, c0hi := c0&^uint64(msb), c0|uint64(msb), c0&msb != 0
@@ -546,6 +587,8 @@ func (sc *scanner) rangeCmpStrict(segLo, segHi int, lt bool, out *bitvec.Vector,
 // additional match bits (rows equal on the first slice that the deeper
 // slices decide) as a segment-local movemask for the caller to OR in,
 // plus the segment's early-stop depth.
+//
+//bsvet:hotloop
 func (sc *scanner) deep32(off int, lt bool) (uint32, int) {
 	r0, r1, r2, r3, d := sc.cmpDeep(off, lt, 0, 0, 0, 0)
 	return movemask4(r0, r1, r2, r3), d
@@ -553,6 +596,8 @@ func (sc *scanner) deep32(off int, lt bool) (uint32, int) {
 
 // cmpStrictSeg handles the odd-aligned prologue and tail segments of
 // rangeCmpStrict one segment at a time.
+//
+//bsvet:hotloop
 func (sc *scanner) cmpStrictSeg(seg int, lt bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	c0 := sc.c1[0]
 	c0lo, c0or, c0hi := c0&^uint64(msb), c0|uint64(msb), c0&msb != 0
@@ -589,6 +634,8 @@ func (sc *scanner) cmpStrictSeg(seg int, lt bool, out *bitvec.Vector, dh *obs.De
 // byte slice — by far the hottest, since early stopping rarely lets a
 // segment past it — uses the constant-specialised ltc8/gtc8 compares; its
 // direction and high-bit branches run the same way every iteration.
+//
+//bsvet:hotloop
 func (sc *scanner) rangeCmp(segLo, segHi int, lt, orEq bool, out *bitvec.Vector, dh *obs.DepthCounts) {
 	s0, c0, nb := sc.slices[0], sc.c1[0], sc.nb
 	c0lo, c0or, c0hi := c0&^uint64(msb), c0|uint64(msb), c0&msb != 0

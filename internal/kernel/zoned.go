@@ -39,6 +39,8 @@ func zoneFor(b *core.ByteSlice, p layout.Predicate) zoneInfo {
 
 // decide classifies one segment: -1 no row matches, +1 all rows match,
 // 0 undecided (or no zone map).
+//
+//bsvet:hotloop
 func (z *zoneInfo) decide(op layout.Op, seg int) int {
 	if !z.ok {
 		return 0

@@ -1,0 +1,43 @@
+package byteslice_test
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// countMatchWords is a micro-fixture mirroring the shape of the kernel's
+// result-counting inner loop. It lives in the same package as the
+// observability overhead guard so the two enforcement layers cover the
+// same loop shape: the //bsvet:hotloop annotation makes the static
+// analyzer (and the -gcflags escape gate) reject any allocation,
+// interface conversion, or non-annotated call creeping in, while
+// TestHotloopFixtureAllocFree pins the same contract dynamically.
+//
+//bsvet:hotloop
+func countMatchWords(words []uint64, mask uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w & mask)
+	}
+	return n
+}
+
+// TestHotloopFixtureAllocFree is the runtime half of the hotloop
+// contract: the annotated fixture must complete with zero heap
+// allocations, matching what the static analyzer promises.
+func TestHotloopFixtureAllocFree(t *testing.T) {
+	words := make([]uint64, 1024)
+	for i := range words {
+		words[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = countMatchWords(words, 0x0f0f0f0f0f0f0f0f)
+	})
+	if allocs != 0 {
+		t.Fatalf("//bsvet:hotloop fixture allocated %.0f times per run", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("fixture computed nothing")
+	}
+}
