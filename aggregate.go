@@ -51,6 +51,13 @@ func (t *Table) aggColumn(name string, kind Kind) (*Column, error) {
 // instead of the modelled engine, chunked across workers when the query is
 // parallel.
 func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint64, int, error) {
+	if cc, ok := compressedOf(c.data); ok && cfg.native() {
+		st, finish := cfg.aggStage("sum("+c.Name()+")", "sum")
+		sum, count, err := kernel.ParallelSumCompressedObs(cfg.ctx, cc, mask, cfg.nativeWorkers(cc.Segments()), st)
+		err = queryErr(err)
+		finish(err)
+		return sum, count, err
+	}
 	if bs, ok := byteSliceOf(c.data); ok {
 		if cfg.native() {
 			st, finish := cfg.aggStage("sum("+c.Name()+")", "sum")
@@ -83,6 +90,17 @@ func (t *Table) sumCodes(c *Column, mask *bitvec.Vector, cfg *queryConfig) (uint
 // extremeCode computes min or max of the codes over the mask, dispatching
 // like sumCodes.
 func (t *Table) extremeCode(c *Column, mask *bitvec.Vector, cfg *queryConfig, isMin bool) (uint32, bool, error) {
+	if cc, ok := compressedOf(c.data); ok && cfg.native() {
+		name := "max(" + c.Name() + ")"
+		if isMin {
+			name = "min(" + c.Name() + ")"
+		}
+		st, finish := cfg.aggStage(name, "extreme")
+		v, found, err := kernel.ParallelExtremeCompressedObs(cfg.ctx, cc, mask, isMin, cfg.nativeWorkers(cc.Segments()), st)
+		err = queryErr(err)
+		finish(err)
+		return v, found, err
+	}
 	if bs, ok := byteSliceOf(c.data); ok {
 		if cfg.native() {
 			name := "max(" + c.Name() + ")"

@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"byteslice/internal/cache"
+	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
 	"byteslice/internal/layouts"
@@ -58,12 +59,15 @@ const (
 // Format names a storage layout.
 type Format string
 
-// The four storage layouts of the paper's evaluation.
+// The four storage layouts of the paper's evaluation, plus the compressed
+// ByteSlice variant (frame-of-reference/delta blocks with scan-fused
+// decode; see WithCompression).
 const (
-	FormatByteSlice Format = "ByteSlice"
-	FormatBitPacked Format = "BitPacked"
-	FormatVBP       Format = "VBP"
-	FormatHBP       Format = "HBP"
+	FormatByteSlice  Format = "ByteSlice"
+	FormatBitPacked  Format = "BitPacked"
+	FormatVBP        Format = "VBP"
+	FormatHBP        Format = "HBP"
+	FormatByteSliceC Format = compress.Name
 )
 
 // Formats lists all supported formats.
@@ -144,4 +148,10 @@ var arena = cache.NewArena(64)
 func byteSliceOf(l layout.Layout) (*core.ByteSlice, bool) {
 	b, ok := l.(*core.ByteSlice)
 	return b, ok
+}
+
+// compressedOf returns the concrete compressed layout of a column, if any.
+func compressedOf(l layout.Layout) (*compress.Column, bool) {
+	c, ok := l.(*compress.Column)
+	return c, ok
 }

@@ -5,9 +5,10 @@
 //
 //	benchdiff -baseline BENCH_scan.json -current /tmp/bench.json [-threshold 0.25] [-out diff.txt]
 //
-// Measurements are keyed by (width, path, mode); within a key the best
-// rows-per-second across worker counts, data distributions and predicate
-// counts is compared, so scheduler jitter on one configuration doesn't
+// Measurements are keyed by (width, path, mode, compression); within a
+// key the best rows-per-second across worker counts, data distributions
+// and predicate counts is compared, so scheduler jitter on one
+// configuration doesn't
 // fail the gate while a real kernel regression — which slows every
 // configuration of the key — does. A key present only in the baseline is
 // reported as missing and fails the gate; keys only in the current run
@@ -37,6 +38,7 @@ type entry struct {
 	Data       string  `json:"data,omitempty"`
 	Mode       string  `json:"mode,omitempty"`
 	Preds      int     `json:"preds,omitempty"`
+	Compress   string  `json:"compression,omitempty"`
 }
 
 type payload struct {
@@ -45,15 +47,21 @@ type payload struct {
 }
 
 type key struct {
-	Width int
-	Path  string
-	Mode  string
+	Width    int
+	Path     string
+	Mode     string
+	Compress string
 }
 
 func (k key) String() string {
 	mode := k.Mode
 	if mode == "" {
 		mode = "scan"
+	}
+	// The compression axis renders only when set, so keys from payloads
+	// predating it keep their exact historical spelling.
+	if k.Compress != "" {
+		mode += " " + k.Compress
 	}
 	return fmt.Sprintf("w%-2d %-6s %s", k.Width, k.Path, mode)
 }
@@ -62,7 +70,7 @@ func (k key) String() string {
 func best(p *payload) map[key]float64 {
 	m := make(map[key]float64)
 	for _, e := range p.Results {
-		k := key{e.Width, e.Path, e.Mode}
+		k := key{e.Width, e.Path, e.Mode, e.Compress}
 		if e.RowsPerSec > m[k] {
 			m[k] = e.RowsPerSec
 		}
@@ -120,13 +128,16 @@ func diff(base, cur map[key]float64, threshold float64) []row {
 		if a.Key.Mode != b.Key.Mode {
 			return a.Key.Mode < b.Key.Mode
 		}
+		if a.Key.Compress != b.Key.Compress {
+			return a.Key.Compress < b.Key.Compress
+		}
 		return a.Key.Width < b.Key.Width
 	})
 	return rows
 }
 
 func render(w io.Writer, rows []row, threshold float64) (failed int) {
-	fmt.Fprintf(w, "benchdiff: threshold %.0f%% (best rows/sec per width+path+mode)\n", threshold*100)
+	fmt.Fprintf(w, "benchdiff: threshold %.0f%% (best rows/sec per width+path+mode+compression)\n", threshold*100)
 	fmt.Fprintf(w, "%-22s %14s %14s %8s  %s\n", "key", "baseline", "current", "delta", "verdict")
 	for _, r := range rows {
 		delta := "-"

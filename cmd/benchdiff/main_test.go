@@ -146,6 +146,37 @@ func TestMultiRunFold(t *testing.T) {
 	}
 }
 
+// TestCompressionAxisKeysSeparately pins that the raw and compressed arms
+// of the same width+path+mode are independent keys: a collapse on the
+// compressed arm fails even when the raw arm is healthy, and the key
+// rendering names the arm.
+func TestCompressionAxisKeysSeparately(t *testing.T) {
+	base := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.0e9, "data": "sorted", "mode": "scan", "compression": "raw"},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 1.4e10, "data": "sorted", "mode": "scan", "compression": "compressed"}
+	  ]
+	}`
+	current := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 9.1e9, "data": "sorted", "mode": "scan", "compression": "raw"},
+	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 1.4e9, "data": "sorted", "mode": "scan", "compression": "compressed"}
+	  ]
+	}`
+	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("compressed-arm collapse must fail exactly one key (failed=%d):\n%s", failed, report)
+	}
+	if !strings.Contains(report, "scan compressed") || !strings.Contains(report, "scan raw") {
+		t.Fatalf("report must render both compression arms:\n%s", report)
+	}
+}
+
 func TestRejectsEmptyPayload(t *testing.T) {
 	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", `{"results": []}`), 0.25); err == nil {
 		t.Fatal("empty current payload must be an error, not a pass")

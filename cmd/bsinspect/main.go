@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
@@ -33,6 +34,7 @@ func main() {
 		scan  = flag.String("scan", "", "optionally evaluate a predicate: one of < <= > >= = <>")
 		konst = flag.Uint64("const", 0, "predicate constant")
 		zones = flag.Bool("zones", false, "with -scan: show per-segment zone-map verdicts and the cost-based plan")
+		compr = flag.Bool("compression", false, "show the compressed-layout report: block modes, footprints and the build decision")
 	)
 	flag.Parse()
 
@@ -84,6 +86,10 @@ func main() {
 
 	b := bp.New(codes, *k, nil)
 	fmt.Printf("\n— Bit-Packed: %d bits used, %d bytes allocated —\n", len(codes)**k, b.SizeBytes())
+
+	if *compr {
+		fmt.Printf("\n%s", compressionReport(codes, *k))
+	}
 
 	if *scan != "" {
 		op, err := parseOp(*scan)
@@ -152,6 +158,43 @@ func zoneReport(codes []uint32, k int, p layout.Predicate) string {
 		}})
 	b.WriteString(d.Explain())
 	b.WriteString("\n")
+	return b.String()
+}
+
+// compressionReport renders the compressed ByteSlice view of the sample
+// column: every 512-code block's mode (frame-of-reference or delta), exact
+// bounds and data footprint, the column totals against the raw ByteSlice
+// layout, and the bytes-moved model's build-time decision. Everything is a
+// pure function of the codes, so the output is machine-independent.
+func compressionReport(codes []uint32, k int) string {
+	var b strings.Builder
+	cc := compress.New(codes, k, nil)
+	st := cc.ColumnStats()
+	offs := cc.DataOffs()
+	fmt.Fprintf(&b, "— Compressed ByteSlice: %d block(s) of %d codes, FOR/delta with per-code length control —\n",
+		st.Blocks, compress.BlockCodes)
+	for blk := 0; blk < cc.Blocks(); blk++ {
+		mode := "for  "
+		if cc.BlockDelta(blk) {
+			mode = "delta"
+		}
+		uni := ""
+		if !cc.BlockDelta(blk) && cc.BlockUniformLen(blk) == 1 {
+			uni = ", uniform 1B (no-decode scan)"
+		}
+		fmt.Fprintf(&b, "  block %-3d %4d row(s)  %s ref=%-6d bounds [%d, %d]  %d data byte(s)%s\n",
+			blk, cc.BlockRows(blk), mode, cc.Refs()[blk], cc.Mins()[blk], cc.Maxs()[blk],
+			offs[blk+1]-offs[blk], uni)
+	}
+	fmt.Fprintf(&b, "  raw ByteSlice %d bytes → compressed %d bytes (ratio %.2fx, %.2f B/row)\n",
+		st.RawBytes, st.CompBytes, st.Ratio, st.BytesPerRow)
+	fmt.Fprintf(&b, "  block prune estimate %.2f, delta blocks %d/%d, uniform-1 blocks %d/%d\n",
+		st.PruneEst, st.DeltaBlocks, st.Blocks, st.Uniform1, st.Blocks)
+	decision := "stay raw (bytes-moved model prices the SWAR scan cheaper)"
+	if st.Compressed {
+		decision = "compress (bytes-moved model prices the fused scan cheaper)"
+	}
+	fmt.Fprintf(&b, "  decision: %s\n", decision)
 	return b.String()
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"byteslice/internal/layout"
@@ -41,6 +42,40 @@ plan: 1 predicate(s) over 40 rows (2 segments), conjunction
 `
 	if got != want {
 		t.Fatalf("zone report drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestCompressionReportGolden pins the -compression rendering: block modes,
+// footprints and the build decision are pure functions of the codes.
+func TestCompressionReportGolden(t *testing.T) {
+	codes := make([]uint32, 0, 40)
+	for i := uint32(0); i < 32; i++ {
+		codes = append(codes, i)
+	}
+	for i := uint32(0); i < 8; i++ {
+		codes = append(codes, 1800+i)
+	}
+	got := compressionReport(codes, 11)
+	want := `— Compressed ByteSlice: 1 block(s) of 512 codes, FOR/delta with per-code length control —
+  block 0     40 row(s)  delta ref=0      bounds [0, 1807]  513 data byte(s)
+  raw ByteSlice 128 bytes → compressed 666 bytes (ratio 0.19x, 16.02 B/row)
+  block prune estimate 0.12, delta blocks 1/1, uniform-1 blocks 0/1
+  decision: stay raw (bytes-moved model prices the SWAR scan cheaper)
+`
+	if got != want {
+		t.Fatalf("compression report drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// A full block of narrow-span values lands on the uniform-1 fast path
+	// and flips the decision to compress.
+	low := make([]uint32, 512)
+	for i := range low {
+		low[i] = 1024 + uint32(i%100)
+	}
+	lowReport := compressionReport(low, 11)
+	if !strings.Contains(lowReport, "uniform-1 blocks 1/1") ||
+		!strings.Contains(lowReport, "decision: compress") {
+		t.Fatalf("low-entropy report missed the uniform-1 fast path:\n%s", lowReport)
 	}
 }
 

@@ -60,11 +60,32 @@ type columnConfig struct {
 	format   Format
 	nullRows []int
 	zoneMaps bool
+	compress bool
 }
 
 // WithFormat selects the storage layout (default: ByteSlice).
 func WithFormat(f Format) ColumnOption {
 	return func(c *columnConfig) { c.format = f }
+}
+
+// WithCompression enables the build-time compression decision on a
+// ByteSlice column: the codes are encoded into frame-of-reference/delta
+// blocks (FormatByteSliceC) when the planner's bytes-moved model prices
+// the compressed fused scan below the raw SWAR scan — typically on
+// sorted, clustered or otherwise low-entropy columns — and stay in the
+// raw ByteSlice layout when compression would not pay. Ignored when a
+// non-ByteSlice format is selected explicitly.
+func WithCompression() ColumnOption {
+	return func(c *columnConfig) { c.compress = true }
+}
+
+// builder resolves the layout constructor for this configuration: the
+// compression decision applies only to the default ByteSlice format.
+func (cfg columnConfig) builder() (layout.Builder, error) {
+	if cfg.compress && (cfg.format == "" || cfg.format == FormatByteSlice) {
+		return builderFor(FormatByteSliceC)
+	}
+	return builderFor(cfg.format)
 }
 
 // WithZoneMaps builds per-segment first-byte zone maps on ByteSlice
@@ -101,7 +122,7 @@ func (cfg columnConfig) finish(c *Column, err error) (*Column, error) {
 // filter constants may not.
 func NewIntColumn(name string, values []int64, min, max int64, opts ...ColumnOption) (*Column, error) {
 	cfg := applyOpts(opts)
-	build, err := builderFor(cfg.format)
+	build, err := cfg.builder()
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +151,7 @@ func NewIntColumn(name string, values []int64, min, max int64, opts ...ColumnOpt
 // with the given number of decimal digits, scaled to integer codes.
 func NewDecimalColumn(name string, values []float64, min, max float64, digits int, opts ...ColumnOption) (*Column, error) {
 	cfg := applyOpts(opts)
-	build, err := builderFor(cfg.format)
+	build, err := cfg.builder()
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +181,7 @@ func NewDecimalColumn(name string, values []float64, min, max float64, digits in
 // translate directly to code range predicates.
 func NewStringColumn(name string, values []string, opts ...ColumnOption) (*Column, error) {
 	cfg := applyOpts(opts)
-	build, err := builderFor(cfg.format)
+	build, err := cfg.builder()
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +207,7 @@ func NewStringColumn(name string, values []string, opts ...ColumnOption) (*Colum
 // that manage their own encoding).
 func NewCodeColumn(name string, codes []uint32, k int, opts ...ColumnOption) (*Column, error) {
 	cfg := applyOpts(opts)
-	build, err := builderFor(cfg.format)
+	build, err := cfg.builder()
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +245,52 @@ func (c *Column) Format() Format { return Format(c.data.Name()) }
 
 // SizeBytes returns the formatted in-memory footprint.
 func (c *Column) SizeBytes() uint64 { return c.data.SizeBytes() }
+
+// Compressed reports whether the column is stored in the compressed
+// FOR/delta block layout (FormatByteSliceC; see WithCompression).
+func (c *Column) Compressed() bool {
+	_, ok := compressedOf(c.data)
+	return ok
+}
+
+// CompressionStats describes a column's storage for inspection tooling:
+// its layout, footprint against the equivalent raw ByteSlice layout, and —
+// for compressed columns — the block-mode mix driving the fused scan's
+// fast paths.
+type CompressionStats struct {
+	// Format is the column's storage layout name.
+	Format Format
+	// Blocks, DeltaBlocks and Uniform1 count the column's 512-code blocks,
+	// the delta-encoded ones, and the FOR blocks on the no-decode 1-byte
+	// direct-compare path (all zero for uncompressed layouts).
+	Blocks, DeltaBlocks, Uniform1 int
+	// RawBytes is the raw ByteSlice footprint of the same codes; Bytes is
+	// the column's actual footprint; Ratio is RawBytes/Bytes.
+	RawBytes, Bytes uint64
+	Ratio           float64
+	// BytesPerRow and PruneEst are the compressed scan cost-model inputs:
+	// compressed bytes moved per row and the estimated block prune rate.
+	BytesPerRow float64
+	PruneEst    float64
+}
+
+// CompressionStats summarises the column's storage layout.
+func (c *Column) CompressionStats() CompressionStats {
+	s := CompressionStats{
+		Format:      c.Format(),
+		RawBytes:    c.SizeBytes(),
+		Bytes:       c.SizeBytes(),
+		Ratio:       1,
+		BytesPerRow: float64((c.Width() + 7) / 8),
+	}
+	if cc, ok := compressedOf(c.data); ok {
+		cs := cc.ColumnStats()
+		s.Blocks, s.DeltaBlocks, s.Uniform1 = cs.Blocks, cs.DeltaBlocks, cs.Uniform1
+		s.RawBytes, s.Bytes, s.Ratio = cs.RawBytes, cs.CompBytes, cs.Ratio
+		s.BytesPerRow, s.PruneEst = cs.BytesPerRow, cs.PruneEst
+	}
+	return s
+}
 
 // HasZoneMaps reports whether the column carries per-segment zone maps
 // (built via WithZoneMaps on a ByteSlice column).

@@ -1,0 +1,573 @@
+// Package compress implements the compressed ByteSlice column layout:
+// frame-of-reference + delta encoding over 512-code blocks with a
+// Stream-VByte-style byte layout — all control bytes of a block first
+// (2 bits per code giving the value's byte length), then the value bytes,
+// so decode is a branch-free control-byte walk over two forward streams.
+//
+// Each block additionally stores its exact code-domain min and max, which
+// doubles as a zone map with exact (not first-byte) resolution: a scan
+// prunes a whole 512-code block from 8 bytes of metadata, and only
+// undecided blocks are decoded. Blocks whose values all fit one byte
+// under frame of reference are marked uniform; the scan kernels compare
+// those 512 bytes directly in SWAR registers without decoding at all.
+//
+// The package exposes the column both as raw arrays for the fused native
+// kernels in internal/kernel and as a layout.Layout for the modelled
+// engine path, and NewBuilder applies the planner's bytes-moved model
+// (plan.CompressedWins) to decide per column whether compression pays,
+// falling back to the raw ByteSlice layout when it does not.
+package compress
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/cache"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/plan"
+	"byteslice/internal/simd"
+)
+
+const (
+	// BlockCodes is the number of codes per compressed block. A block is
+	// 16 ByteSlice segments and exactly 8 aligned result-vector words, so
+	// any block partition is word-aligned for concurrent writers.
+	BlockCodes = 512
+	// BlockSegments is BlockCodes / core.SegmentSize.
+	BlockSegments = BlockCodes / core.SegmentSize
+	// CtlBlockBytes is the control-stream size per block: 2 bits per code.
+	CtlBlockBytes = BlockCodes / 4
+	ctlBytes      = CtlBlockBytes
+	// dataSlack pads the data stream so a decoder can always issue one
+	// unconditional 4-byte load per value, masking to the real length.
+	dataSlack = 4
+)
+
+// Name is the layout name the compressed column registers and persists
+// under.
+const Name = "ByteSliceC"
+
+// LenMask truncates an unconditional 4-byte little-endian load to a
+// value's real byte length.
+var LenMask = [5]uint32{0, 0xFF, 0xFFFF, 0xFFFFFF, ^uint32(0)}
+
+// lenSums[c] is the total byte length of the 4 values governed by control
+// byte c (each 2-bit field stores length-1).
+var lenSums = func() (t [256]uint16) {
+	for c := 0; c < 256; c++ {
+		t[c] = uint16(c&3 + c>>2&3 + c>>4&3 + c>>6&3 + 4)
+	}
+	return
+}()
+
+// Column is an immutable compressed column of n k-bit codes.
+type Column struct {
+	k, n int
+
+	ctl     []byte   // nblocks × ctlBytes control bytes
+	data    []byte   // value bytes, little-endian, + dataSlack slack
+	dataOff []uint32 // per-block start into data; nblocks+1 entries
+	refs    []uint32 // per-block decode base (FOR reference / delta start)
+	mins    []uint32 // per-block exact min code over real rows
+	maxs    []uint32 // per-block exact max code over real rows
+	modes   []byte   // bit 0 delta; bits 1..3 uniform byte length (0 mixed)
+
+	ctlAddr, dataAddr uint64 // simulated addresses for the modelled path
+}
+
+const modeDelta = 1
+
+// New builds the compressed column unconditionally (no planner decision),
+// registering its streams with the arena for the cache model.
+func New(codes []uint32, k int, arena *cache.Arena) *Column {
+	c := build(codes, k)
+	c.register(arena)
+	return c
+}
+
+// NewBuilder is a layout.Builder: it builds the compressed column and
+// keeps it only when the planner's bytes-moved model says the compressed
+// scan is cheaper than the raw one; otherwise the raw ByteSlice layout is
+// returned. The decision is a pure function of the codes and width, so a
+// persisted column rebuilds to the same layout it was saved from.
+func NewBuilder(codes []uint32, k int, arena *cache.Arena) layout.Layout {
+	c := build(codes, k)
+	if !c.Wins() {
+		return core.New(codes, k, arena)
+	}
+	c.register(arena)
+	return c
+}
+
+// build encodes codes into blocks. Each block is delta-encoded when its
+// codes are non-decreasing (ref = first code, values are the gaps) and
+// frame-of-reference otherwise (ref = block min, values are offsets); the
+// tail block is padded to BlockCodes with zero values, which decode to
+// the last real code (delta) or the reference (FOR) and are truncated by
+// the result vector on scan.
+func build(codes []uint32, k int) *Column {
+	layout.CheckArgs(codes, k)
+	n := len(codes)
+	nblocks := (n + BlockCodes - 1) / BlockCodes
+	c := &Column{
+		k:       k,
+		n:       n,
+		ctl:     make([]byte, nblocks*ctlBytes),
+		dataOff: make([]uint32, nblocks+1),
+		refs:    make([]uint32, nblocks),
+		mins:    make([]uint32, nblocks),
+		maxs:    make([]uint32, nblocks),
+		modes:   make([]byte, nblocks),
+	}
+	c.data = make([]byte, 0, n+n/8+dataSlack)
+	var vals [BlockCodes]uint32
+	for b := 0; b < nblocks; b++ {
+		lo := b * BlockCodes
+		hi := lo + BlockCodes
+		if hi > n {
+			hi = n
+		}
+		view := codes[lo:hi]
+		mn, mx := view[0], view[0]
+		sorted := true
+		for i, v := range view {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			if i > 0 && v < view[i-1] {
+				sorted = false
+			}
+		}
+		c.mins[b], c.maxs[b] = mn, mx
+		ref := mn
+		if sorted {
+			ref = view[0]
+			prev := ref
+			for i, v := range view {
+				vals[i] = v - prev
+				prev = v
+			}
+		} else {
+			for i, v := range view {
+				vals[i] = v - ref
+			}
+		}
+		for i := len(view); i < BlockCodes; i++ {
+			vals[i] = 0
+		}
+		c.refs[b] = ref
+
+		ulen := byteLen(vals[0])
+		uniform := true
+		ctl := c.ctl[b*ctlBytes : (b+1)*ctlBytes]
+		var lenBuf [4]byte
+		for i, v := range vals {
+			l := byteLen(v)
+			if l != ulen {
+				uniform = false
+			}
+			ctl[i>>2] |= byte(l-1) << uint((i&3)*2)
+			binary.LittleEndian.PutUint32(lenBuf[:], v)
+			c.data = append(c.data, lenBuf[:l]...)
+		}
+		mode := byte(0)
+		if sorted {
+			mode |= modeDelta
+		}
+		if uniform {
+			mode |= byte(ulen) << 1
+		}
+		c.modes[b] = mode
+		c.dataOff[b+1] = uint32(len(c.data))
+	}
+	var slack [dataSlack]byte
+	c.data = append(c.data, slack[:]...)
+	return c
+}
+
+func byteLen(v uint32) int {
+	l := (bits.Len32(v) + 7) >> 3
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+func (c *Column) register(arena *cache.Arena) {
+	if arena != nil {
+		c.ctlAddr = arena.Alloc(uint64(len(c.ctl)))
+		c.dataAddr = arena.Alloc(uint64(len(c.data)))
+	}
+}
+
+// Name implements layout.Layout.
+func (c *Column) Name() string { return Name }
+
+// Width implements layout.Layout.
+func (c *Column) Width() int { return c.k }
+
+// Len implements layout.Layout.
+func (c *Column) Len() int { return c.n }
+
+// SizeBytes implements layout.Layout: the footprint of both streams plus
+// the per-block metadata.
+func (c *Column) SizeBytes() uint64 {
+	return uint64(len(c.ctl)) + uint64(len(c.data)) +
+		4*uint64(len(c.dataOff)+len(c.refs)+len(c.mins)+len(c.maxs)) +
+		uint64(len(c.modes))
+}
+
+// Blocks returns the number of 512-code blocks.
+func (c *Column) Blocks() int { return len(c.refs) }
+
+// Segments returns the number of 32-code segments, matching the raw
+// layout's segment count for the same column.
+func (c *Column) Segments() int { return (c.n + core.SegmentSize - 1) / core.SegmentSize }
+
+// NumSlices returns how many byte slices the raw layout would use — the
+// decode scratch width of the fused kernels.
+func (c *Column) NumSlices() int { return (c.k + 7) / 8 }
+
+// Raw array accessors for the fused kernels in internal/kernel; the
+// returned slices alias the column and must not be written.
+
+// Ctl returns the control stream: Blocks()×128 bytes, 2 bits per code.
+func (c *Column) Ctl() []byte { return c.ctl }
+
+// Data returns the value stream (with 4 slack bytes at the end so block
+// decoders can issue unconditional 4-byte loads).
+func (c *Column) Data() []byte { return c.data }
+
+// DataOffs returns the per-block start offsets into Data (Blocks()+1
+// entries; the last is the stream length before slack).
+func (c *Column) DataOffs() []uint32 { return c.dataOff }
+
+// Refs returns the per-block decode base.
+func (c *Column) Refs() []uint32 { return c.refs }
+
+// Mins returns the per-block exact minimum code (real rows only).
+func (c *Column) Mins() []uint32 { return c.mins }
+
+// Maxs returns the per-block exact maximum code (real rows only).
+func (c *Column) Maxs() []uint32 { return c.maxs }
+
+// Modes returns the per-block mode bytes; see BlockDelta/BlockUniformLen.
+func (c *Column) Modes() []byte { return c.modes }
+
+// BlockDelta reports whether block b is delta-encoded.
+func (c *Column) BlockDelta(b int) bool { return c.modes[b]&modeDelta != 0 }
+
+// BlockUniformLen returns the uniform value byte length of block b, or 0
+// when the block mixes lengths.
+func (c *Column) BlockUniformLen(b int) int { return int(c.modes[b] >> 1) }
+
+// ModeDelta reports whether a mode byte marks a delta block.
+//
+//bsvet:hotloop
+func ModeDelta(m byte) bool { return m&modeDelta != 0 }
+
+// ModeUniformLen extracts the uniform byte length of a mode byte (0 when
+// mixed).
+//
+//bsvet:hotloop
+func ModeUniformLen(m byte) int { return int(m >> 1) }
+
+// BlockRows returns the number of real rows in block b.
+func (c *Column) BlockRows(b int) int {
+	rows := c.n - b*BlockCodes
+	if rows > BlockCodes {
+		rows = BlockCodes
+	}
+	return rows
+}
+
+// DecodeBlock reconstructs all BlockCodes codes of block b into out
+// (padding rows decode to the reference or last real code) and returns
+// the number of real rows.
+func (c *Column) DecodeBlock(b int, out *[BlockCodes]uint32) int {
+	ctl := c.ctl[b*ctlBytes : (b+1)*ctlBytes]
+	data := c.data[c.dataOff[b]:]
+	ref := c.refs[b]
+	if l := c.BlockUniformLen(b); l != 0 && !c.BlockDelta(b) {
+		mask := LenMask[l]
+		p := 0
+		for i := range out {
+			out[i] = ref + binary.LittleEndian.Uint32(data[p:])&mask
+			p += l
+		}
+		return c.BlockRows(b)
+	}
+	delta := c.BlockDelta(b)
+	running := ref
+	p := 0
+	for i := range out {
+		l := int(ctl[i>>2]>>uint((i&3)*2))&3 + 1
+		v := binary.LittleEndian.Uint32(data[p:]) & LenMask[l]
+		p += l
+		if delta {
+			running += v
+			out[i] = running
+		} else {
+			out[i] = ref + v
+		}
+	}
+	return c.BlockRows(b)
+}
+
+// ZoneDecide classifies a block against a predicate from its exact code
+// bounds: +1 every row matches, -1 no row matches, 0 undecided. Unlike
+// the raw layout's first-byte zone maps this is exact, so "undecided"
+// always means the block genuinely straddles the constant.
+//
+//bsvet:hotloop
+func ZoneDecide(op layout.Op, mn, mx, c1, c2 uint32) int {
+	switch op {
+	case layout.Lt:
+		if mx < c1 {
+			return 1
+		}
+		if mn >= c1 {
+			return -1
+		}
+	case layout.Le:
+		if mx <= c1 {
+			return 1
+		}
+		if mn > c1 {
+			return -1
+		}
+	case layout.Gt:
+		if mn > c1 {
+			return 1
+		}
+		if mx <= c1 {
+			return -1
+		}
+	case layout.Ge:
+		if mn >= c1 {
+			return 1
+		}
+		if mx < c1 {
+			return -1
+		}
+	case layout.Eq:
+		if mn == mx && mn == c1 {
+			return 1
+		}
+		if c1 < mn || c1 > mx {
+			return -1
+		}
+	case layout.Ne:
+		if c1 < mn || c1 > mx {
+			return 1
+		}
+		if mn == mx && mn == c1 {
+			return -1
+		}
+	case layout.Between:
+		if mn >= c1 && mx <= c2 {
+			return 1
+		}
+		if mx < c1 || mn > c2 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// Scan implements layout.Layout on the modelled engine: blocks decode
+// through the same control-byte walk as the native kernels, charging the
+// engine per value load, and the predicate evaluates per code.
+func (c *Column) Scan(e *simd.Engine, p layout.Predicate, out *bitvec.Vector) {
+	layout.CheckPredicate(p, c.k)
+	out.Reset()
+	var w uint32
+	for b := 0; b < c.Blocks(); b++ {
+		ctl := c.ctl[b*ctlBytes : (b+1)*ctlBytes]
+		data := c.data[c.dataOff[b]:]
+		ref := c.refs[b]
+		delta := c.BlockDelta(b)
+		rows := c.BlockRows(b)
+		running := ref
+		pos := 0
+		for i := 0; i < rows; i++ {
+			if e != nil {
+				if i&3 == 0 {
+					e.ScalarLoad(c.ctlAddr+uint64(b*ctlBytes+i>>2), 1)
+				}
+				e.Scalar(3) // length extract, mask, add
+			}
+			l := int(ctl[i>>2]>>uint((i&3)*2))&3 + 1
+			v := binary.LittleEndian.Uint32(data[pos:]) & LenMask[l]
+			if e != nil {
+				e.ScalarLoad(c.dataAddr+uint64(c.dataOff[b])+uint64(pos), uint64(l))
+			}
+			pos += l
+			var code uint32
+			if delta {
+				running += v
+				code = running
+			} else {
+				code = ref + v
+			}
+			gi := b*BlockCodes + i
+			if p.Eval(code) {
+				w |= 1 << uint(gi&31)
+			}
+			if gi&31 == 31 {
+				out.Append32(w)
+				w = 0
+			}
+		}
+	}
+	if c.n&31 != 0 {
+		out.Append32(w)
+	}
+}
+
+// Lookup implements layout.Layout: uniform FOR blocks answer in O(1),
+// mixed FOR blocks walk the control bytes to the value's position, and
+// delta blocks replay the running sum up to the row.
+func (c *Column) Lookup(e *simd.Engine, i int) uint32 {
+	b, r := i/BlockCodes, i%BlockCodes
+	if e != nil {
+		e.ScalarLoad(c.ctlAddr+uint64(b*ctlBytes+r>>2), 1)
+		e.Scalar(2)
+	}
+	ctl := c.ctl[b*ctlBytes : (b+1)*ctlBytes]
+	data := c.data[c.dataOff[b]:]
+	ref := c.refs[b]
+	if c.BlockDelta(b) {
+		running := ref
+		p := 0
+		for j := 0; j <= r; j++ {
+			l := int(ctl[j>>2]>>uint((j&3)*2))&3 + 1
+			running += binary.LittleEndian.Uint32(data[p:]) & LenMask[l]
+			p += l
+		}
+		if e != nil {
+			e.ScalarLoad(c.dataAddr+uint64(c.dataOff[b]), 4)
+		}
+		return running
+	}
+	if l := c.BlockUniformLen(b); l != 0 {
+		if e != nil {
+			e.ScalarLoad(c.dataAddr+uint64(c.dataOff[b])+uint64(r*l), uint64(l))
+		}
+		return ref + binary.LittleEndian.Uint32(data[r*l:])&LenMask[l]
+	}
+	p := 0
+	for j := 0; j < r>>2; j++ {
+		p += int(lenSums[ctl[j]])
+	}
+	for j := r &^ 3; j < r; j++ {
+		p += int(ctl[j>>2]>>uint((j&3)*2))&3 + 1
+	}
+	l := int(ctl[r>>2]>>uint((r&3)*2))&3 + 1
+	if e != nil {
+		e.ScalarLoad(c.dataAddr+uint64(c.dataOff[b])+uint64(p), uint64(l))
+	}
+	return ref + binary.LittleEndian.Uint32(data[p:])&LenMask[l]
+}
+
+// BytesPerRow is the compressed footprint per row of the two scan streams
+// (control + data), the bytes-moved input of the planner's model.
+func (c *Column) BytesPerRow() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(len(c.ctl)+len(c.data)-dataSlack) / float64(c.n)
+}
+
+// PruneEstimate predicts the fraction of blocks a random range predicate
+// resolves from the exact block bounds alone: 1 − avg(block span)/domain.
+// Sorted and clustered columns have tiny per-block spans and estimate
+// near 1; uniform random columns estimate near 0.
+func (c *Column) PruneEstimate() float64 {
+	if c.Blocks() == 0 {
+		return 0
+	}
+	domain := float64(uint64(1) << uint(c.k))
+	var spans float64
+	for b := range c.refs {
+		spans += float64(c.maxs[b]-c.mins[b]) + 1
+	}
+	est := 1 - spans/float64(c.Blocks())/domain
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// Uniform1Frac is the fraction of blocks on the no-decode fast path:
+// frame-of-reference with every value in one byte, which the kernels
+// compare directly in SWAR registers.
+func (c *Column) Uniform1Frac() float64 {
+	if c.Blocks() == 0 {
+		return 0
+	}
+	u := 0
+	for b := range c.modes {
+		if !c.BlockDelta(b) && c.BlockUniformLen(b) == 1 {
+			u++
+		}
+	}
+	return float64(u) / float64(c.Blocks())
+}
+
+// RawBytes is the footprint the raw ByteSlice layout would use for the
+// same column (whole padded segments per byte slice).
+func (c *Column) RawBytes() uint64 {
+	return uint64(c.Segments()) * core.SegmentSize * uint64(c.NumSlices())
+}
+
+// Wins reports the planner's build-time decision for this column: true
+// when the bytes-moved model prices the compressed fused scan below the
+// raw SWAR scan.
+func (c *Column) Wins() bool {
+	if c.n == 0 {
+		return false
+	}
+	return plan.CompressedWins(c.NumSlices(), c.BytesPerRow(), c.PruneEstimate(), c.Uniform1Frac())
+}
+
+// Stats summarises the column for inspection tooling.
+type Stats struct {
+	Blocks      int
+	DeltaBlocks int
+	Uniform1    int // FOR blocks with 1-byte values (no-decode scan path)
+	RawBytes    uint64
+	CompBytes   uint64
+	Ratio       float64 // RawBytes / CompBytes
+	BytesPerRow float64
+	PruneEst    float64
+	Compressed  bool // the build-time decision
+}
+
+// ColumnStats computes the inspection summary.
+func (c *Column) ColumnStats() Stats {
+	s := Stats{
+		Blocks:      c.Blocks(),
+		RawBytes:    c.RawBytes(),
+		CompBytes:   c.SizeBytes(),
+		BytesPerRow: c.BytesPerRow(),
+		PruneEst:    c.PruneEstimate(),
+		Compressed:  c.Wins(),
+	}
+	for b := range c.modes {
+		if c.BlockDelta(b) {
+			s.DeltaBlocks++
+		} else if c.BlockUniformLen(b) == 1 {
+			s.Uniform1++
+		}
+	}
+	if s.CompBytes > 0 {
+		s.Ratio = float64(s.RawBytes) / float64(s.CompBytes)
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package compress
+
+import (
+	"testing"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/datagen"
+	"byteslice/internal/layout"
+)
+
+// datasets returns the code distributions the encoder must round-trip:
+// uniform random (incompressible), sorted (delta), clustered (FOR with
+// small spans), constant (uniform 1-byte), and awkward lengths around the
+// block boundary.
+func datasets(t *testing.T, k int) map[string][]uint32 {
+	t.Helper()
+	rng := datagen.NewRand(0xC0DE)
+	sets := map[string][]uint32{
+		"uniform":   datagen.Uniform(rng, 3000, k),
+		"sorted":    datagen.Sorted(rng, 2500, k),
+		"clustered": datagen.Clustered(rng, 4096, k, 256),
+		"single":    {uint32(1)<<uint(k-1) - 1},
+		"block":     datagen.Uniform(rng, BlockCodes, k),
+		"block+1":   datagen.Uniform(rng, BlockCodes+1, k),
+		"block-1":   datagen.Uniform(rng, BlockCodes-1, k),
+	}
+	konst := make([]uint32, 1700)
+	for i := range konst {
+		konst[i] = uint32(1) << uint(k-1)
+	}
+	sets["constant"] = konst
+	return sets
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 7, 8, 12, 16, 17, 24, 31, 32} {
+		for name, codes := range datasets(t, k) {
+			c := New(codes, k, nil)
+			if c.Len() != len(codes) || c.Width() != k {
+				t.Fatalf("k=%d %s: Len/Width = %d/%d", k, name, c.Len(), c.Width())
+			}
+			var buf [BlockCodes]uint32
+			for b := 0; b < c.Blocks(); b++ {
+				rows := c.DecodeBlock(b, &buf)
+				if want := c.BlockRows(b); rows != want {
+					t.Fatalf("k=%d %s: block %d rows = %d, want %d", k, name, b, rows, want)
+				}
+				mn, mx := codes[b*BlockCodes], codes[b*BlockCodes]
+				for i := 0; i < rows; i++ {
+					got, want := buf[i], codes[b*BlockCodes+i]
+					if got != want {
+						t.Fatalf("k=%d %s: code %d = %d, want %d", k, name, b*BlockCodes+i, got, want)
+					}
+					if want < mn {
+						mn = want
+					}
+					if want > mx {
+						mx = want
+					}
+				}
+				if c.Mins()[b] != mn || c.Maxs()[b] != mx {
+					t.Fatalf("k=%d %s: block %d bounds [%d,%d], want [%d,%d]",
+						k, name, b, c.Mins()[b], c.Maxs()[b], mn, mx)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupAgainstCodes(t *testing.T) {
+	for _, k := range []int{8, 12, 16, 24, 32} {
+		for name, codes := range datasets(t, k) {
+			c := New(codes, k, nil)
+			for i, want := range codes {
+				if got := c.Lookup(nil, i); got != want {
+					t.Fatalf("k=%d %s: Lookup(%d) = %d, want %d", k, name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	const k = 13
+	for name, codes := range datasets(t, k) {
+		c := New(codes, k, nil)
+		ref := layout.NewReference(codes, k, nil)
+		want := bitvec.New(len(codes))
+		got := bitvec.New(len(codes))
+		dom := uint32(1) << k
+		for _, op := range layout.Ops {
+			p := layout.Predicate{Op: op, C1: dom / 3, C2: dom / 2}
+			ref.Scan(nil, p, want)
+			c.Scan(nil, p, got)
+			if !got.Equal(want) {
+				t.Fatalf("%s: Scan(%v) diverged from reference", name, p)
+			}
+		}
+	}
+}
+
+func TestZoneDecideMatchesEval(t *testing.T) {
+	// Brute-force the decision over small bound/constant grids: +1 must
+	// mean every code in [mn,mx] matches, -1 none, 0 anything.
+	for _, op := range layout.Ops {
+		for mn := uint32(0); mn <= 6; mn++ {
+			for mx := mn; mx <= 6; mx++ {
+				for c1 := uint32(0); c1 <= 7; c1++ {
+					for c2 := c1; c2 <= 7; c2++ {
+						p := layout.Predicate{Op: op, C1: c1, C2: c2}
+						all, none := true, true
+						for v := mn; v <= mx; v++ {
+							if p.Eval(v) {
+								none = false
+							} else {
+								all = false
+							}
+						}
+						switch d := ZoneDecide(op, mn, mx, c1, c2); {
+						case d > 0 && !all:
+							t.Fatalf("%v on [%d,%d]: +1 but not all match", p, mn, mx)
+						case d < 0 && !none:
+							t.Fatalf("%v on [%d,%d]: -1 but some row matches", p, mn, mx)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuilderDecision(t *testing.T) {
+	rng := datagen.NewRand(7)
+	const k = 16
+	uniform := NewBuilder(datagen.Uniform(rng, 1<<15, k), k, nil)
+	if uniform.Name() != "ByteSlice" {
+		t.Fatalf("uniform random column chose %s, want raw ByteSlice", uniform.Name())
+	}
+	sorted := NewBuilder(datagen.Sorted(rng, 1<<15, k), k, nil)
+	if sorted.Name() != Name {
+		t.Fatalf("sorted column chose %s, want %s", sorted.Name(), Name)
+	}
+	clustered := NewBuilder(datagen.Clustered(rng, 1<<15, k, 4096), k, nil)
+	if clustered.Name() != Name {
+		t.Fatalf("clustered column chose %s, want %s", clustered.Name(), Name)
+	}
+	// The decision is a pure function of the codes: rebuilding yields the
+	// same layout (what persistence relies on).
+	codes := datagen.Sorted(rng, 1<<14, k)
+	if NewBuilder(codes, k, nil).Name() != NewBuilder(codes, k, nil).Name() {
+		t.Fatal("builder decision must be deterministic")
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := datagen.NewRand(3)
+	codes := datagen.Sorted(rng, 1<<14, 16)
+	c := New(codes, 16, nil)
+	s := c.ColumnStats()
+	if s.Blocks != c.Blocks() || s.Blocks == 0 {
+		t.Fatalf("stats blocks = %d", s.Blocks)
+	}
+	if s.CompBytes == 0 || s.RawBytes == 0 || s.Ratio <= 1 {
+		t.Fatalf("sorted column should compress: raw=%d comp=%d ratio=%.2f",
+			s.RawBytes, s.CompBytes, s.Ratio)
+	}
+	if s.DeltaBlocks != s.Blocks {
+		t.Fatalf("sorted column: %d/%d delta blocks", s.DeltaBlocks, s.Blocks)
+	}
+	if !s.Compressed {
+		t.Fatal("sorted column's build-time decision should be to compress")
+	}
+	if s.PruneEst < 0.9 {
+		t.Fatalf("sorted column prune estimate %.3f too low", s.PruneEst)
+	}
+}
+
+func TestSizeBytesBelowRaw(t *testing.T) {
+	rng := datagen.NewRand(9)
+	codes := datagen.Clustered(rng, 1<<14, 20, 1024)
+	c := New(codes, 20, nil)
+	if c.SizeBytes() >= c.RawBytes() {
+		t.Fatalf("clustered 20-bit column: compressed %d >= raw %d", c.SizeBytes(), c.RawBytes())
+	}
+}

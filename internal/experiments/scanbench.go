@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/datagen"
 	"byteslice/internal/kernel"
@@ -31,6 +32,10 @@ type ScanBenchEntry struct {
 	Mode string `json:"mode,omitempty"`
 	// Preds is the conjunct count of the multi-predicate benchmarks.
 	Preds int `json:"preds,omitempty"`
+	// Compression distinguishes the compressed-versus-raw benchmarks:
+	// "raw" scans the plain ByteSlice layout, "compressed" the fused
+	// FOR/delta decode kernel over the same codes ("" elsewhere).
+	Compression string `json:"compression,omitempty"`
 }
 
 // ScanBenchResult is the payload bsbench -json writes: rows-per-second for
@@ -173,6 +178,48 @@ func AggBench(cfg Config, workerCounts []int) []ScanBenchEntry {
 			ns = measureScan(func() { kernel.ScanSum(f, p, v, w) })
 			e = entry(kv, "native", w, ns, cfg.N)
 			e.Data, e.Mode = s.name, "agg_fused"
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CompressedScanBench measures the fused compressed-scan kernel against
+// the raw SWAR scan on the same codes: a memory-bound 16-bit column (two
+// byte slices per row) at 10% selectivity, sorted and clustered
+// distributions, per worker count. The raw arm scans core.ByteSlice, the
+// compressed arm decodes FOR/delta blocks inside the scan loop with exact
+// block-bounds pruning — the delta is the bytes the compressed layout
+// never moves.
+func CompressedScanBench(cfg Config, workerCounts []int) []ScanBenchEntry {
+	const (
+		k   = 16
+		sel = 0.10
+	)
+	rng := datagen.NewRand(cfg.Seed)
+	sets := []struct {
+		name  string
+		codes []uint32
+	}{
+		{"sorted", datagen.Sorted(rng, cfg.N, k)},
+		{"clustered", datagen.Clustered(rng, cfg.N, k, 4096)},
+	}
+	var out []ScanBenchEntry
+	for _, s := range sets {
+		raw := core.New(s.codes, k, nil)
+		cc := compress.New(s.codes, k, nil)
+		p := constFor(s.codes, k, layout.Lt, sel)
+		res := bitvec.New(cfg.N)
+		for _, w := range append([]int{1}, workerCounts...) {
+			w := w
+			ns := measureScan(func() { kernel.ParallelScan(raw, p, w, res) })
+			e := entry(k, "native", w, ns, cfg.N)
+			e.Data, e.Mode, e.Compression = s.name, "scan", "raw"
+			out = append(out, e)
+
+			ns = measureScan(func() { kernel.ParallelScanCompressed(cc, p, w, res) })
+			e = entry(k, "native", w, ns, cfg.N)
+			e.Data, e.Mode, e.Compression = s.name, "scan", "compressed"
 			out = append(out, e)
 		}
 	}

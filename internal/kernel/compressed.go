@@ -1,0 +1,407 @@
+package kernel
+
+import (
+	"context"
+	"encoding/binary"
+	"math/bits"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/compress"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
+	"byteslice/internal/obs"
+)
+
+// Fused kernels over the compressed column layout (internal/compress).
+// The raw column is never materialised: a worker walks 512-code blocks,
+// and for each block either
+//
+//   - resolves it from the 8 bytes of exact min/max metadata (writing 16
+//     segment words without touching the streams),
+//   - compares the block's FOR bytes directly in SWAR registers when every
+//     value fits one byte (the predicate constant is translated by the
+//     block reference, which the exact zone bounds guarantee stays in
+//     [0,255] for undecided blocks), or
+//   - decodes the block through the Stream-VByte control walk into a
+//     stack-resident byte-plane scratch buffer and runs the ordinary SWAR
+//     segment bodies over it.
+//
+// Blocks are 16 segments = 8 aligned result words, so any block partition
+// across workers is word-aligned and the SetWord32 stores never race.
+
+// blockMetaBytes is the zone metadata consulted per block: the exact
+// uint32 min and max.
+const blockMetaBytes = 8
+
+// prepareCompressed broadcasts a predicate's constant bytes for the
+// decoded-plane scanner: prepare() without a backing ByteSlice, using the
+// same padded big-endian byte split as the raw layout.
+func prepareCompressed(op layout.Op, k int, c1, c2 uint32) scanner {
+	nb := (k + 7) / 8
+	pad := uint(8*nb - k)
+	sc := scanner{op: op, nb: nb, n: compress.BlockCodes}
+	pc1, pc2 := c1<<pad, c2<<pad
+	for j := 0; j < nb; j++ {
+		sh := uint(8 * (nb - 1 - j))
+		sc.c1[j] = uint64(byte(pc1>>sh)) * lsb
+		sc.c2[j] = uint64(byte(pc2>>sh)) * lsb
+	}
+	return sc
+}
+
+// uniformConsts translates the predicate constants into the 1-byte FOR
+// domain of a uniform block and broadcasts them. Callers only invoke this
+// for zone-undecided blocks, where the exact bounds pin every translated
+// constant into [0, mx-ref] ⊆ [0,255] (Between additionally clamps both
+// ends to the block range, which preserves membership for every code in
+// it).
+//
+//bsvet:hotloop
+func uniformConsts(op layout.Op, c1, c2, ref, mn, mx uint32) (uint64, uint64) {
+	if op == layout.Between {
+		lo, hi := c1, c2
+		if lo < mn {
+			lo = mn
+		}
+		if hi > mx {
+			hi = mx
+		}
+		return uint64(byte(lo-ref)) * lsb, uint64(byte(hi-ref)) * lsb
+	}
+	return uint64(byte(c1-ref)) * lsb, 0
+}
+
+// decodePlanes decodes one block's values through the Stream-VByte
+// control walk and scatters the padded codes into byte planes — the same
+// slice-per-byte shape the SWAR segment kernels consume. The data stream's
+// slack bytes make the unconditional 4-byte load safe at the block tail.
+//
+//bsvet:hotloop
+func decodePlanes(ctl, data []byte, ref uint32, delta bool, nb int, pad uint, planes *[4][compress.BlockCodes]byte) {
+	ctl = ctl[:compress.CtlBlockBytes:compress.CtlBlockBytes]
+	p := 0
+	running := ref
+	for i := 0; i < compress.BlockCodes; i++ {
+		l := int(ctl[i>>2]>>uint((i&3)*2))&3 + 1
+		v := binary.LittleEndian.Uint32(data[p:]) & compress.LenMask[l]
+		p += l
+		code := ref + v
+		if delta {
+			running += v
+			code = running
+		}
+		padded := code << pad
+		switch nb {
+		case 1:
+			planes[0][i] = byte(padded)
+		case 2:
+			planes[0][i] = byte(padded >> 8)
+			planes[1][i] = byte(padded)
+		case 3:
+			planes[0][i] = byte(padded >> 16)
+			planes[1][i] = byte(padded >> 8)
+			planes[2][i] = byte(padded)
+		default:
+			planes[0][i] = byte(padded >> 24)
+			planes[1][i] = byte(padded >> 16)
+			planes[2][i] = byte(padded >> 8)
+			planes[3][i] = byte(padded)
+		}
+	}
+}
+
+// scanCompressedRange evaluates p over blocks [blo, bhi), writing segment
+// result words at their global offsets. It returns the number of segments
+// the exact block bounds resolved without decode, plus the bytes touched
+// (metadata, control and data streams, or raw FOR bytes, per the path
+// each block took). dh, when non-nil, accumulates the early-stop depth
+// histogram; zone-resolved segments count as depth 0 and the no-decode
+// uniform path as depth 1, mirroring the raw zoned scan's accounting.
+//
+// Like ScanRange, the prepare work (scanner construction, stream headers)
+// happens here, outside the annotated block loop.
+func scanCompressedRange(c *compress.Column, p layout.Predicate, blo, bhi int, out *bitvec.Vector, dh *obs.DepthCounts) (pruned int, bytes int64) {
+	nb := c.NumSlices()
+	sc := prepareCompressed(p.Op, c.Width(), p.C1, p.C2)
+	var planes [4][compress.BlockCodes]byte
+	for j := 0; j < nb; j++ {
+		sc.slices[j] = planes[j][:]
+	}
+	usc := scanner{op: p.Op, nb: 1, n: compress.BlockCodes}
+	return sc.scanCompressedBlocks(p, c.Ctl(), c.Data(), c.DataOffs(), c.Refs(),
+		c.Mins(), c.Maxs(), c.Modes(), c.Segments(), uint(8*nb-c.Width()),
+		&usc, &planes, blo, bhi, out, dh)
+}
+
+// scanCompressedBlocks is the fused decode→compare block loop; sc holds
+// the prepared constants with its plane slices already pointed at the
+// caller's scratch buffer.
+//
+//bsvet:hotloop
+func (sc *scanner) scanCompressedBlocks(p layout.Predicate, ctl, data []byte, offs, refs, mins, maxs []uint32, modes []byte, nseg int, pad uint, usc *scanner, planes *[4][compress.BlockCodes]byte, blo, bhi int, out *bitvec.Vector, dh *obs.DepthCounts) (pruned int, bytes int64) {
+	for b := blo; b < bhi; b++ {
+		segBase := b * compress.BlockSegments
+		segCount := nseg - segBase
+		if segCount > compress.BlockSegments {
+			segCount = compress.BlockSegments
+		}
+		base := segBase * core.SegmentSize
+		mn, mx := mins[b], maxs[b]
+		if d := compress.ZoneDecide(p.Op, mn, mx, p.C1, p.C2); d != 0 {
+			w := uint32(0)
+			if d > 0 {
+				w = ^uint32(0)
+			}
+			for s := 0; s < segCount; s++ {
+				out.SetWord32(base+s*core.SegmentSize, w)
+			}
+			pruned += segCount
+			if dh != nil {
+				dh[0] += int64(segCount)
+			}
+			bytes += blockMetaBytes
+			continue
+		}
+		mode := modes[b]
+		bdata := data[offs[b]:]
+		if !compress.ModeDelta(mode) && compress.ModeUniformLen(mode) == 1 {
+			usc.slices[0] = bdata[:compress.BlockCodes]
+			usc.c1[0], usc.c2[0] = uniformConsts(p.Op, p.C1, p.C2, refs[b], mn, mx)
+			for s := 0; s < segCount; s++ {
+				r, _ := usc.segmentDepth(s)
+				out.SetWord32(base+s*core.SegmentSize, r)
+			}
+			if dh != nil {
+				dh[1] += int64(segCount)
+			}
+			bytes += blockMetaBytes + compress.BlockCodes
+			continue
+		}
+		decodePlanes(ctl[b*compress.CtlBlockBytes:(b+1)*compress.CtlBlockBytes],
+			bdata, refs[b], compress.ModeDelta(mode), sc.nb, pad, planes)
+		for s := 0; s < segCount; s++ {
+			r, d := sc.segmentDepth(s)
+			out.SetWord32(base+s*core.SegmentSize, r)
+			if dh != nil {
+				dh[d]++
+			}
+		}
+		bytes += blockMetaBytes + compress.CtlBlockBytes + int64(offs[b+1]-offs[b])
+	}
+	return pruned, bytes
+}
+
+// ParallelScanCompressed evaluates p over a compressed column with the
+// given number of workers, fusing decompression into the scan: pruned and
+// uniform blocks never decode, and decoded blocks live only in a worker's
+// scratch buffer. It returns the number of segments resolved from block
+// metadata alone. out must have length c.Len() and is overwritten.
+func ParallelScanCompressed(c *compress.Column, p layout.Predicate, workers int, out *bitvec.Vector) int {
+	pruned, err := ParallelScanCompressedCtx(nil, c, p, workers, out)
+	mustCtx(err)
+	return pruned
+}
+
+// ParallelScanCompressedCtx is ParallelScanCompressed under ctx:
+// cancellation is observed at block-batch granularity and worker panics
+// return as *PanicError.
+func ParallelScanCompressedCtx(ctx context.Context, c *compress.Column, p layout.Predicate, workers int, out *bitvec.Vector) (int, error) {
+	return ParallelScanCompressedObs(ctx, c, p, workers, out, nil)
+}
+
+// ParallelScanCompressedObs is ParallelScanCompressedCtx with per-stage
+// statistics.
+func ParallelScanCompressedObs(ctx context.Context, c *compress.Column, p layout.Predicate, workers int, out *bitvec.Vector, st *obs.Stage) (int, error) {
+	layout.CheckPredicate(p, c.Width())
+	if out.Len() != c.Len() {
+		panic("kernel: result vector length mismatch")
+	}
+	return parallelRanges(ctx, c.Blocks(), workers, st, func(lo, hi int) int {
+		if st == nil {
+			pruned, _ := scanCompressedRange(c, p, lo, hi, out, nil)
+			return pruned
+		}
+		var dh obs.DepthCounts
+		pruned, bytes := scanCompressedRange(c, p, lo, hi, out, &dh)
+		st.AddDepths(&dh)
+		st.AddBytes(bytes)
+		return pruned
+	}, addInt)
+}
+
+// sumCompressedRange sums the decoded codes of blocks [blo, bhi),
+// restricted to mask when non-nil. Blocks with no live mask bit skip
+// decode entirely. Returns the segment count decoded and bytes touched
+// for the observability layer.
+func sumCompressedRange(c *compress.Column, mask *bitvec.Vector, blo, bhi int) (sum uint64, segs, bytes int64) {
+	var buf [compress.BlockCodes]uint32
+	offs := c.DataOffs()
+	for b := blo; b < bhi; b++ {
+		base := b * compress.BlockCodes
+		rows := c.BlockRows(b)
+		nw := (rows + core.SegmentSize - 1) / core.SegmentSize
+		if mask != nil {
+			bytes += int64(nw) * gateMaskBytes
+			live := false
+			for s := 0; s < nw; s++ {
+				if mask.Word32(base+s*core.SegmentSize) != 0 {
+					live = true
+					break
+				}
+			}
+			if !live {
+				continue
+			}
+		}
+		c.DecodeBlock(b, &buf)
+		segs += int64(nw)
+		bytes += compress.CtlBlockBytes + int64(offs[b+1]-offs[b])
+		if mask == nil {
+			for i := 0; i < rows; i++ {
+				sum += uint64(buf[i])
+			}
+			continue
+		}
+		for s := 0; s < nw; s++ {
+			w := mask.Word32(base + s*core.SegmentSize)
+			for w != 0 {
+				i := s*core.SegmentSize + bits.TrailingZeros32(w)
+				w &= w - 1
+				sum += uint64(buf[i])
+			}
+		}
+	}
+	return sum, segs, bytes
+}
+
+// ParallelSumCompressed sums a compressed column's codes (restricted to
+// mask when non-nil) and returns the contributing row count, decoding
+// only blocks with live rows.
+func ParallelSumCompressed(c *compress.Column, mask *bitvec.Vector, workers int) (uint64, int) {
+	sum, count, err := ParallelSumCompressedCtx(nil, c, mask, workers)
+	mustCtx(err)
+	return sum, count
+}
+
+// ParallelSumCompressedCtx is ParallelSumCompressed under ctx.
+func ParallelSumCompressedCtx(ctx context.Context, c *compress.Column, mask *bitvec.Vector, workers int) (sum uint64, count int, err error) {
+	return ParallelSumCompressedObs(ctx, c, mask, workers, nil)
+}
+
+// ParallelSumCompressedObs is ParallelSumCompressedCtx with per-stage
+// statistics.
+func ParallelSumCompressedObs(ctx context.Context, c *compress.Column, mask *bitvec.Vector, workers int, st *obs.Stage) (sum uint64, count int, err error) {
+	if mask != nil && mask.Len() != c.Len() {
+		panic("kernel: aggregate mask length mismatch")
+	}
+	count = c.Len()
+	if mask != nil {
+		count = mask.Count()
+	}
+	sum, err = parallelRanges(ctx, c.Blocks(), workers, st, func(lo, hi int) uint64 {
+		s, segs, bytes := sumCompressedRange(c, mask, lo, hi)
+		if st != nil {
+			st.AddSegments(segs, bytes)
+		}
+		return s
+	}, func(a, b uint64) uint64 { return a + b })
+	if err != nil {
+		return 0, 0, err
+	}
+	return sum, count, nil
+}
+
+// extremeCompressedRange finds the min/max decoded code among mask's live
+// rows in blocks [blo, bhi). A block whose exact bounds cannot improve
+// the running extreme is skipped without reading its mask words or
+// streams.
+func extremeCompressedRange(c *compress.Column, mask *bitvec.Vector, isMin bool, blo, bhi int) (best uint32, ok bool, segs, bytes int64) {
+	var buf [compress.BlockCodes]uint32
+	mins, maxs := c.Mins(), c.Maxs()
+	offs := c.DataOffs()
+	for b := blo; b < bhi; b++ {
+		bytes += blockMetaBytes
+		if ok && ((isMin && mins[b] >= best) || (!isMin && maxs[b] <= best)) {
+			continue
+		}
+		base := b * compress.BlockCodes
+		rows := c.BlockRows(b)
+		nw := (rows + core.SegmentSize - 1) / core.SegmentSize
+		bytes += int64(nw) * gateMaskBytes
+		live := false
+		for s := 0; s < nw; s++ {
+			if mask.Word32(base+s*core.SegmentSize) != 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		c.DecodeBlock(b, &buf)
+		segs += int64(nw)
+		bytes += compress.CtlBlockBytes + int64(offs[b+1]-offs[b])
+		for s := 0; s < nw; s++ {
+			w := mask.Word32(base + s*core.SegmentSize)
+			for w != 0 {
+				i := s*core.SegmentSize + bits.TrailingZeros32(w)
+				w &= w - 1
+				if v := buf[i]; !ok || isMin == (v < best) {
+					best, ok = v, true
+				}
+			}
+		}
+	}
+	return best, ok, segs, bytes
+}
+
+// ParallelExtremeCompressed returns the min (isMin) or max code of a
+// compressed column restricted to mask. A nil mask answers from the exact
+// per-block bounds without decoding anything; ok is false when no row
+// qualifies.
+func ParallelExtremeCompressed(c *compress.Column, mask *bitvec.Vector, isMin bool, workers int) (uint32, bool) {
+	v, ok, err := ParallelExtremeCompressedCtx(nil, c, mask, isMin, workers)
+	mustCtx(err)
+	return v, ok
+}
+
+// ParallelExtremeCompressedCtx is ParallelExtremeCompressed under ctx.
+func ParallelExtremeCompressedCtx(ctx context.Context, c *compress.Column, mask *bitvec.Vector, isMin bool, workers int) (uint32, bool, error) {
+	return ParallelExtremeCompressedObs(ctx, c, mask, isMin, workers, nil)
+}
+
+// ParallelExtremeCompressedObs is ParallelExtremeCompressedCtx with
+// per-stage statistics.
+func ParallelExtremeCompressedObs(ctx context.Context, c *compress.Column, mask *bitvec.Vector, isMin bool, workers int, st *obs.Stage) (uint32, bool, error) {
+	if mask != nil && mask.Len() != c.Len() {
+		panic("kernel: aggregate mask length mismatch")
+	}
+	if mask == nil {
+		if st != nil {
+			st.SetWorkers(1)
+			st.AddBytes(int64(c.Blocks()) * blockMetaBytes)
+		}
+		bounds := c.Maxs()
+		if isMin {
+			bounds = c.Mins()
+		}
+		best, ok := uint32(0), false
+		for _, v := range bounds {
+			if !ok || isMin == (v < best) {
+				best, ok = v, true
+			}
+		}
+		return best, ok, nil
+	}
+	best, err := parallelRanges(ctx, c.Blocks(), workers, st, func(lo, hi int) extPartial {
+		v, ok, segs, bytes := extremeCompressedRange(c, mask, isMin, lo, hi)
+		if st != nil {
+			st.AddSegments(segs, bytes)
+		}
+		return extPartial{v, ok}
+	}, mergeExtreme(isMin))
+	if err != nil {
+		return 0, false, err
+	}
+	return best.v, best.ok, nil
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
 	"byteslice/internal/layout/layouttest"
@@ -181,10 +182,43 @@ func FuzzNativeVsEngine(f *testing.F) {
 			}
 		}
 
-		// Lookups stitch the original codes back.
+		// Compressed column: the fused decode→compare scan and aggregates
+		// must be bit-identical to the engine on the raw layout, whatever
+		// mix of FOR, delta and uniform-1 blocks the codes produce.
+		cc := compress.New(codes, k, nil)
+		got.Fill()
+		ParallelScanCompressed(cc, p, workers, got)
+		if !got.Equal(want) {
+			t.Fatalf("k=%d %v n=%d workers=%d: compressed scan differs from engine", k, p, n, workers)
+		}
+		for _, mask := range []*bitvec.Vector{nil, prev} {
+			wantSum, wantN := b.Sum(layouttest.Engine(), mask)
+			gotSum, gotN := ParallelSumCompressed(cc, mask, workers)
+			if gotSum != wantSum || gotN != wantN {
+				t.Fatalf("k=%d n=%d: compressed Sum = %d/%d, engine %d/%d", k, n, gotSum, gotN, wantSum, wantN)
+			}
+			for _, isMin := range []bool{true, false} {
+				var wantX uint32
+				var wantOK bool
+				if isMin {
+					wantX, wantOK = b.Min(layouttest.Engine(), mask)
+				} else {
+					wantX, wantOK = b.Max(layouttest.Engine(), mask)
+				}
+				gotX, gotOK := ParallelExtremeCompressed(cc, mask, isMin, workers)
+				if gotOK != wantOK || (wantOK && gotX != wantX) {
+					t.Fatalf("k=%d n=%d isMin=%v: compressed extreme = %d/%v, engine %d/%v", k, n, isMin, gotX, gotOK, wantX, wantOK)
+				}
+			}
+		}
+
+		// Lookups stitch the original codes back, on both layouts.
 		for i, v := range codes {
 			if got := Lookup(b, i); got != v {
 				t.Fatalf("k=%d: Lookup(%d) = %d, want %d", k, i, got, v)
+			}
+			if got := cc.Lookup(nil, i); got != v {
+				t.Fatalf("k=%d: compressed Lookup(%d) = %d, want %d", k, i, got, v)
 			}
 		}
 	})

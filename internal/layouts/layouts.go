@@ -3,6 +3,7 @@
 package layouts
 
 import (
+	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
 	"byteslice/internal/layout/bp"
@@ -10,13 +11,17 @@ import (
 	"byteslice/internal/layout/vbp"
 )
 
-// Names lists the layouts in the paper's presentation order.
+// Names lists the layouts in the paper's presentation order. The
+// compressed ByteSlice variant is registered as a builder but not listed
+// here: it is an opt-in refinement of ByteSlice (WithCompression), not a
+// fifth layout of the paper's comparison.
 var Names = []string{"BitPacked", "HBP", "VBP", "ByteSlice"}
 
 // Builders maps layout names to their constructors.
 var Builders = map[string]layout.Builder{
-	"BitPacked": bp.NewBuilder,
-	"HBP":       hbp.NewBuilder,
-	"VBP":       vbp.NewBuilder,
-	"ByteSlice": core.NewBuilder,
+	"BitPacked":   bp.NewBuilder,
+	"HBP":         hbp.NewBuilder,
+	"VBP":         vbp.NewBuilder,
+	"ByteSlice":   core.NewBuilder,
+	compress.Name: compress.NewBuilder,
 }

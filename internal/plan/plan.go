@@ -64,6 +64,18 @@ type Pred struct {
 	ZonePrune float64
 	// HasZoneMap reports whether the column carries a zone map at all.
 	HasZoneMap bool
+	// Compressed marks a column stored in the compressed ByteSlice layout
+	// (internal/compress); its scans decode 512-code blocks on the fly.
+	Compressed bool
+	// CompBytesPerRow is the compressed column's bytes moved per row
+	// (control + data streams).
+	CompBytesPerRow float64
+	// BlockPrune is the estimated fraction of 512-code blocks the exact
+	// block bounds decide outright.
+	BlockPrune float64
+	// Uniform1 is the fraction of blocks on the no-decode direct-compare
+	// path (frame of reference, all values one byte).
+	Uniform1 float64
 }
 
 // Query describes the whole conjunction or disjunction being planned.
@@ -97,6 +109,17 @@ const (
 	nsGate        = 0.5  // pipelined mask-word read + combine, per segment
 	nsCombine     = 0.3  // bit-vector AND/OR word ops, per segment per pass
 	nsWorkerSpawn = 8000 // goroutine spawn/join, per worker
+
+	// Bytes-moved model for compressed columns. A memory-bandwidth-bound
+	// scan's floor is the bytes it streams: nsPerByte prices one column
+	// byte at the measured DRAM bandwidth (~9 GB/s effective per core on
+	// the calibration machine), and nsSegDecode prices unpacking one
+	// 32-code segment from the control-byte walk into the SWAR scratch
+	// planes.
+	nsPerByte   = 0.11
+	nsSegDecode = 7.0
+	// blockSegments is the 512-code compressed block in segments.
+	blockSegments = 16
 )
 
 // Decision is the planner's output.
@@ -120,23 +143,71 @@ type Decision struct {
 	preds []Pred // in chosen order
 }
 
+// rawSegScanCost is the raw monolithic per-segment scan formula for a
+// column of the given byte-slice count.
+func rawSegScanCost(slices int) float64 {
+	return nsSegFirst + nsSegSlice*float64(slices-1)
+}
+
 // segScanCost is the per-segment cost of scanning one predicate with the
 // monolithic single-column kernel.
 func segScanCost(p Pred) float64 {
 	if p.Slices == 0 {
 		return 0 // match-all pseudo predicate: no scan at all
 	}
-	return nsSegFirst + nsSegSlice*float64(p.Slices-1)
+	if p.Compressed {
+		return compressedSegCost(p)
+	}
+	return rawSegScanCost(p.Slices)
+}
+
+// compressedSegCost is the per-segment cost of the fused decode→compare
+// scan over a compressed column: the amortised exact-bounds test per
+// block, and for undecided blocks either the direct one-byte SWAR compare
+// (uniform blocks, no decode) or the control-byte decode into scratch
+// planes plus the raw compare body — in both cases paying the bytes-moved
+// bandwidth term for the compressed streams instead of the raw slices.
+func compressedSegCost(p Pred) float64 {
+	if p.Slices == 0 {
+		return 0
+	}
+	decode := p.Uniform1*(nsSegFirst+nsSegDispatch) +
+		(1-p.Uniform1)*(nsSegDecode+rawSegScanCost(p.Slices)+nsSegDispatch) +
+		nsPerByte*p.CompBytesPerRow*32
+	return nsZoneTest/blockSegments + (1-p.BlockPrune)*decode
+}
+
+// CompressedWins is the build-time compression decision: true when the
+// compressed fused scan prices below the raw monolithic scan with its
+// bytes-moved floor. internal/compress consults it per column.
+func CompressedWins(slices int, compBytesPerRow, blockPrune, uniform1 float64) bool {
+	if slices <= 0 {
+		return false
+	}
+	comp := compressedSegCost(Pred{
+		Slices:          slices,
+		Compressed:      true,
+		CompBytesPerRow: compBytesPerRow,
+		BlockPrune:      blockPrune,
+		Uniform1:        uniform1,
+	})
+	raw := rawSegScanCost(slices) + nsPerByte*float64(slices)*32
+	return comp < raw
 }
 
 // perSegCost is the per-segment cost of one predicate inside a generic
 // (per-segment dispatched) kernel — the zoned, pipelined and multi scans —
-// with the zone map resolving its share of segments for free.
+// with the zone map resolving its share of segments for free. Compressed
+// columns always run their own block-gated kernel, whose cost already
+// amortises the bounds test.
 func perSegCost(p Pred) float64 {
 	if p.Slices == 0 {
 		return 0
 	}
-	c := segScanCost(p) + nsSegDispatch
+	if p.Compressed {
+		return compressedSegCost(p)
+	}
+	c := rawSegScanCost(p.Slices) + nsSegDispatch
 	if p.HasZoneMap {
 		return nsZoneTest + (1-p.ZonePrune)*c
 	}
@@ -325,6 +396,9 @@ func (d Decision) Explain() string {
 		fmt.Fprintf(&b, " %s(sel=%.3f", p.Col, p.Sel)
 		if p.HasZoneMap {
 			fmt.Fprintf(&b, ", zone=%.2f", p.ZonePrune)
+		}
+		if p.Compressed {
+			fmt.Fprintf(&b, ", compressed %.2fB/row", p.CompBytesPerRow)
 		}
 		b.WriteString(")")
 	}

@@ -119,6 +119,67 @@ func TestMatchAllPredicateIsFree(t *testing.T) {
 	}
 }
 
+// TestExplainRendersNaNAsNA pins the NaN sentinel's rendering: an
+// ineligible predicate-first cost must print as "n/a", never "NaN".
+func TestExplainRendersNaNAsNA(t *testing.T) {
+	ineligible := q(1024)
+	ineligible.PredicateFirstOK = false
+	d := Plan(ineligible, []Pred{
+		{Col: "a", Slices: 2, Sel: 0.5},
+		{Col: "b", Slices: 2, Sel: 0.5},
+	})
+	if !math.IsNaN(d.CostPredicateFirst) {
+		t.Fatalf("setup: expected NaN predicate-first cost, got %v", d.CostPredicateFirst)
+	}
+	out := d.Explain()
+	if !strings.Contains(out, "predicate-first n/a") {
+		t.Fatalf("Explain should render the NaN sentinel as n/a:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("Explain leaked a raw NaN:\n%s", out)
+	}
+}
+
+func TestCompressedWins(t *testing.T) {
+	// Uniform random data: no block pruning, no uniform blocks, ~k/8+0.25
+	// bytes per row — compression moves as many bytes as raw and adds
+	// decode work, so it must lose at every width.
+	for _, slices := range []int{1, 2, 3, 4} {
+		if CompressedWins(slices, float64(slices)+0.25, 0, 0) {
+			t.Fatalf("incompressible %d-slice column should stay raw", slices)
+		}
+	}
+	// Clustered data: tiny per-block spans prune nearly every block.
+	if !CompressedWins(2, 2.25, 0.98, 0) {
+		t.Fatal("block-prunable column should compress")
+	}
+	// Low-entropy wide column: every block on the 1-byte direct path
+	// moves ~1.25 bytes per row instead of 3 — wins on bytes alone.
+	if !CompressedWins(3, 1.25, 0, 1) {
+		t.Fatal("uniform-1-byte wide column should compress")
+	}
+	if CompressedWins(0, 1, 1, 1) {
+		t.Fatal("match-all pseudo predicate cannot compress")
+	}
+}
+
+func TestCompressedCostAndExplain(t *testing.T) {
+	comp := Pred{Col: "c", Slices: 2, Sel: 0.1, Compressed: true,
+		CompBytesPerRow: 1.5, BlockPrune: 0.95, Uniform1: 0.5}
+	raw := Pred{Col: "c", Slices: 2, Sel: 0.1}
+	dc := Plan(q(4096), []Pred{comp})
+	dr := Plan(q(4096), []Pred{raw})
+	if dc.Cost >= dr.Cost {
+		t.Fatalf("pruned compressed scan %v should cost below raw %v", dc.Cost, dr.Cost)
+	}
+	if out := dc.Explain(); !strings.Contains(out, "compressed 1.50B/row") {
+		t.Fatalf("Explain missing the compression annotation:\n%s", out)
+	}
+	if out := dr.Explain(); strings.Contains(out, "compressed") {
+		t.Fatalf("raw Explain must not mention compression:\n%s", out)
+	}
+}
+
 func TestExplainDeterministicAndComplete(t *testing.T) {
 	preds := []Pred{
 		{Col: "price", Slices: 2, Sel: 0.05, HasZoneMap: true, ZonePrune: 0.9},

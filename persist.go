@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 
+	"byteslice/internal/compress"
 	"byteslice/internal/encoding"
 )
 
@@ -211,10 +212,9 @@ func writeCodesSection(cw *countingWriter, c *Column, n int) error {
 	}
 	crc := crc32.New(castagnoli)
 	buf := make([]byte, 0, ioChunk)
-	e := nilProfile.engine()
-	for i := 0; i < n; i++ {
+	emit := func(v uint32) error {
 		var word [4]byte
-		binary.LittleEndian.PutUint32(word[:], c.data.Lookup(e, i))
+		binary.LittleEndian.PutUint32(word[:], v)
 		buf = append(buf, word[:]...)
 		if len(buf) == ioChunk {
 			crc.Write(buf)
@@ -222,6 +222,27 @@ func writeCodesSection(cw *countingWriter, c *Column, n int) error {
 				return err
 			}
 			buf = buf[:0]
+		}
+		return nil
+	}
+	if cc, ok := compressedOf(c.data); ok {
+		// Compressed columns stream block by block: each 512-code block
+		// decodes once instead of paying a per-row partial decode.
+		var block [compress.BlockCodes]uint32
+		for b := 0; b < cc.Blocks(); b++ {
+			rows := cc.DecodeBlock(b, &block)
+			for _, v := range block[:rows] {
+				if err := emit(v); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		e := nilProfile.engine()
+		for i := 0; i < n; i++ {
+			if err := emit(c.data.Lookup(e, i)); err != nil {
+				return err
+			}
 		}
 	}
 	if len(buf) > 0 {

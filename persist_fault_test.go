@@ -46,7 +46,19 @@ func faultTable(t *testing.T) *byteslice.Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := byteslice.NewTable(ic, dc, sc, cc)
+	// A compressed column, so the sweeps also cover ByteSliceC sections.
+	sortedVals := make([]int64, n)
+	for i := range sortedVals {
+		sortedVals[i] = int64(i / 3)
+	}
+	zc, err := byteslice.NewIntColumn("z", sortedVals, 0, 200, byteslice.WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zc.Compressed() {
+		t.Fatal("fault-table column z should take the compressed layout")
+	}
+	tbl, err := byteslice.NewTable(ic, dc, sc, cc, zc)
 	if err != nil {
 		t.Fatal(err)
 	}

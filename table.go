@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
@@ -69,6 +70,67 @@ func NewTable(cols ...*Column) (*Table, error) {
 
 // Len returns the number of rows.
 func (t *Table) Len() int { return t.n }
+
+// WithCompression returns a table whose named ByteSlice columns (all of
+// them when no names are given) are re-encoded through the build-time
+// compression decision: a column moves to the compressed FOR/delta block
+// layout when the bytes-moved cost model prices the fused compressed scan
+// below the raw SWAR scan, and stays raw otherwise. Columns already
+// compressed pass through unchanged; without explicit names non-ByteSlice
+// columns are skipped, while naming one is an error. The receiver is not
+// modified.
+func (t *Table) WithCompression(names ...string) (*Table, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		if _, err := t.Column(n); err != nil {
+			return nil, err
+		}
+		want[n] = true
+	}
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		_, isBS := byteSliceOf(c.data)
+		_, isCC := compressedOf(c.data)
+		switch {
+		case len(names) == 0 && !isBS && !isCC:
+			cols[i] = c
+			continue
+		case len(names) > 0 && !want[c.Name()]:
+			cols[i] = c
+			continue
+		}
+		nc, err := c.withCompression()
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = nc
+	}
+	return NewTable(cols...)
+}
+
+// withCompression re-encodes a raw ByteSlice column through the build-time
+// compression decision, sharing the encoders, NULL vector and histogram of
+// the receiver. Already-compressed columns pass through unchanged.
+func (c *Column) withCompression() (*Column, error) {
+	if _, ok := compressedOf(c.data); ok {
+		return c, nil
+	}
+	bs, ok := byteSliceOf(c.data)
+	if !ok {
+		return nil, fmt.Errorf("byteslice: column %s: format %s does not support compression", c.name, c.Format())
+	}
+	rows := make([]int32, c.Len())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	codes := make([]uint32, c.Len())
+	if err := kernel.LookupManyObs(context.Background(), bs, rows, codes, nil); err != nil {
+		return nil, queryErr(err)
+	}
+	nc := *c
+	nc.data = compress.NewBuilder(codes, c.Width(), arena)
+	return &nc, nil
+}
 
 // Column returns the named column.
 func (t *Table) Column(name string) (*Column, error) {
@@ -435,6 +497,20 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 			continue
 		}
 		if i == 0 {
+			if cc, isCC := compressedOf(r.col.data); isCC && cfg.native() {
+				// Compressed native fast path: FOR/delta blocks decode into
+				// worker-local scratch inside the fused kernel, with exact
+				// block min/max pruning skipping decode entirely.
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_compressed")
+				pruned, err := kernel.ParallelScanCompressedObs(cfg.ctx, cc, r.pred, cfg.nativeWorkers(cc.Segments()), acc, st)
+				done()
+				if err != nil {
+					return nil, queryErr(err)
+				}
+				zoneSkipped += pruned
+				applyNulls(acc, r.col)
+				continue
+			}
 			bs, isBS := byteSliceOf(r.col.data)
 			switch {
 			case isBS && cfg.native() && bs.HasZoneMaps():
@@ -508,7 +584,18 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 				continue
 			}
 		}
-		if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
+		if cc, isCC := compressedOf(r.col.data); isCC && cfg.native() {
+			// Independent compressed scan; compressed columns do not
+			// pipeline (the fused decode kernel always covers every
+			// block), so the result combines through the bit vector.
+			st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_compressed")
+			pruned, err := kernel.ParallelScanCompressedObs(cfg.ctx, cc, r.pred, cfg.nativeWorkers(cc.Segments()), cur, st)
+			done()
+			if err != nil {
+				return nil, queryErr(err)
+			}
+			zoneSkipped += pruned
+		} else if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
 			if bs.HasZoneMaps() {
 				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_zoned")
 				pruned, err := kernel.ParallelScanZonedObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur, st)
@@ -579,6 +666,12 @@ func (t *Table) planPreds(rs []resolved) []plan.Pred {
 				p.HasZoneMap = true
 				p.ZonePrune = bs.ZonePruneRate(r.pred)
 			}
+			if cc, ok := compressedOf(r.col.data); ok {
+				p.Compressed = true
+				p.CompBytesPerRow = cc.BytesPerRow()
+				p.BlockPrune = cc.PruneEstimate()
+				p.Uniform1 = cc.Uniform1Frac()
+			}
 		}
 		preds[i] = p
 	}
@@ -608,6 +701,27 @@ func allBS(rs []resolved) ([]*core.ByteSlice, []layout.Predicate, bool) {
 		preds[i] = r.pred
 	}
 	return cols, preds, true
+}
+
+// decodeCompressedRows stitches the codes of the given rows out of a
+// compressed column, decoding each 512-code block at most once per visit
+// into a stack buffer (rows in ascending order decode every block exactly
+// once). It returns the number of compressed bytes touched.
+func decodeCompressedRows(cc *compress.Column, rows []int32, codes []uint32) int64 {
+	var buf [compress.BlockCodes]uint32
+	offs := cc.DataOffs()
+	last := -1
+	var bytes int64
+	for i, r := range rows {
+		b := int(r) / compress.BlockCodes
+		if b != last {
+			cc.DecodeBlock(b, &buf)
+			last = b
+			bytes += int64(compress.CtlBlockBytes) + int64(offs[b+1]-offs[b])
+		}
+		codes[i] = buf[int(r)%compress.BlockCodes]
+	}
+	return bytes
 }
 
 // ProjectInt decodes an integer column's values for the matching rows
@@ -684,6 +798,25 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 		rows = append(rows, r)
 	}
 	codes := make([]uint32, len(rows))
+	if cc, isCC := compressedOf(c.data); isCC && cfg.native() {
+		// Compressed projection: res.Rows() is ascending, so each 512-code
+		// block decodes once into a stack buffer and serves every matching
+		// row it contains.
+		var obsQ *obs.Query
+		if !cfg.noObs {
+			obsQ = res.stats
+		}
+		st, done := cfg.stage(obsQ, "project("+c.Name()+")", "project")
+		defer done()
+		if err := cfg.ctxErr(); err != nil {
+			return nil, nil, err
+		}
+		bytes := decodeCompressedRows(cc, rows, codes)
+		if st != nil {
+			st.AddRows(int64(len(rows)), bytes)
+		}
+		return rows, codes, nil
+	}
 	if bs, isBS := byteSliceOf(c.data); isBS && cfg.native() {
 		// The projection stage lands in the filter result's collector, so
 		// res.Stats() after a projection shows scan and lookup together.
@@ -782,6 +915,19 @@ func (t *Table) OrderBy(col string, res *Result, opts ...QueryOption) ([]int32, 
 	}
 	defer done()
 
+	if cc, ok := compressedOf(c.data); ok && cfg.native() {
+		// Compressed sort column: decode the survivors' codes block-at-a-time
+		// (rows are ascending) and radix-sort them like the ByteSlice path.
+		codes := make([]uint32, len(rows))
+		decodeCompressedRows(cc, rows, codes)
+		sub := core.New(codes, c.Width(), nil)
+		order := sortpart.Sort(e, sub)
+		out := make([]int32, len(rows))
+		for i, idx := range order {
+			out[i] = rows[idx]
+		}
+		return out, nil
+	}
 	if bs, ok := byteSliceOf(c.data); ok {
 		// Materialise the survivors' codes as a small ByteSlice column and
 		// radix-sort it; the resulting permutation maps back to rows.
