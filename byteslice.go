@@ -37,6 +37,7 @@ import (
 	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
+	"byteslice/internal/layout/hbp"
 	"byteslice/internal/layouts"
 	"byteslice/internal/perf"
 	"byteslice/internal/simd"
@@ -154,4 +155,10 @@ func byteSliceOf(l layout.Layout) (*core.ByteSlice, bool) {
 func compressedOf(l layout.Layout) (*compress.Column, bool) {
 	c, ok := l.(*compress.Column)
 	return c, ok
+}
+
+// hbpOf returns the concrete HBP layout of a column, if any.
+func hbpOf(l layout.Layout) (*hbp.HBP, bool) {
+	h, ok := l.(*hbp.HBP)
+	return h, ok
 }

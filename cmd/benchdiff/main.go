@@ -5,7 +5,8 @@
 //
 //	benchdiff -baseline BENCH_scan.json -current /tmp/bench.json [-threshold 0.25] [-out diff.txt]
 //
-// Measurements are keyed by (width, path, mode, compression); within a
+// Measurements are keyed by (width, path, mode, compression, layout);
+// within a
 // key the best rows-per-second across worker counts, data distributions
 // and predicate counts is compared, so scheduler jitter on one
 // configuration doesn't
@@ -39,6 +40,7 @@ type entry struct {
 	Mode       string  `json:"mode,omitempty"`
 	Preds      int     `json:"preds,omitempty"`
 	Compress   string  `json:"compression,omitempty"`
+	Layout     string  `json:"layout,omitempty"`
 }
 
 type payload struct {
@@ -51,6 +53,7 @@ type key struct {
 	Path     string
 	Mode     string
 	Compress string
+	Layout   string
 }
 
 func (k key) String() string {
@@ -58,10 +61,13 @@ func (k key) String() string {
 	if mode == "" {
 		mode = "scan"
 	}
-	// The compression axis renders only when set, so keys from payloads
-	// predating it keep their exact historical spelling.
+	// The compression and layout axes render only when set, so keys from
+	// payloads predating them keep their exact historical spelling.
 	if k.Compress != "" {
 		mode += " " + k.Compress
+	}
+	if k.Layout != "" {
+		mode += " " + k.Layout
 	}
 	return fmt.Sprintf("w%-2d %-6s %s", k.Width, k.Path, mode)
 }
@@ -70,7 +76,7 @@ func (k key) String() string {
 func best(p *payload) map[key]float64 {
 	m := make(map[key]float64)
 	for _, e := range p.Results {
-		k := key{e.Width, e.Path, e.Mode, e.Compress}
+		k := key{e.Width, e.Path, e.Mode, e.Compress, e.Layout}
 		if e.RowsPerSec > m[k] {
 			m[k] = e.RowsPerSec
 		}
@@ -131,20 +137,23 @@ func diff(base, cur map[key]float64, threshold float64) []row {
 		if a.Key.Compress != b.Key.Compress {
 			return a.Key.Compress < b.Key.Compress
 		}
+		if a.Key.Layout != b.Key.Layout {
+			return a.Key.Layout < b.Key.Layout
+		}
 		return a.Key.Width < b.Key.Width
 	})
 	return rows
 }
 
 func render(w io.Writer, rows []row, threshold float64) (failed int) {
-	fmt.Fprintf(w, "benchdiff: threshold %.0f%% (best rows/sec per width+path+mode+compression)\n", threshold*100)
-	fmt.Fprintf(w, "%-22s %14s %14s %8s  %s\n", "key", "baseline", "current", "delta", "verdict")
+	fmt.Fprintf(w, "benchdiff: threshold %.0f%% (best rows/sec per width+path+mode+compression+layout)\n", threshold*100)
+	fmt.Fprintf(w, "%-30s %14s %14s %8s  %s\n", "key", "baseline", "current", "delta", "verdict")
 	for _, r := range rows {
 		delta := "-"
 		if r.Base > 0 && r.Cur > 0 {
 			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
 		}
-		fmt.Fprintf(w, "%-22s %14s %14s %8s  %s\n",
+		fmt.Fprintf(w, "%-30s %14s %14s %8s  %s\n",
 			r.Key, mrows(r.Base), mrows(r.Cur), delta, r.Verdict)
 		if r.Failing {
 			failed++

@@ -177,6 +177,42 @@ func TestCompressionAxisKeysSeparately(t *testing.T) {
 	}
 }
 
+// TestLayoutAxisKeysSeparately pins that the per-layout lookup arms of
+// the same width+path+mode are independent keys: an HBP lookup collapse
+// fails even when the ByteSlice arm is healthy, the key rendering names
+// the layout, and layout-less legacy keys keep their exact spelling.
+func TestLayoutAxisKeysSeparately(t *testing.T) {
+	base := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 9.0e9},
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 2.0e7, "mode": "lookup", "layout": "ByteSlice"},
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 6.0e7, "mode": "lookup", "layout": "HBP"}
+	  ]
+	}`
+	current := `{
+	  "rows": 1048576,
+	  "results": [
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 9.0e9},
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 2.1e7, "mode": "lookup", "layout": "ByteSlice"},
+	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 6.0e6, "mode": "lookup", "layout": "HBP"}
+	  ]
+	}`
+	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("HBP-arm collapse must fail exactly one key (failed=%d):\n%s", failed, report)
+	}
+	if !strings.Contains(report, "lookup HBP") || !strings.Contains(report, "lookup ByteSlice") {
+		t.Fatalf("report must render both layout arms:\n%s", report)
+	}
+	if !strings.Contains(report, "w16 native scan ") {
+		t.Fatalf("layout-less legacy key must keep its exact spelling:\n%s", report)
+	}
+}
+
 func TestRejectsEmptyPayload(t *testing.T) {
 	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", `{"results": []}`), 0.25); err == nil {
 		t.Fatal("empty current payload must be an error, not a pass")

@@ -44,6 +44,7 @@ func main() {
 		zonemaps = flag.Bool("zonemaps", false, "with -json: also benchmark zone-map-pruned scans on sorted and clustered data")
 		agg      = flag.Bool("agg", false, "with -json: also benchmark the fused filter→sum kernel vs the two-pass path")
 		compr    = flag.Bool("compression", false, "with -json: also benchmark the fused compressed scan vs the raw SWAR scan")
+		lookup   = flag.Bool("lookup", false, "with -json: also benchmark batch lookups and ORDER-BY materialisation across the ByteSlice, HBP and compressed layouts")
 		snapshot = flag.String("snapshot", "", "benchmark crash-atomic SaveFile/LoadFile on a generated table written to this path")
 		stats    = flag.Bool("stats", false, "after the run, print the process-wide query-observability snapshot as JSON")
 		serve    = flag.String("serve", "", "after the run, serve the observability registry over HTTP on this address (e.g. :8080; /stats and expvar's /debug/vars)")
@@ -118,6 +119,9 @@ func main() {
 		}
 		if *compr {
 			res.Results = append(res.Results, experiments.CompressedScanBench(cfg, workerCounts)...)
+		}
+		if *lookup {
+			res.Results = append(res.Results, experiments.LookupBench(cfg)...)
 		}
 		if *preds > 1 {
 			res.Results = append(res.Results, experiments.MultiPredBench(cfg, *preds, workerCounts)...)

@@ -79,6 +79,40 @@ func TestCompressionReportGolden(t *testing.T) {
 	}
 }
 
+// TestLayoutReportGolden pins the -layout rendering: the decision is a
+// pure function of width and workload counts, so the output is exact.
+func TestLayoutReportGolden(t *testing.T) {
+	got := layoutReport(11, 1000, 500)
+	want := `— Layout decision: k=11 (2 byte slice(s)), workload 1000 scan row(s), 500 lookup row(s) —
+  scan:lookup ratio 2.00
+  ByteSlice est     3162 ns  (scans priced per 32-code segment, lookups stitch 2 slice(s))
+  HBP       est     5300 ns  (scans word-parallel without early stop, lookups load one bank)
+  chosen layout: ByteSlice
+`
+	if got != want {
+		t.Fatalf("layout report drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	got = layoutReport(32, 0, 10000)
+	want = `— Layout decision: k=32 (4 byte slice(s)), workload 0 scan row(s), 10000 lookup row(s) —
+  scan:lookup ratio 0.00
+  ByteSlice est   116000 ns  (scans priced per 32-code segment, lookups stitch 4 slice(s))
+  HBP       est    40000 ns  (scans word-parallel without early stop, lookups load one bank)
+  chosen layout: HBP
+`
+	if got != want {
+		t.Fatalf("lookup-only layout report drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// No lookups: the ratio is undefined and the default layout stays.
+	if !strings.Contains(layoutReport(8, 5000, 0), "ratio n/a (no lookups observed") {
+		t.Fatal("zero-lookup report lost the n/a ratio line")
+	}
+	if !strings.Contains(layoutReport(8, 5000, 0), "chosen layout: ByteSlice") {
+		t.Fatal("zero-lookup report should keep ByteSlice")
+	}
+}
+
 func TestParseOp(t *testing.T) {
 	want := map[string]layout.Op{
 		"<": layout.Lt, "<=": layout.Le, ">": layout.Gt, ">=": layout.Ge,

@@ -6,7 +6,9 @@ import (
 	"byteslice/internal/bitvec"
 
 	"byteslice/internal/encoding"
+	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
+	"byteslice/internal/obs"
 )
 
 // Kind is a column's native value type.
@@ -51,6 +53,12 @@ type Column struct {
 	// hist is the build-time equi-width histogram driving selectivity
 	// estimates (histogram.go).
 	hist *histogram
+
+	// wl accumulates the column's lifetime scan/lookup row counters — the
+	// input to the planner's layout decision (plan.LayoutWins). Held by
+	// pointer so facade-level column copies (re-layout, recompression)
+	// keep feeding the same counters.
+	wl *obs.ColumnWorkload
 }
 
 // ColumnOption customises column construction.
@@ -104,7 +112,8 @@ func applyOpts(opts []ColumnOption) columnConfig {
 	return cfg
 }
 
-// finish applies post-build column options (zone maps).
+// finish applies post-build column options (zone maps) and attaches the
+// workload counters.
 func (cfg columnConfig) finish(c *Column, err error) (*Column, error) {
 	if err != nil {
 		return nil, err
@@ -114,6 +123,7 @@ func (cfg columnConfig) finish(c *Column, err error) (*Column, error) {
 			bs.BuildZoneMaps()
 		}
 	}
+	c.wl = &obs.ColumnWorkload{}
 	return c, nil
 }
 
@@ -300,9 +310,27 @@ func (c *Column) HasZoneMaps() bool {
 }
 
 // LookupCode reconstructs the stored code of row i (the raw lookup the
-// paper benchmarks). The profile may be nil.
+// paper benchmarks). The profile may be nil, in which case HBP columns
+// take the native single-load kernel instead of the modelled engine.
 func (c *Column) LookupCode(p *Profile, i int) uint32 {
+	c.wl.AddLookupRows(1)
+	if p == nil {
+		if h, ok := hbpOf(c.data); ok {
+			return kernel.LookupHBP(h, i)
+		}
+		if bs, ok := byteSliceOf(c.data); ok {
+			return kernel.Lookup(bs, i)
+		}
+	}
 	return c.data.Lookup(p.engine(), i)
+}
+
+// Workload reports the column's lifetime access counters: rows examined
+// by predicate scans and rows materialised by point lookups. The planner
+// turns the ratio into the layout decision (see Table.AutoLayout).
+func (c *Column) Workload() (scanRows, lookupRows int64) {
+	s := c.wl.Snapshot()
+	return s.ScanRows, s.LookupRows
 }
 
 // LookupInt decodes row i of an integer column.

@@ -1,0 +1,152 @@
+package byteslice
+
+import (
+	"context"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/kernel"
+	"byteslice/internal/layout"
+	"byteslice/internal/obs"
+)
+
+// layoutKernel is one storage layout's native-execution dispatch entry:
+// the set of SWAR kernels the facade routes through when no profile is
+// attached. Raw ByteSlice, compressed ByteSlice and HBP are peers behind
+// this table — table.eval, the projection paths and OrderBy dispatch on
+// the column's layout instead of type-switching inline, so adding a
+// layout means adding an entry here (plus a builder in internal/layouts
+// and a persistence format tag; the registry test in layouts_test.go
+// pins all three in sync).
+type layoutKernel struct {
+	// scanKind labels the obs stage for a plain scan of this layout.
+	scanKind func(c *Column) string
+	// scan evaluates pred over the whole column into out, returning how
+	// many segments metadata pruning resolved without touching data.
+	scan func(ctx context.Context, c *Column, pred layout.Predicate, workers int, out *bitvec.Vector, st *obs.Stage) (pruned int, err error)
+	// scanPipelined, when non-nil, fuses the running result into the scan
+	// (column-first Algorithm 2): segments already decided by prev are
+	// skipped. Layouts without a native pipelined kernel leave it nil and
+	// run an independent scan combined through the bit vector.
+	scanPipelined func(ctx context.Context, c *Column, pred layout.Predicate, prev *bitvec.Vector, disjunct bool, workers int, out *bitvec.Vector, st *obs.Stage) (pruned int, err error)
+	// lookupMany gathers the codes of rows (ascending) into codes — the
+	// projection / ORDER-BY materialisation path.
+	lookupMany func(ctx context.Context, c *Column, rows []int32, codes []uint32, st *obs.Stage) error
+	// lookupChunkable reports whether disjoint row ranges may be handed
+	// to lookupMany concurrently. Block-decoding layouts keep the whole
+	// ascending row list so each block decodes once.
+	lookupChunkable bool
+	// segments sizes the worker pool: the column's 32-code segment count.
+	segments func(c *Column) int
+}
+
+// nativeKernels is the layout dispatch table of the native execution
+// path, keyed by the layout's format tag.
+var nativeKernels = map[Format]*layoutKernel{
+	FormatByteSlice: {
+		scanKind: func(c *Column) string {
+			if bs, _ := byteSliceOf(c.data); bs.HasZoneMaps() {
+				return "scan_zoned"
+			}
+			return "scan"
+		},
+		scan: func(ctx context.Context, c *Column, pred layout.Predicate, workers int, out *bitvec.Vector, st *obs.Stage) (int, error) {
+			bs, _ := byteSliceOf(c.data)
+			if bs.HasZoneMaps() {
+				return kernel.ParallelScanZonedObs(ctx, bs, pred, workers, out, st)
+			}
+			return 0, kernel.ParallelScanObs(ctx, bs, pred, workers, out, st)
+		},
+		scanPipelined: func(ctx context.Context, c *Column, pred layout.Predicate, prev *bitvec.Vector, disjunct bool, workers int, out *bitvec.Vector, st *obs.Stage) (int, error) {
+			bs, _ := byteSliceOf(c.data)
+			if bs.HasZoneMaps() {
+				return kernel.ParallelScanPipelinedZonedObs(ctx, bs, pred, prev, disjunct, workers, out, st)
+			}
+			return 0, kernel.ParallelScanPipelinedObs(ctx, bs, pred, prev, disjunct, workers, out, st)
+		},
+		lookupMany: func(ctx context.Context, c *Column, rows []int32, codes []uint32, st *obs.Stage) error {
+			bs, _ := byteSliceOf(c.data)
+			return kernel.LookupManyObs(ctx, bs, rows, codes, st)
+		},
+		lookupChunkable: true,
+		segments: func(c *Column) int {
+			bs, _ := byteSliceOf(c.data)
+			return bs.Segments()
+		},
+	},
+	FormatByteSliceC: {
+		scanKind: func(c *Column) string { return "scan_compressed" },
+		scan: func(ctx context.Context, c *Column, pred layout.Predicate, workers int, out *bitvec.Vector, st *obs.Stage) (int, error) {
+			cc, _ := compressedOf(c.data)
+			return kernel.ParallelScanCompressedObs(ctx, cc, pred, workers, out, st)
+		},
+		lookupMany: func(ctx context.Context, c *Column, rows []int32, codes []uint32, st *obs.Stage) error {
+			// Rows arrive ascending, so each 512-code block decodes at most
+			// once into a stack buffer and serves every row it contains.
+			cc, _ := compressedOf(c.data)
+			bytes := kernel.LookupManyCompressed(cc, rows, codes)
+			if st != nil {
+				st.AddRows(int64(len(rows)), bytes)
+			}
+			return ctxErrOf(ctx)
+		},
+		segments: func(c *Column) int {
+			cc, _ := compressedOf(c.data)
+			return cc.Segments()
+		},
+	},
+	FormatHBP: {
+		scanKind: func(c *Column) string { return "scan_hbp" },
+		scan: func(ctx context.Context, c *Column, pred layout.Predicate, workers int, out *bitvec.Vector, st *obs.Stage) (int, error) {
+			h, _ := hbpOf(c.data)
+			return 0, kernel.ParallelScanHBPObs(ctx, h, pred, workers, out, st)
+		},
+		lookupMany: func(ctx context.Context, c *Column, rows []int32, codes []uint32, st *obs.Stage) error {
+			h, _ := hbpOf(c.data)
+			return kernel.LookupManyHBPObs(ctx, h, rows, codes, st)
+		},
+		lookupChunkable: true,
+		segments: func(c *Column) int {
+			return (c.Len() + core.SegmentSize - 1) / core.SegmentSize
+		},
+	},
+}
+
+// nativeKernelOf returns the native dispatch entry for the column's
+// layout, or nil when the layout only has a modelled implementation (BP,
+// VBP) and must run through the engine.
+func nativeKernelOf(c *Column) *layoutKernel {
+	return nativeKernels[c.Format()]
+}
+
+// ctxErrOf mirrors queryConfig.ctxErr for dispatch entries that finish
+// synchronously without an internal cancellation loop.
+func ctxErrOf(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// materializeCodes stitches every row's code back out of the column using
+// its native lookup kernel (modelled layouts fall back to the engine) —
+// the first half of a re-layout.
+func materializeCodes(c *Column) ([]uint32, error) {
+	n := c.Len()
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	codes := make([]uint32, n)
+	if lk := nativeKernelOf(c); lk != nil {
+		if err := lk.lookupMany(context.Background(), c, rows, codes, nil); err != nil {
+			return nil, err
+		}
+		return codes, nil
+	}
+	e := (*Profile)(nil).engine()
+	for i := range codes {
+		codes[i] = c.data.Lookup(e, i)
+	}
+	return codes, nil
+}

@@ -494,3 +494,30 @@ func TestReportCSV(t *testing.T) {
 		t.Fatalf("CSV = %q, want %q", got, want)
 	}
 }
+
+// TestLookupBenchShape pins the lookup axis payload: every layout arm
+// appears for both the projection-gather and ORDER-BY shapes, with
+// positive finite throughput and the lookup count as the row base.
+func TestLookupBenchShape(t *testing.T) {
+	cfg := Quick()
+	cfg.Widths = []int{16}
+	entries := LookupBench(cfg)
+	seen := map[string]int{}
+	for _, e := range entries {
+		if e.Layout == "" || (e.Mode != "lookup" && e.Mode != "order_by") {
+			t.Fatalf("entry missing layout/mode: %+v", e)
+		}
+		if e.NsPerScan <= 0 || e.RowsPerSec <= 0 {
+			t.Fatalf("non-positive measurement: %+v", e)
+		}
+		seen[e.Mode+"/"+e.Layout]++
+	}
+	for _, want := range []string{
+		"lookup/ByteSlice", "lookup/HBP", "lookup/ByteSliceC",
+		"order_by/ByteSlice", "order_by/HBP", "order_by/ByteSliceC",
+	} {
+		if seen[want] != 1 {
+			t.Fatalf("arm %s appeared %d times, want 1 (all: %v)", want, seen[want], seen)
+		}
+	}
+}

@@ -36,6 +36,10 @@ type ScanBenchEntry struct {
 	// "raw" scans the plain ByteSlice layout, "compressed" the fused
 	// FOR/delta decode kernel over the same codes ("" elsewhere).
 	Compression string `json:"compression,omitempty"`
+	// Layout names the storage layout of the lookup benchmarks
+	// ("ByteSlice", "HBP", "ByteSliceC"; "" elsewhere — the scan
+	// benchmarks predate the axis and imply ByteSlice).
+	Layout string `json:"layout,omitempty"`
 }
 
 // ScanBenchResult is the payload bsbench -json writes: rows-per-second for

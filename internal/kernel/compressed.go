@@ -405,3 +405,28 @@ func ParallelExtremeCompressedObs(ctx context.Context, c *compress.Column, mask 
 	}
 	return best.v, best.ok, nil
 }
+
+// LookupManyCompressed stitches the codes of the given rows out of a
+// compressed column, decoding each 512-code block at most once per visit
+// into a stack buffer (rows in ascending order decode every block exactly
+// once). It returns the number of compressed bytes touched — the facade
+// feeds this to the projection stage's byte counter.
+func LookupManyCompressed(c *compress.Column, rows []int32, out []uint32) int64 {
+	if len(rows) != len(out) {
+		panic("kernel: LookupManyCompressed rows/out length mismatch")
+	}
+	var buf [compress.BlockCodes]uint32
+	offs := c.DataOffs()
+	last := -1
+	var bytes int64
+	for i, r := range rows {
+		b := int(r) / compress.BlockCodes
+		if b != last {
+			c.DecodeBlock(b, &buf)
+			last = b
+			bytes += int64(compress.CtlBlockBytes) + int64(offs[b+1]-offs[b])
+		}
+		out[i] = buf[int(r)%compress.BlockCodes]
+	}
+	return bytes
+}

@@ -8,6 +8,7 @@ import (
 	"byteslice/internal/compress"
 	"byteslice/internal/core"
 	"byteslice/internal/layout"
+	"byteslice/internal/layout/hbp"
 	"byteslice/internal/layout/layouttest"
 )
 
@@ -212,13 +213,36 @@ func FuzzNativeVsEngine(f *testing.F) {
 			}
 		}
 
-		// Lookups stitch the original codes back, on both layouts.
+		// HBP column: the native bank scan and bank-extract lookups must be
+		// bit-identical to the engine results on the same codes.
+		hb := hbp.New(codes, k, nil)
+		got.Fill()
+		ParallelScanHBP(hb, p, workers, got)
+		if !got.Equal(want) {
+			t.Fatalf("k=%d %v n=%d workers=%d: HBP scan differs from engine", k, p, n, workers)
+		}
+		hbRows := make([]int32, n)
+		for i := range hbRows {
+			hbRows[i] = int32(n - 1 - i)
+		}
+		hbOut := make([]uint32, n)
+		LookupManyHBP(hb, hbRows, hbOut)
+		for x, r := range hbRows {
+			if hbOut[x] != codes[r] {
+				t.Fatalf("k=%d: LookupManyHBP row %d = %d, want %d", k, r, hbOut[x], codes[r])
+			}
+		}
+
+		// Lookups stitch the original codes back, on all layouts.
 		for i, v := range codes {
 			if got := Lookup(b, i); got != v {
 				t.Fatalf("k=%d: Lookup(%d) = %d, want %d", k, i, got, v)
 			}
 			if got := cc.Lookup(nil, i); got != v {
 				t.Fatalf("k=%d: compressed Lookup(%d) = %d, want %d", k, i, got, v)
+			}
+			if got := LookupHBP(hb, i); got != v {
+				t.Fatalf("k=%d: LookupHBP(%d) = %d, want %d", k, i, got, v)
 			}
 		}
 	})

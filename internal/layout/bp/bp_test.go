@@ -1,10 +1,110 @@
 package bp_test
 
 import (
+	"math/rand/v2"
 	"testing"
 
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
 	"byteslice/internal/layout/bp"
 	"byteslice/internal/layout/layouttest"
 )
 
 func TestConformance(t *testing.T) { layouttest.Run(t, bp.NewBuilder) }
+
+// TestRoundTrip pins lookups back to the source codes for every width, at
+// sizes straddling the 8-code (narrow) / 4-code (wide) group boundaries
+// and the byte phases a bit-packed stream cycles through.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 21)) //nolint:gosec // deterministic test
+	e := layouttest.Engine()
+	for _, k := range layouttest.Widths {
+		for _, n := range []int{1, 3, 7, 8, 9, 31, 32, 33, 63, 65, 1000} {
+			codes := layouttest.RandomCodes(rng, n, k, "uniform")
+			b := bp.New(codes, k, nil)
+			if b.Len() != n || b.Width() != k {
+				t.Fatalf("k=%d n=%d: Len/Width = %d/%d", k, n, b.Len(), b.Width())
+			}
+			for i, want := range codes {
+				if got := b.Lookup(e, i); got != want {
+					t.Fatalf("k=%d n=%d: Lookup(%d) = %d, want %d", k, n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWidePathBoundary covers the widths around the 8-way/4-way unpack
+// switch (wideWidth = 26) with all-zero, all-max and alternating data —
+// the patterns where a mask or shift off by one bit shows immediately.
+func TestWidePathBoundary(t *testing.T) {
+	e := layouttest.Engine()
+	for _, k := range []int{1, 24, 25, 26, 27, 31, 32} {
+		maxC := uint32(uint64(1)<<uint(k) - 1)
+		const n = 259
+		for _, fill := range []string{"zero", "max", "alt"} {
+			codes := make([]uint32, n)
+			for i := range codes {
+				switch fill {
+				case "max":
+					codes[i] = maxC
+				case "alt":
+					if i%2 == 0 {
+						codes[i] = maxC
+					}
+				}
+			}
+			b := bp.New(codes, k, nil)
+			for i, want := range codes {
+				if got := b.Lookup(e, i); got != want {
+					t.Fatalf("k=%d fill=%s: Lookup(%d) = %d, want %d", k, fill, i, got, want)
+				}
+			}
+			out := bitvec.New(n)
+			b.Scan(e, layout.Predicate{Op: layout.Eq, C1: maxC}, out)
+			for i := range codes {
+				if out.Get(i) != (codes[i] == maxC) {
+					t.Fatalf("k=%d fill=%s: Eq(max) row %d = %v", k, fill, i, out.Get(i))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialVsByteSlice pins Bit-Packed scans and lookups
+// bit-identical to the ByteSlice layout over random data, all widths and
+// every operator.
+func TestDifferentialVsByteSlice(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 8)) //nolint:gosec // deterministic test
+	e := layouttest.Engine()
+	for _, k := range layouttest.Widths {
+		maxC := uint64(1)<<uint(k) - 1
+		for _, dist := range []string{"uniform", "edges", "runs"} {
+			n := 500 + rng.IntN(600)
+			codes := layouttest.RandomCodes(rng, n, k, dist)
+			b := bp.New(codes, k, nil)
+			bs := core.New(codes, k, nil)
+			for i := 0; i < n; i += 7 {
+				if pv, bv := b.Lookup(e, i), bs.Lookup(e, i); pv != bv {
+					t.Fatalf("k=%d dist=%s: Lookup(%d) BP=%d ByteSlice=%d", k, dist, i, pv, bv)
+				}
+			}
+			for _, op := range layout.Ops {
+				c1 := uint32(rng.Uint64N(maxC + 1))
+				c2 := c1
+				if op == layout.Between {
+					c2 = c1 + uint32(rng.Uint64N(maxC-uint64(c1)+1))
+				}
+				p := layout.Predicate{Op: op, C1: c1, C2: c2}
+				want := bitvec.New(n)
+				bs.Scan(e, p, want)
+				got := bitvec.New(n)
+				b.Scan(e, p, got)
+				if !got.Equal(want) {
+					t.Fatalf("k=%d dist=%s %v: BP scan differs from ByteSlice", k, dist, p)
+				}
+			}
+		}
+	}
+}

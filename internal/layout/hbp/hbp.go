@@ -18,6 +18,12 @@ import (
 	"byteslice/internal/simd"
 )
 
+// WordBytes is the byte size of one 256-bit HBP memory word (four 64-bit
+// banks). The native lookup kernels in internal/kernel address banks as
+// data[8*(i/perBank):], which is equivalent to the word/bank decomposition
+// because banks are laid out consecutively.
+const WordBytes = wordBytes
+
 const (
 	wordBytes       = simd.Bytes
 	bankBits        = 64
@@ -102,6 +108,22 @@ func (h *HBP) SizeBytes() uint64 { return uint64(len(h.data)) }
 
 // PerWord returns the number of codes per 256-bit word.
 func (h *HBP) PerWord() int { return h.perWord }
+
+// PerBank returns the number of codes per 64-bit bank, ⌊64/(k+1)⌋.
+func (h *HBP) PerBank() int { return h.perBank }
+
+// Data exposes the packed bank bytes for the native lookup kernels in
+// internal/kernel: bank b (codes b·perBank … b·perBank+perBank−1) occupies
+// the little-endian 8 bytes at offset 8·b.
+func (h *HBP) Data() []byte { return h.data }
+
+// Patterns exposes the per-bank constant patterns to the native kernels in
+// internal/kernel: the guard mask H (delimiter positions), the zero-detect
+// addend (k ones per field), and c replicated into every field. Every bank
+// shares the same slot layout, so one 64-bit pattern serves all banks.
+func (h *HBP) Patterns(c uint32) (guard, addend, repl uint64) {
+	return h.bankPatterns(c)
+}
 
 // bankPatterns builds the per-bank constant patterns: the guard mask H
 // (delimiter positions), the zero-detect addend H−L (k ones per field),

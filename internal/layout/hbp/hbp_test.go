@@ -1,10 +1,157 @@
 package hbp_test
 
 import (
+	"math/rand/v2"
 	"testing"
 
+	"byteslice/internal/bitvec"
+	"byteslice/internal/core"
+	"byteslice/internal/layout"
 	"byteslice/internal/layout/hbp"
 	"byteslice/internal/layout/layouttest"
 )
 
 func TestConformance(t *testing.T) { layouttest.Run(t, hbp.NewBuilder) }
+
+// TestRoundTrip pins lookups back to the source codes for every width, at
+// sizes straddling bank and 256-bit-word boundaries.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9)) //nolint:gosec // deterministic test
+	e := layouttest.Engine()
+	for _, k := range layouttest.Widths {
+		perBank := 64 / (k + 1)
+		perWord := 4 * perBank
+		for _, n := range []int{1, perBank, perBank + 1, perWord - 1, perWord, perWord + 1, 3*perWord + 2, 1000} {
+			codes := layouttest.RandomCodes(rng, n, k, "uniform")
+			h := hbp.New(codes, k, nil)
+			if h.Len() != n || h.Width() != k {
+				t.Fatalf("k=%d n=%d: Len/Width = %d/%d", k, n, h.Len(), h.Width())
+			}
+			for i, want := range codes {
+				if got := h.Lookup(e, i); got != want {
+					t.Fatalf("k=%d n=%d: Lookup(%d) = %d, want %d", k, n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGeometry checks the published bank geometry the native kernels in
+// internal/kernel rely on: codes per bank and per word, the word-aligned
+// footprint, and the per-bank constant patterns.
+func TestGeometry(t *testing.T) {
+	for _, k := range layouttest.Widths {
+		h := hbp.New([]uint32{0}, k, nil)
+		perBank := 64 / (k + 1)
+		if h.PerBank() != perBank {
+			t.Fatalf("k=%d: PerBank = %d, want %d", k, h.PerBank(), perBank)
+		}
+		if h.PerWord() != 4*perBank {
+			t.Fatalf("k=%d: PerWord = %d, want %d", k, h.PerWord(), 4*perBank)
+		}
+		if h.SizeBytes()%hbp.WordBytes != 0 {
+			t.Fatalf("k=%d: SizeBytes %d not word-aligned", k, h.SizeBytes())
+		}
+		if uint64(len(h.Data())) != h.SizeBytes() {
+			t.Fatalf("k=%d: Data length %d != SizeBytes %d", k, len(h.Data()), h.SizeBytes())
+		}
+
+		maxC := uint32(uint64(1)<<uint(k) - 1)
+		guard, addend, repl := h.Patterns(maxC)
+		w := uint(k + 1)
+		for s := 0; s < perBank; s++ {
+			if guard>>(uint(s)*w+uint(k))&1 != 1 {
+				t.Fatalf("k=%d: guard bit of slot %d missing", k, s)
+			}
+			if got := uint32(repl >> (uint(s) * w) & uint64(maxC)); got != maxC {
+				t.Fatalf("k=%d: repl slot %d = %d, want %d", k, s, got, maxC)
+			}
+			if got := uint32(addend >> (uint(s) * w) & uint64(maxC)); got != maxC {
+				t.Fatalf("k=%d: addend slot %d = %#x, want all-ones field", k, s, got)
+			}
+		}
+		// No pattern bits may leak outside the perBank fields: a stray bit
+		// would corrupt neighbouring slots in the SWAR arithmetic.
+		var used uint64
+		for s := 0; s < perBank; s++ {
+			used |= ((1 << w) - 1) << (uint(s) * w)
+		}
+		if guard&^used != 0 || addend&^used != 0 || repl&^used != 0 {
+			t.Fatalf("k=%d: pattern bits outside the %d packed fields", k, perBank)
+		}
+	}
+}
+
+// TestEdgeWidths exercises the extreme bank packings — 32 one-bit codes
+// per bank down to a single 32-bit code — with all-zero, all-max and
+// alternating data, where a carry leaking across a field boundary would
+// flip a neighbour's result.
+func TestEdgeWidths(t *testing.T) {
+	e := layouttest.Engine()
+	for _, k := range []int{1, 2, 15, 16, 21, 31, 32} {
+		maxC := uint32(uint64(1)<<uint(k) - 1)
+		const n = 131
+		for _, fill := range []string{"zero", "max", "alt"} {
+			codes := make([]uint32, n)
+			for i := range codes {
+				switch fill {
+				case "max":
+					codes[i] = maxC
+				case "alt":
+					if i%2 == 0 {
+						codes[i] = maxC
+					}
+				}
+			}
+			h := hbp.New(codes, k, nil)
+			for i, want := range codes {
+				if got := h.Lookup(e, i); got != want {
+					t.Fatalf("k=%d fill=%s: Lookup(%d) = %d, want %d", k, fill, i, got, want)
+				}
+			}
+			out := bitvec.New(n)
+			h.Scan(e, layout.Predicate{Op: layout.Eq, C1: maxC}, out)
+			for i := range codes {
+				if out.Get(i) != (codes[i] == maxC) {
+					t.Fatalf("k=%d fill=%s: Eq(max) row %d = %v", k, fill, i, out.Get(i))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialVsByteSlice pins HBP scans and lookups bit-identical to
+// the ByteSlice layout over random data, all widths and every operator.
+func TestDifferentialVsByteSlice(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 4)) //nolint:gosec // deterministic test
+	e := layouttest.Engine()
+	for _, k := range layouttest.Widths {
+		maxC := uint64(1)<<uint(k) - 1
+		for _, dist := range []string{"uniform", "edges", "runs"} {
+			n := 500 + rng.IntN(600)
+			codes := layouttest.RandomCodes(rng, n, k, dist)
+			h := hbp.New(codes, k, nil)
+			bs := core.New(codes, k, nil)
+			for i := 0; i < n; i += 7 {
+				if hv, bv := h.Lookup(e, i), bs.Lookup(e, i); hv != bv {
+					t.Fatalf("k=%d dist=%s: Lookup(%d) HBP=%d ByteSlice=%d", k, dist, i, hv, bv)
+				}
+			}
+			for _, op := range layout.Ops {
+				c1 := uint32(rng.Uint64N(maxC + 1))
+				c2 := c1
+				if op == layout.Between {
+					c2 = c1 + uint32(rng.Uint64N(maxC-uint64(c1)+1))
+				}
+				p := layout.Predicate{Op: op, C1: c1, C2: c2}
+				want := bitvec.New(n)
+				bs.Scan(e, p, want)
+				got := bitvec.New(n)
+				h.Scan(e, p, got)
+				if !got.Equal(want) {
+					t.Fatalf("k=%d dist=%s %v: HBP scan differs from ByteSlice", k, dist, p)
+				}
+			}
+		}
+	}
+}

@@ -1,5 +1,15 @@
-// Package layouts is the registry of the four storage layouts the paper
-// compares, in the order its figures present them.
+// Package layouts is the registry of the storage layouts the engine can
+// build. It is the single source of truth linking a layout's persisted
+// format tag to its constructor.
+//
+// Registry invariant: every name in All has an entry in Builders, and
+// Builders has no entries outside All. Names is the strict subset of All
+// that the paper's figures compare (its presentation order); the
+// remaining registered layouts are opt-in refinements. The facade's
+// native kernel dispatch table (package byteslice) and the snapshot
+// format tags both key off these names, so a layout missing here can be
+// neither built, dispatched, nor loaded — layouts_test.go and the
+// facade's registry test enforce the linkage.
 package layouts
 
 import (
@@ -16,6 +26,10 @@ import (
 // here: it is an opt-in refinement of ByteSlice (WithCompression), not a
 // fifth layout of the paper's comparison.
 var Names = []string{"BitPacked", "HBP", "VBP", "ByteSlice"}
+
+// All lists every registered layout name: the paper's four plus the
+// opt-in refinements. Kept in sync with Builders by layouts_test.go.
+var All = append(append([]string(nil), Names...), compress.Name)
 
 // Builders maps layout names to their constructors.
 var Builders = map[string]layout.Builder{

@@ -1,0 +1,50 @@
+package layouts_test
+
+import (
+	"testing"
+
+	"byteslice/internal/layouts"
+)
+
+// TestRegistryInvariant pins the documented registry shape: All and
+// Builders name the same set, Names is a strict subset of All, and every
+// builder actually constructs a working layout of the requested width.
+func TestRegistryInvariant(t *testing.T) {
+	all := make(map[string]bool, len(layouts.All))
+	for _, n := range layouts.All {
+		if all[n] {
+			t.Fatalf("All lists %q twice", n)
+		}
+		all[n] = true
+		if layouts.Builders[n] == nil {
+			t.Fatalf("registered layout %q has no builder", n)
+		}
+	}
+	for n := range layouts.Builders {
+		if !all[n] {
+			t.Fatalf("builder %q is not listed in All", n)
+		}
+	}
+
+	named := make(map[string]bool, len(layouts.Names))
+	for _, n := range layouts.Names {
+		if !all[n] {
+			t.Fatalf("paper layout %q missing from All", n)
+		}
+		named[n] = true
+	}
+	if len(named) >= len(all) {
+		t.Fatal("Names should be a strict subset of All (the registry holds opt-in refinements too)")
+	}
+
+	codes := []uint32{0, 1, 2, 3, 500, 1023}
+	for _, n := range layouts.All {
+		l := layouts.Builders[n](codes, 10, nil)
+		if l == nil {
+			t.Fatalf("builder %q returned nil", n)
+		}
+		if l.Len() != len(codes) || l.Width() != 10 {
+			t.Fatalf("builder %q: Len/Width = %d/%d, want %d/10", n, l.Len(), l.Width(), len(codes))
+		}
+	}
+}

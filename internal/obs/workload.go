@@ -1,0 +1,60 @@
+package obs
+
+import "sync/atomic"
+
+// ColumnWorkload accumulates a column's lifetime access pattern: how many
+// rows its scans examined versus how many rows were point-looked-up
+// (projection gathers, ORDER-BY materialisation, single-row reads). The
+// two counters are the input to the planner's layout decision
+// (plan.LayoutWins): scan-dominated columns want the ByteSlice layout's
+// early-stoppable byte planes, lookup-dominated columns want HBP's
+// single-load extraction.
+//
+// A workload is owned by pointer so facade-level column copies (re-layout,
+// recompression) keep feeding the same counters; all methods are safe for
+// concurrent use.
+type ColumnWorkload struct {
+	scanRows   atomic.Int64
+	lookupRows atomic.Int64
+}
+
+// AddScanRows counts n rows examined by predicate scans.
+func (w *ColumnWorkload) AddScanRows(n int64) {
+	if w != nil {
+		w.scanRows.Add(n)
+	}
+}
+
+// AddLookupRows counts n rows materialised by point lookups.
+func (w *ColumnWorkload) AddLookupRows(n int64) {
+	if w != nil {
+		w.lookupRows.Add(n)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (w *ColumnWorkload) Snapshot() WorkloadStats {
+	if w == nil {
+		return WorkloadStats{}
+	}
+	return WorkloadStats{
+		ScanRows:   w.scanRows.Load(),
+		LookupRows: w.lookupRows.Load(),
+	}
+}
+
+// WorkloadStats is a point-in-time copy of one ColumnWorkload.
+type WorkloadStats struct {
+	ScanRows   int64 `json:"scan_rows"`
+	LookupRows int64 `json:"lookup_rows"`
+}
+
+// LookupRatio returns the lookup share of all row touches, in [0, 1];
+// zero-activity workloads report 0 (scan-leaning, the build default).
+func (s WorkloadStats) LookupRatio() float64 {
+	total := s.ScanRows + s.LookupRows
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LookupRows) / float64(total)
+}

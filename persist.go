@@ -12,6 +12,7 @@ import (
 
 	"byteslice/internal/compress"
 	"byteslice/internal/encoding"
+	"byteslice/internal/obs"
 )
 
 // Table persistence. The on-disk representation stores each column's
@@ -328,6 +329,7 @@ func (s *columnSpec) rebuild(codes []uint32, override columnConfig) (*Column, er
 		}
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	col.wl = &obs.ColumnWorkload{}
 	return col, nil
 }
 

@@ -58,7 +58,13 @@ func faultTable(t *testing.T) *byteslice.Table {
 	if !zc.Compressed() {
 		t.Fatal("fault-table column z should take the compressed layout")
 	}
-	tbl, err := byteslice.NewTable(ic, dc, sc, cc, zc)
+	// An HBP column, so the sweeps also cover the lookup-optimised layout
+	// a workload-driven re-layout (Table.AutoLayout) can choose.
+	hc, err := byteslice.NewCodeColumn("h", codes, 10, byteslice.WithFormat(byteslice.FormatHBP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(ic, dc, sc, cc, zc, hc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package byteslice_test
+
+import (
+	"bytes"
+	"testing"
+
+	"byteslice"
+	"byteslice/internal/layouts"
+)
+
+// TestDispatchRegistryLinkage asserts the three registries stay linked:
+// every format with a native kernel dispatch entry is a registered layout
+// (so it can be built), and its format tag survives a snapshot round trip
+// (so a re-laid-out table loads back onto the same kernels).
+func TestDispatchRegistryLinkage(t *testing.T) {
+	registered := make(map[string]bool, len(layouts.All))
+	for _, n := range layouts.All {
+		registered[n] = true
+	}
+	native := byteslice.NativeKernelFormats()
+	if len(native) == 0 {
+		t.Fatal("no native kernel entries registered")
+	}
+
+	// Sorted low-entropy codes, so the decision-based ByteSliceC builder
+	// keeps the compressed layout rather than falling back to ByteSlice.
+	codes := make([]uint32, 2048)
+	for i := range codes {
+		codes[i] = uint32(i / 4)
+	}
+	for _, f := range native {
+		if !registered[string(f)] {
+			t.Fatalf("dispatch table format %q has no registered builder", f)
+		}
+		c, err := byteslice.NewCodeColumn("c", codes, 10, byteslice.WithFormat(f))
+		if err != nil {
+			t.Fatalf("format %q: build failed: %v", f, err)
+		}
+		if c.Format() != f {
+			t.Fatalf("format %q: column reports %q", f, c.Format())
+		}
+		tbl, err := byteslice.NewTable(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tbl.WriteTo(&buf); err != nil {
+			t.Fatalf("format %q: snapshot failed: %v", f, err)
+		}
+		got, err := byteslice.ReadTable(&buf)
+		if err != nil {
+			t.Fatalf("format %q: load failed: %v", f, err)
+		}
+		gc, err := got.Column("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc.Format() != f {
+			t.Fatalf("format %q: persistence tag came back as %q", f, gc.Format())
+		}
+		for _, i := range []int{0, 1, 999, 2047} {
+			if v := gc.LookupCode(nil, i); v != codes[i] {
+				t.Fatalf("format %q: loaded row %d = %d, want %d", f, i, v, codes[i])
+			}
+		}
+	}
+
+	// Every paper layout is constructible through the public Formats list.
+	for _, f := range byteslice.Formats() {
+		if _, err := byteslice.NewCodeColumn("c", codes, 10, byteslice.WithFormat(f)); err != nil {
+			t.Fatalf("public format %q: build failed: %v", f, err)
+		}
+	}
+}

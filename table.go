@@ -132,6 +132,113 @@ func (c *Column) withCompression() (*Column, error) {
 	return &nc, nil
 }
 
+// WithLayout returns a table whose named columns (all of them when no
+// names are given) are rebuilt in the given storage layout, sharing the
+// encoders, NULL vectors, histograms and workload counters of the
+// receiver's columns. Columns already in the requested layout pass
+// through unchanged. The receiver is not modified.
+func (t *Table) WithLayout(f Format, names ...string) (*Table, error) {
+	if _, err := builderFor(f); err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		if _, err := t.Column(n); err != nil {
+			return nil, err
+		}
+		want[n] = true
+	}
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		if len(names) > 0 && !want[c.Name()] {
+			cols[i] = c
+			continue
+		}
+		nc, err := c.withLayout(f)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = nc
+	}
+	return NewTable(cols...)
+}
+
+// AutoLayout returns a table re-laid-out by the planner's workload model:
+// each column's observed scan:lookup row counters (see Column.Workload)
+// are priced under the ByteSlice and HBP layouts by plan.LayoutWins, and
+// columns whose cheapest layout differs from their current one are
+// rebuilt — lookup-dominated columns move to HBP's single-load banks,
+// scan-dominated HBP columns move back to ByteSlice. Only the raw
+// ByteSlice ↔ HBP pair participates: compressed, zone-mapped and
+// explicitly chosen baseline layouts are left alone. The rebuilt columns
+// keep feeding the same workload counters, so the decision keeps adapting
+// across AutoLayout calls. The receiver is not modified; when nothing
+// flips, the receiver itself is returned.
+func (t *Table) AutoLayout() (*Table, error) {
+	cols := make([]*Column, len(t.cols))
+	changed := false
+	for i, c := range t.cols {
+		cols[i] = c
+		target, flip := c.autoLayoutTarget()
+		if !flip {
+			continue
+		}
+		nc, err := c.withLayout(target)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = nc
+		changed = true
+	}
+	if !changed {
+		return t, nil
+	}
+	return NewTable(cols...)
+}
+
+// autoLayoutTarget resolves the workload-driven layout choice for one
+// column: the format to rebuild into, and whether a rebuild is needed.
+func (c *Column) autoLayoutTarget() (Format, bool) {
+	f := c.Format()
+	if f != FormatByteSlice && f != FormatHBP {
+		return "", false
+	}
+	if c.HasZoneMaps() {
+		// Zone maps change the scan cost in ways LayoutFor does not model
+		// (and would be lost in translation); zoned columns stay put.
+		return "", false
+	}
+	scan, look := c.Workload()
+	slices := (c.Width() + 7) / 8
+	if plan.LayoutWins(slices, scan, look) {
+		if f != FormatHBP {
+			return FormatHBP, true
+		}
+	} else if f == FormatHBP && scan+look > 0 {
+		return FormatByteSlice, true
+	}
+	return "", false
+}
+
+// withLayout rebuilds the column in the given layout, sharing the
+// encoders, NULL vector, histogram and workload counters of the receiver.
+func (c *Column) withLayout(f Format) (*Column, error) {
+	if c.Format() == f {
+		return c, nil
+	}
+	build, err := builderFor(f)
+	if err != nil {
+		return nil, err
+	}
+	codes, err := materializeCodes(c)
+	if err != nil {
+		return nil, err
+	}
+	nc := *c
+	nc.data = build(codes, c.Width(), arena)
+	return &nc, nil
+}
+
 // Column returns the named column.
 func (t *Table) Column(name string) (*Column, error) {
 	c, ok := t.byName[name]
@@ -454,6 +561,9 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 		// tables (and match-all pseudo predicates) fall back to baseline.
 		if cols, preds, ok := allBS(rs); pfOK && ok {
 			out := bitvec.New(t.n)
+			for _, r := range rs {
+				r.col.wl.AddScanRows(int64(t.n))
+			}
 			if cfg.native() {
 				st, done := cfg.stage(q, "scan(multi)", "scan_multi")
 				pruned, err := kernel.ParallelScanMultiObs(cfg.ctx, cols, preds, disjunct, cfg.nativeWorkers(cols[0].Segments()), out, st)
@@ -496,13 +606,15 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 			}
 			continue
 		}
+		r.col.wl.AddScanRows(int64(t.n))
 		if i == 0 {
-			if cc, isCC := compressedOf(r.col.data); isCC && cfg.native() {
-				// Compressed native fast path: FOR/delta blocks decode into
-				// worker-local scratch inside the fused kernel, with exact
-				// block min/max pruning skipping decode entirely.
-				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_compressed")
-				pruned, err := kernel.ParallelScanCompressedObs(cfg.ctx, cc, r.pred, cfg.nativeWorkers(cc.Segments()), acc, st)
+			if lk := nativeKernelOf(r.col); lk != nil && cfg.native() {
+				// Native dispatch: the layout's registered SWAR kernel
+				// (dispatch.go) runs with whatever metadata pruning the
+				// layout carries — zone maps on ByteSlice, exact block
+				// bounds on compressed, none on HBP.
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", lk.scanKind(r.col))
+				pruned, err := lk.scan(cfg.ctx, r.col, r.pred, cfg.nativeWorkers(lk.segments(r.col)), acc, st)
 				done()
 				if err != nil {
 					return nil, queryErr(err)
@@ -513,26 +625,6 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 			}
 			bs, isBS := byteSliceOf(r.col.data)
 			switch {
-			case isBS && cfg.native() && bs.HasZoneMaps():
-				// Native SWAR fast path with zone-map pruning: segments the
-				// first-byte min/max already decides are written without
-				// loading column data.
-				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_zoned")
-				pruned, err := kernel.ParallelScanZonedObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc, st)
-				done()
-				if err != nil {
-					return nil, queryErr(err)
-				}
-				zoneSkipped += pruned
-			case isBS && cfg.native():
-				// Native SWAR fast path: no profile is attached, so the
-				// segment range fans out across the worker pool.
-				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan")
-				err := kernel.ParallelScanObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), acc, st)
-				done()
-				if err != nil {
-					return nil, queryErr(err)
-				}
 			case isBS && cfg.workers > 1:
 				for _, wp := range bs.ParallelScan(r.pred, cfg.workers, acc) {
 					if cfg.profile != nil {
@@ -551,31 +643,24 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 			// Conjunctive pipelining composes with null clearing (rows
 			// NULL in this column drop out of prev AND scan afterwards);
 			// disjunctive pipelining does not, so a nullable column in a
-			// disjunction is scanned separately.
-			if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() && !(disjunct && r.col.nulls != nil) {
-				if bs.HasZoneMaps() {
-					st, done := cfg.stage(q, "scan("+r.col.Name()+")", "pipelined")
-					pruned, err := kernel.ParallelScanPipelinedZonedObs(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur, st)
-					done()
-					if err != nil {
-						return nil, queryErr(err)
-					}
-					zoneSkipped += pruned
-				} else {
-					st, done := cfg.stage(q, "scan("+r.col.Name()+")", "pipelined")
-					err := kernel.ParallelScanPipelinedObs(cfg.ctx, bs, r.pred, acc, disjunct, cfg.nativeWorkers(bs.Segments()), cur, st)
-					done()
-					if err != nil {
-						return nil, queryErr(err)
-					}
+			// disjunction is scanned separately. Layouts without a native
+			// pipelined kernel (compressed, HBP) fall through to an
+			// independent scan combined through the bit vector.
+			if lk := nativeKernelOf(r.col); lk != nil && lk.scanPipelined != nil && cfg.native() && !(disjunct && r.col.nulls != nil) {
+				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "pipelined")
+				pruned, err := lk.scanPipelined(cfg.ctx, r.col, r.pred, acc, disjunct, cfg.nativeWorkers(lk.segments(r.col)), cur, st)
+				done()
+				if err != nil {
+					return nil, queryErr(err)
 				}
+				zoneSkipped += pruned
 				if !disjunct {
 					applyNulls(cur, r.col)
 				}
 				acc, cur = cur, acc
 				continue
 			}
-			if p, ok := r.col.data.(layout.Pipelined); ok && !(disjunct && r.col.nulls != nil) {
+			if p, ok := r.col.data.(layout.Pipelined); ok && !(cfg.native() && nativeKernelOf(r.col) != nil) && !(disjunct && r.col.nulls != nil) {
 				p.ScanPipelined(e, r.pred, acc, disjunct, cur)
 				if !disjunct {
 					applyNulls(cur, r.col)
@@ -584,35 +669,17 @@ func (t *Table) evalFiltered(filters []Filter, disjunct bool, cfgp *queryConfig,
 				continue
 			}
 		}
-		if cc, isCC := compressedOf(r.col.data); isCC && cfg.native() {
-			// Independent compressed scan; compressed columns do not
-			// pipeline (the fused decode kernel always covers every
-			// block), so the result combines through the bit vector.
-			st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_compressed")
-			pruned, err := kernel.ParallelScanCompressedObs(cfg.ctx, cc, r.pred, cfg.nativeWorkers(cc.Segments()), cur, st)
+		if lk := nativeKernelOf(r.col); lk != nil && cfg.native() {
+			// Independent native scan through the layout dispatch table;
+			// the result combines through the bit vector.
+			st, done := cfg.stage(q, "scan("+r.col.Name()+")", lk.scanKind(r.col))
+			pruned, err := lk.scan(cfg.ctx, r.col, r.pred, cfg.nativeWorkers(lk.segments(r.col)), cur, st)
 			done()
 			if err != nil {
 				return nil, queryErr(err)
 			}
 			zoneSkipped += pruned
-		} else if bs, isBS := byteSliceOf(r.col.data); isBS && cfg.native() {
-			if bs.HasZoneMaps() {
-				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan_zoned")
-				pruned, err := kernel.ParallelScanZonedObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur, st)
-				done()
-				if err != nil {
-					return nil, queryErr(err)
-				}
-				zoneSkipped += pruned
-			} else {
-				st, done := cfg.stage(q, "scan("+r.col.Name()+")", "scan")
-				err := kernel.ParallelScanObs(cfg.ctx, bs, r.pred, cfg.nativeWorkers(bs.Segments()), cur, st)
-				done()
-				if err != nil {
-					return nil, queryErr(err)
-				}
-			}
-		} else if isBS && bs.HasZoneMaps() {
+		} else if bs, isBS := byteSliceOf(r.col.data); isBS && bs.HasZoneMaps() {
 			bs.ScanZoned(e, r.pred, cur)
 		} else {
 			r.col.data.Scan(e, r.pred, cur)
@@ -703,27 +770,6 @@ func allBS(rs []resolved) ([]*core.ByteSlice, []layout.Predicate, bool) {
 	return cols, preds, true
 }
 
-// decodeCompressedRows stitches the codes of the given rows out of a
-// compressed column, decoding each 512-code block at most once per visit
-// into a stack buffer (rows in ascending order decode every block exactly
-// once). It returns the number of compressed bytes touched.
-func decodeCompressedRows(cc *compress.Column, rows []int32, codes []uint32) int64 {
-	var buf [compress.BlockCodes]uint32
-	offs := cc.DataOffs()
-	last := -1
-	var bytes int64
-	for i, r := range rows {
-		b := int(r) / compress.BlockCodes
-		if b != last {
-			cc.DecodeBlock(b, &buf)
-			last = b
-			bytes += int64(compress.CtlBlockBytes) + int64(offs[b+1]-offs[b])
-		}
-		codes[i] = buf[int(r)%compress.BlockCodes]
-	}
-	return bytes
-}
-
 // ProjectInt decodes an integer column's values for the matching rows
 // (NULL rows of the projected column are skipped; their row numbers are
 // omitted from the parallel Rows slice returned alongside).
@@ -798,10 +844,12 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 		rows = append(rows, r)
 	}
 	codes := make([]uint32, len(rows))
-	if cc, isCC := compressedOf(c.data); isCC && cfg.native() {
-		// Compressed projection: res.Rows() is ascending, so each 512-code
-		// block decodes once into a stack buffer and serves every matching
-		// row it contains.
+	c.wl.AddLookupRows(int64(len(rows)))
+	if lk := nativeKernelOf(c); lk != nil && cfg.native() {
+		// Native projection through the layout dispatch table: ByteSlice
+		// stitches, HBP extracts banks, compressed decodes each ascending
+		// block once. The stage lands in the filter result's collector, so
+		// res.Stats() after a projection shows scan and lookup together.
 		var obsQ *obs.Query
 		if !cfg.noObs {
 			obsQ = res.stats
@@ -811,27 +859,15 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 		if err := cfg.ctxErr(); err != nil {
 			return nil, nil, err
 		}
-		bytes := decodeCompressedRows(cc, rows, codes)
-		if st != nil {
-			st.AddRows(int64(len(rows)), bytes)
-		}
-		return rows, codes, nil
-	}
-	if bs, isBS := byteSliceOf(c.data); isBS && cfg.native() {
-		// The projection stage lands in the filter result's collector, so
-		// res.Stats() after a projection shows scan and lookup together.
-		var obsQ *obs.Query
-		if !cfg.noObs {
-			obsQ = res.stats
-		}
-		st, done := cfg.stage(obsQ, "project("+c.Name()+")", "project")
-		defer done()
 		workers := cfg.workers
+		if !lk.lookupChunkable {
+			workers = 1
+		}
 		if max := len(rows) / (minSegmentsPerWorker * core.SegmentSize); workers > max {
 			workers = max
 		}
 		if workers <= 1 {
-			if err := kernel.LookupManyObs(cfg.ctx, bs, rows, codes, st); err != nil {
+			if err := lk.lookupMany(cfg.ctx, c, rows, codes, st); err != nil {
 				return nil, nil, queryErr(err)
 			}
 			return rows, codes, nil
@@ -847,7 +883,7 @@ func (t *Table) projectCodes(c *Column, res *Result, opts []QueryOption) ([]int3
 			wg.Add(1)
 			go func(i, lo, hi int) {
 				defer wg.Done()
-				errs[i] = kernel.LookupManyObs(cfg.ctx, bs, rows[lo:hi], codes[lo:hi], st)
+				errs[i] = lk.lookupMany(cfg.ctx, c, rows[lo:hi], codes[lo:hi], st)
 			}(i, lo, hi)
 		}
 		wg.Wait()
@@ -914,12 +950,18 @@ func (t *Table) OrderBy(col string, res *Result, opts ...QueryOption) ([]int32, 
 		st.AddRows(int64(len(rows)), int64(len(rows))*int64((c.Width()+7)/8))
 	}
 	defer done()
+	c.wl.AddLookupRows(int64(len(rows)))
 
-	if cc, ok := compressedOf(c.data); ok && cfg.native() {
-		// Compressed sort column: decode the survivors' codes block-at-a-time
-		// (rows are ascending) and radix-sort them like the ByteSlice path.
+	if lk := nativeKernelOf(c); lk != nil && cfg.native() {
+		// Native materialisation through the layout dispatch table — the
+		// survivors' codes come out of the column's native lookup kernel
+		// (ByteSlice stitch, HBP bank extract, compressed block decode)
+		// instead of modelled per-row lookups — then radix-sort the small
+		// materialised ByteSlice column; the permutation maps back to rows.
 		codes := make([]uint32, len(rows))
-		decodeCompressedRows(cc, rows, codes)
+		if err := lk.lookupMany(cfg.ctx, c, rows, codes, nil); err != nil {
+			return nil, queryErr(err)
+		}
 		sub := core.New(codes, c.Width(), nil)
 		order := sortpart.Sort(e, sub)
 		out := make([]int32, len(rows))
@@ -929,8 +971,8 @@ func (t *Table) OrderBy(col string, res *Result, opts ...QueryOption) ([]int32, 
 		return out, nil
 	}
 	if bs, ok := byteSliceOf(c.data); ok {
-		// Materialise the survivors' codes as a small ByteSlice column and
-		// radix-sort it; the resulting permutation maps back to rows.
+		// Modelled path: materialise the survivors' codes with per-row
+		// engine lookups and radix-sort them.
 		codes := make([]uint32, len(rows))
 		for i, r := range rows {
 			codes[i] = bs.Lookup(e, int(r))
