@@ -93,9 +93,27 @@ type row struct {
 	Failing bool
 }
 
+// advisoryMode reports whether a key's mode is in the advisory set:
+// compared and rendered, but a regression doesn't fail the gate. Used for
+// measurements bound by the runner's hardware rather than the code under
+// test (per-append fsync throughput is the CI disk, not a kernel).
+func advisoryMode(mode, advisory string) bool {
+	if advisory == "" {
+		return false
+	}
+	for _, a := range strings.Split(advisory, ",") {
+		if a = strings.TrimSpace(a); a != "" && mode == a {
+			return true
+		}
+	}
+	return false
+}
+
 // diff compares baseline vs current best-per-key at the given regression
-// threshold (0.25 = fail when current is more than 25% slower).
-func diff(base, cur map[key]float64, threshold float64) []row {
+// threshold (0.25 = fail when current is more than 25% slower). Keys whose
+// mode is advisory report regressions without failing; a MISSING advisory
+// key still fails (the harness broke, not the disk).
+func diff(base, cur map[key]float64, threshold float64, advisory string) []row {
 	keys := make(map[key]bool)
 	for k := range base {
 		keys[k] = true
@@ -115,9 +133,12 @@ func diff(base, cur map[key]float64, threshold float64) []row {
 			r.Verdict = "new"
 		default:
 			r.Delta = (c - b) / b
-			if r.Delta < -threshold {
+			switch {
+			case r.Delta < -threshold && advisoryMode(k.Mode, advisory):
+				r.Verdict = "regressed (advisory)"
+			case r.Delta < -threshold:
 				r.Verdict, r.Failing = "REGRESSION", true
-			} else {
+			default:
 				r.Verdict = "ok"
 			}
 		}
@@ -199,7 +220,7 @@ func load(path string) (*payload, error) {
 // comma-separated payloads from repeated measurement runs; the per-key
 // maximum across all of them is compared, squeezing scheduler jitter out
 // of the gate without loosening the threshold.
-func run(baselinePath, currentPath string, threshold float64) (string, int, error) {
+func run(baselinePath, currentPath string, threshold float64, advisory string) (string, int, error) {
 	base, err := load(baselinePath)
 	if err != nil {
 		return "", 0, err
@@ -217,7 +238,7 @@ func run(baselinePath, currentPath string, threshold float64) (string, int, erro
 		}
 	}
 	var sb strings.Builder
-	failed := render(&sb, diff(best(base), cur, threshold), threshold)
+	failed := render(&sb, diff(best(base), cur, threshold, advisory), threshold)
 	if failed > 0 {
 		fmt.Fprintf(&sb, "FAIL: %d key(s) regressed beyond %.0f%%\n", failed, threshold*100)
 	} else {
@@ -231,6 +252,7 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_scan.json", "committed baseline payload")
 		current   = flag.String("current", "", "freshly measured payload(s) to compare; comma-separated runs fold to their per-key best")
 		threshold = flag.Float64("threshold", 0.25, "relative slowdown that fails the gate (0.25 = 25%)")
+		advisory  = flag.String("advisory", "", "comma-separated modes whose regressions report without failing (hardware-bound measurements, e.g. ingest_append_synced)")
 		out       = flag.String("out", "", "also write the report to this file (CI artifact)")
 	)
 	flag.Parse()
@@ -238,7 +260,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
 	}
-	report, failed, err := run(*baseline, *current, *threshold)
+	report, failed, err := run(*baseline, *current, *threshold, *advisory)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)

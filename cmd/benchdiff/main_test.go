@@ -38,7 +38,7 @@ func TestDetectsTenfoldSlowdown(t *testing.T) {
 	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 6.0e9, "data": "sorted", "mode": "scan_zoned"}
 	  ]
 	}`
-	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestPassesWithinThreshold(t *testing.T) {
 	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 5.0e9, "data": "sorted", "mode": "scan_zoned"}
 	  ]
 	}`
-	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestMissingKeyFails(t *testing.T) {
 	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
 	  ]
 	}`
-	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestNewKeyPasses(t *testing.T) {
 	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 3.0e9, "mode": "multi_column_first", "preds": 3}
 	  ]
 	}`
-	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25)
+	report, failed, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestMultiRunFold(t *testing.T) {
 	  ]
 	}`
 	currents := write(t, "cur1.json", slow) + "," + write(t, "cur2.json", good)
-	report, failed, err := run(write(t, "base.json", baseline), currents, 0.25)
+	report, failed, err := run(write(t, "base.json", baseline), currents, 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestCompressionAxisKeysSeparately(t *testing.T) {
 	    {"width": 16, "path": "native", "workers": 4, "rows_per_sec": 1.4e9, "data": "sorted", "mode": "scan", "compression": "compressed"}
 	  ]
 	}`
-	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25)
+	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestLayoutAxisKeysSeparately(t *testing.T) {
 	    {"width": 16, "path": "native", "workers": 1, "rows_per_sec": 6.0e6, "mode": "lookup", "layout": "HBP"}
 	  ]
 	}`
-	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25)
+	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestLayoutAxisKeysSeparately(t *testing.T) {
 }
 
 func TestRejectsEmptyPayload(t *testing.T) {
-	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", `{"results": []}`), 0.25); err == nil {
+	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", `{"results": []}`), 0.25, ""); err == nil {
 		t.Fatal("empty current payload must be an error, not a pass")
 	}
 }
@@ -236,7 +236,7 @@ func TestRejectsZeroBaseline(t *testing.T) {
 	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
 	  ]
 	}`
-	_, _, err := run(write(t, "base.json", zeroed), write(t, "cur.json", current), 0.25)
+	_, _, err := run(write(t, "base.json", zeroed), write(t, "cur.json", current), 0.25, "")
 	if err == nil {
 		t.Fatal("zero baseline rows_per_sec must be an error, not a pass")
 	}
@@ -255,7 +255,53 @@ func TestRejectsNonFiniteMeasurement(t *testing.T) {
 	    {"width": 16, "path": "engine", "workers": 1, "rows_per_sec": 2.0e8}
 	  ]
 	}`
-	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25); err == nil {
+	if _, _, err := run(write(t, "base.json", baseline), write(t, "cur.json", current), 0.25, ""); err == nil {
 		t.Fatal("negative current rows_per_sec must be an error")
+	}
+}
+
+// TestAdvisoryModeReportsWithoutFailing: a hardware-bound mode in the
+// advisory set renders its regression but doesn't fail the gate, while
+// the same regression in a non-advisory mode still does — and an
+// advisory key that vanished entirely still fails.
+func TestAdvisoryModeReportsWithoutFailing(t *testing.T) {
+	base := `{"results": [
+		{"width": 16, "path": "native", "workers": 1, "mode": "ingest_append_synced", "rows_per_sec": 10000},
+		{"width": 16, "path": "native", "workers": 1, "mode": "ingest_append", "rows_per_sec": 1000000}
+	]}`
+	current := `{"results": [
+		{"width": 16, "path": "native", "workers": 1, "mode": "ingest_append_synced", "rows_per_sec": 1000},
+		{"width": 16, "path": "native", "workers": 1, "mode": "ingest_append", "rows_per_sec": 1000000}
+	]}`
+	report, failed, err := run(write(t, "base.json", base), write(t, "cur.json", current), 0.25, "ingest_append_synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("advisory regression failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "regressed (advisory)") {
+		t.Fatalf("advisory regression not reported:\n%s", report)
+	}
+
+	// Without the advisory flag the same payload fails.
+	_, failed, err = run(write(t, "base2.json", base), write(t, "cur2.json", current), 0.25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("non-advisory regression passed (failed=%d)", failed)
+	}
+
+	// A missing advisory key is a broken harness, not a slow disk.
+	gone := `{"results": [
+		{"width": 16, "path": "native", "workers": 1, "mode": "ingest_append", "rows_per_sec": 1000000}
+	]}`
+	_, failed, err = run(write(t, "base3.json", base), write(t, "cur3.json", gone), 0.25, "ingest_append_synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("missing advisory key passed (failed=%d)", failed)
 	}
 }

@@ -46,6 +46,7 @@ func main() {
 		compr    = flag.Bool("compression", false, "with -json: also benchmark the fused compressed scan vs the raw SWAR scan")
 		lookup   = flag.Bool("lookup", false, "with -json: also benchmark batch lookups and ORDER-BY materialisation across the ByteSlice, HBP and compressed layouts")
 		snapshot = flag.String("snapshot", "", "benchmark crash-atomic SaveFile/LoadFile on a generated table written to this path")
+		ingestAx = flag.Bool("ingest", false, "with -json: also benchmark the write path — WAL-durable append throughput and scan latency while a delta is live")
 		stats    = flag.Bool("stats", false, "after the run, print the process-wide query-observability snapshot as JSON")
 		serve    = flag.String("serve", "", "after the run, serve the observability registry over HTTP on this address (e.g. :8080; /stats and expvar's /debug/vars)")
 	)
@@ -125,6 +126,14 @@ func main() {
 		}
 		if *preds > 1 {
 			res.Results = append(res.Results, experiments.MultiPredBench(cfg, *preds, workerCounts)...)
+		}
+		if *ingestAx {
+			entries, err := ingestBench(cfg.N, cfg.Seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bsbench:", err)
+				os.Exit(1)
+			}
+			res.Results = append(res.Results, entries...)
 		}
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -274,4 +283,103 @@ func snapshotBench(path string, n int, seed uint64) error {
 	fmt.Printf("  save (write+fsync+rename): %8v  %7.1f MiB/s\n", saveDur.Round(time.Millisecond), mb/saveDur.Seconds())
 	fmt.Printf("  load (read+CRC+rebuild):   %8v  %7.1f MiB/s\n", loadDur.Round(time.Millisecond), mb/loadDur.Seconds())
 	return nil
+}
+
+// ingestBench benchmarks the write path end to end: WAL-durable appends
+// into an IngestTable (synced and unsynced), scan latency while an
+// unmerged delta is live, and the epoch-switch merge itself. Entries ride
+// the ScanBench JSON shape (mode "ingest_*") so benchdiff tracks them
+// across commits like every other axis.
+func ingestBench(n int, seed uint64) ([]experiments.ScanBenchEntry, error) {
+	if n == 0 || n > 1<<18 {
+		n = 1 << 18 // append benchmarks are per-row; cap the loop
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03)) //nolint:gosec
+	baseRows := n / 4
+	ints := make([]int64, baseRows)
+	for i := range ints {
+		ints[i] = int64(rng.IntN(100000))
+	}
+	ic, err := byteslice.NewIntColumn("quantity", ints, 0, 100000)
+	if err != nil {
+		return nil, err
+	}
+	width := ic.Width()
+
+	bench := func(synced bool) (appendNs, scanNs, mergeNs float64, err error) {
+		base, err := byteslice.NewTable(ic)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		dir, err := os.MkdirTemp("", "bsbench-ingest-*")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer os.RemoveAll(dir) //nolint:errcheck // temp dir
+		it, err := byteslice.CreateIngest(dir, base,
+			byteslice.WithAutoMerge(false),
+			byteslice.WithSyncedAppends(synced),
+			byteslice.WithDeltaBound(1<<30))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer it.Close() //nolint:errcheck // benchmark table
+
+		rows := n
+		if synced {
+			rows = min(n, 4096) // per-append fsync: keep the loop sane
+		}
+		start := time.Now()
+		for i := 0; i < rows; i++ {
+			if err := it.Append(map[string]any{"quantity": int64(i % 100000)}); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		appendNs = float64(time.Since(start).Nanoseconds()) / float64(rows)
+
+		q := []byteslice.Filter{byteslice.IntFilter("quantity", byteslice.Lt, 50000)}
+		const scans = 16
+		start = time.Now()
+		for i := 0; i < scans; i++ {
+			if _, err := it.Filter(q); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		scanNs = float64(time.Since(start).Nanoseconds()) / scans
+
+		start = time.Now()
+		if err := it.MergeNow(); err != nil {
+			return 0, 0, 0, err
+		}
+		mergeNs = float64(time.Since(start).Nanoseconds())
+		return appendNs, scanNs, mergeNs, nil
+	}
+
+	var out []experiments.ScanBenchEntry
+	for _, c := range []struct {
+		mode   string
+		synced bool
+	}{{"ingest_append", false}, {"ingest_append_synced", true}} {
+		appendNs, scanNs, mergeNs, err := bench(c.synced)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, experiments.ScanBenchEntry{
+			Width: width, Path: "native", Workers: 1, Mode: c.mode,
+			NsPerScan: appendNs, RowsPerSec: 1e9 / appendNs,
+		})
+		if !c.synced {
+			total := float64(baseRows + n)
+			out = append(out,
+				experiments.ScanBenchEntry{
+					Width: width, Path: "native", Workers: 1, Mode: "ingest_scan_live",
+					NsPerScan: scanNs, RowsPerSec: total * 1e9 / scanNs,
+				},
+				experiments.ScanBenchEntry{
+					Width: width, Path: "native", Workers: 1, Mode: "ingest_merge",
+					NsPerScan: mergeNs, RowsPerSec: total * 1e9 / mergeNs,
+				})
+		}
+	}
+	return out, nil
 }

@@ -5,18 +5,21 @@
 //
 //	bsinspect -k 11 -values 1024,129,4,2047
 //	bsinspect -k 11 -values 1024,129 -scan "<" -const 129
+//	bsinspect -ingest /path/to/ingest-dir
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"byteslice/internal/bitvec"
 	"byteslice/internal/compress"
 	"byteslice/internal/core"
+	"byteslice/internal/ingest"
 	"byteslice/internal/kernel"
 	"byteslice/internal/layout"
 	"byteslice/internal/layout/bp"
@@ -29,17 +32,28 @@ import (
 
 func main() {
 	var (
-		k     = flag.Int("k", 11, "code width in bits")
-		vals  = flag.String("values", "1024,129,4,2047,0", "comma-separated code values")
-		scan  = flag.String("scan", "", "optionally evaluate a predicate: one of < <= > >= = <>")
-		konst = flag.Uint64("const", 0, "predicate constant")
-		zones = flag.Bool("zones", false, "with -scan: show per-segment zone-map verdicts and the cost-based plan")
-		compr = flag.Bool("compression", false, "show the compressed-layout report: block modes, footprints and the build decision")
-		lay   = flag.Bool("layout", false, "show the workload-driven layout decision for -scans/-lookups row counts")
-		scans = flag.Int64("scans", 0, "with -layout: scan rows observed on the column")
-		looks = flag.Int64("lookups", 0, "with -layout: lookup rows observed on the column")
+		k      = flag.Int("k", 11, "code width in bits")
+		vals   = flag.String("values", "1024,129,4,2047,0", "comma-separated code values")
+		scan   = flag.String("scan", "", "optionally evaluate a predicate: one of < <= > >= = <>")
+		konst  = flag.Uint64("const", 0, "predicate constant")
+		zones  = flag.Bool("zones", false, "with -scan: show per-segment zone-map verdicts and the cost-based plan")
+		compr  = flag.Bool("compression", false, "show the compressed-layout report: block modes, footprints and the build decision")
+		lay    = flag.Bool("layout", false, "show the workload-driven layout decision for -scans/-lookups row counts")
+		scans  = flag.Int64("scans", 0, "with -layout: scan rows observed on the column")
+		looks  = flag.Int64("lookups", 0, "with -layout: lookup rows observed on the column")
+		ingDir = flag.String("ingest", "", "inspect an ingest directory: manifest, epoch artifacts and WAL health (non-mutating)")
 	)
 	flag.Parse()
+
+	if *ingDir != "" {
+		report, err := ingestReport(*ingDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsinspect:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		return
+	}
 
 	codes, err := parseValues(*vals, *k)
 	if err != nil {
@@ -231,6 +245,61 @@ func compressionReport(codes []uint32, k int) string {
 	}
 	fmt.Fprintf(&b, "  decision: %s\n", decision)
 	return b.String()
+}
+
+// ingestReport renders an ingest directory's durability state without
+// mutating it: the manifest's current epoch, each artifact's presence and
+// size, and the WAL's frame-level health (clean, torn tail, or corrupt).
+func ingestReport(dir string) (string, error) {
+	m, err := ingest.ReadManifest(dir)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "— Ingest directory %s —\n", dir)
+	fmt.Fprintf(&b, "  manifest: epoch %d, base %s, wal %s\n", m.Epoch, m.Base, m.WAL)
+
+	basePath := filepath.Join(dir, m.Base)
+	if fi, err := os.Stat(basePath); err != nil {
+		fmt.Fprintf(&b, "  base:     MISSING (%v)\n", err)
+	} else {
+		fmt.Fprintf(&b, "  base:     %d bytes\n", fi.Size())
+	}
+
+	info, err := ingest.Inspect(filepath.Join(dir, m.WAL))
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case info.Err != nil:
+		fmt.Fprintf(&b, "  wal:      CORRUPT at byte %d: %v\n", info.GoodBytes, info.Err)
+		fmt.Fprintf(&b, "            %d intact row(s) in the clean prefix\n", info.Rows)
+	default:
+		fmt.Fprintf(&b, "  wal:      epoch %d over %d base rows, %d appended row(s), %s tail\n",
+			info.Epoch, info.BaseRows, info.Rows, info.Tail)
+		if info.Tail == "torn" {
+			fmt.Fprintf(&b, "            %d/%d bytes intact (%d torn bytes would be truncated on open)\n",
+				info.GoodBytes, info.FileBytes, info.FileBytes-info.GoodBytes)
+		}
+		if info.Epoch != m.Epoch {
+			fmt.Fprintf(&b, "            MISMATCH: WAL epoch %d vs manifest epoch %d\n", info.Epoch, m.Epoch)
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == ingest.ManifestName || name == m.Base || name == m.WAL {
+			continue
+		}
+		if strings.HasPrefix(name, "base-") || strings.HasPrefix(name, "wal-") || strings.HasSuffix(name, ".tmp") {
+			fmt.Fprintf(&b, "  orphan:   %s (unreferenced; removed on next open)\n", name)
+		}
+	}
+	return b.String(), nil
 }
 
 func parseValues(s string, k int) ([]uint32, error) {

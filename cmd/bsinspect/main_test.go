@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"byteslice"
 	"byteslice/internal/layout"
 )
 
@@ -126,5 +129,72 @@ func TestParseOp(t *testing.T) {
 	}
 	if _, err := parseOp("between"); err == nil {
 		t.Fatal("unknown op accepted")
+	}
+}
+
+// TestIngestReport pins the -ingest directory report: a healthy directory,
+// a torn WAL tail, and an orphan artifact are all identified, and the
+// report never mutates the directory.
+func TestIngestReport(t *testing.T) {
+	dir := t.TempDir()
+	qty, err := byteslice.NewIntColumn("qty", []int64{5, 50, 7}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := byteslice.NewTable(qty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := byteslice.CreateIngest(dir, tbl, byteslice.WithAutoMerge(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := it.Append(map[string]any{"qty": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ingestReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"epoch 1", "base-1.bslc", "wal-1.log", "5 appended row(s)", "clean tail"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	// Tear the WAL tail and drop an orphan: the report flags both, and
+	// does not repair anything.
+	walPath := filepath.Join(dir, "wal-1.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "base-9.bslc"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ingestReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"torn tail", "orphan:   base-9.bslc"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("report missing %q:\n%s", want, got)
+		}
+	}
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data)-3 {
+		t.Fatal("inspection mutated the WAL")
 	}
 }

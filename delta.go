@@ -1,9 +1,12 @@
 package byteslice
 
 import (
+	"context"
 	"fmt"
 
 	"byteslice/internal/bitvec"
+	"byteslice/internal/layout"
+	"byteslice/internal/obs"
 )
 
 // DeltaTable adds appendability to the read-optimised formats, the way
@@ -133,6 +136,68 @@ func (d *DeltaTable) FilterAny(filters []Filter, opts ...QueryOption) (*Result, 
 	return d.eval(filters, true, opts)
 }
 
+// deltaPred is a filter resolved once against the base table's encoders
+// for row-at-a-time evaluation over unmerged rows: the column (by name
+// and by position) and its translated predicate, hoisted out of the
+// per-row loop so resolution work — and resolution errors — happen once
+// per query, not once per row.
+type deltaPred struct {
+	idx     int // position in base.cols, for positional code storage
+	name    string
+	pred    layout.Predicate
+	trivial *bool
+}
+
+// resolveDeltaPreds translates filters into code space against base's
+// encoders. A bad column name or filter constant fails here, up front,
+// instead of surfacing (or worse, being swallowed) mid-scan.
+func resolveDeltaPreds(base *Table, filters []Filter) ([]deltaPred, error) {
+	rs := make([]deltaPred, len(filters))
+	for i, f := range filters {
+		col, err := base.Column(f.Col)
+		if err != nil {
+			return nil, err
+		}
+		pred, trivial, err := col.predicate(f)
+		if err != nil {
+			return nil, err
+		}
+		idx := -1
+		for j, c := range base.cols {
+			if c == col {
+				idx = j
+				break
+			}
+		}
+		rs[i] = deltaPred{idx: idx, name: col.name, pred: pred, trivial: trivial}
+	}
+	return rs, nil
+}
+
+// evalDeltaRow combines the hoisted predicates over one delta row; code
+// fetches the row's (code, isNull) pair for a predicate's column.
+func evalDeltaRow(preds []deltaPred, disjunct bool, code func(p deltaPred) (uint32, bool)) bool {
+	match := !disjunct
+	for _, p := range preds {
+		c, isNull := code(p)
+		var m bool
+		switch {
+		case isNull:
+			m = false // comparisons with NULL are never true
+		case p.trivial != nil:
+			m = *p.trivial
+		default:
+			m = p.pred.Eval(c)
+		}
+		if disjunct {
+			match = match || m
+		} else {
+			match = match && m
+		}
+	}
+	return match
+}
+
 func (d *DeltaTable) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Result, error) {
 	var baseRes *Result
 	var err error
@@ -147,50 +212,102 @@ func (d *DeltaTable) eval(filters []Filter, disjunct bool, opts []QueryOption) (
 	out := bitvec.New(d.Len())
 	out.CopyBits(baseRes.bv)
 
-	// Delta rows: evaluate the resolved predicates row-at-a-time.
+	// Delta rows: hoist filter resolution, then evaluate row-at-a-time.
+	// The context (WithContext) is observed between row batches, and the
+	// scan lands as a stage in the base evaluation's collector, so
+	// Result.Stats() shows base and delta together.
+	preds, err := resolveDeltaPreds(d.base, filters)
+	if err != nil {
+		return nil, err
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	st, done := cfg.stage(baseRes.stats, "scan(delta)", "delta")
+	defer done()
 	for r := 0; r < d.deltaLen; r++ {
-		match := !disjunct
-		for _, f := range filters {
-			col, err := d.base.Column(f.Col)
-			if err != nil {
+		if r%8192 == 0 {
+			if err := cfg.ctxErr(); err != nil {
 				return nil, err
-			}
-			pred, trivial, err := col.predicate(f)
-			if err != nil {
-				return nil, err
-			}
-			var m bool
-			switch {
-			case d.deltaNulls[col.name][r]:
-				m = false // comparisons with NULL are never true
-			case trivial != nil:
-				m = *trivial
-			default:
-				m = pred.Eval(d.deltaCodes[col.name][r])
-			}
-			if disjunct {
-				match = match || m
-			} else {
-				match = match && m
 			}
 		}
+		match := evalDeltaRow(preds, disjunct, func(p deltaPred) (uint32, bool) {
+			return d.deltaCodes[p.name][r], d.deltaNulls[p.name][r]
+		})
 		out.Set(d.base.n+r, match)
 	}
-	return &Result{bv: out}, nil
+	if st != nil {
+		st.AddRows(int64(d.deltaLen), int64(d.deltaLen*5*len(preds)))
+	}
+	return &Result{bv: out, explain: baseRes.explain, zoneSkipped: baseRes.zoneSkipped, stats: baseRes.stats}, nil
+}
+
+// rebuildLike reseals codes into a column sharing c's identity: the same
+// name, kind and encoders, the given storage format, zone maps rebuilt
+// when c carried them, and c's workload counters shared so the adaptive
+// layout decision survives the rebuild instead of restarting cold.
+func rebuildLike(c *Column, format Format, codes []uint32, nullRows []int) (*Column, error) {
+	var (
+		col *Column
+		err error
+	)
+	switch c.kind {
+	case KindInt:
+		col, err = rebuildColumn(c.name, KindInt, format, c.Width(), codes,
+			c.ints.Min(), c.ints.Max(), 0, 0, 0, nil, nullRows)
+	case KindDecimal:
+		col, err = rebuildColumn(c.name, KindDecimal, format, c.Width(), codes,
+			0, 0, c.decs.Min(), c.decs.Max(), c.decs.Digits(), nil, nullRows)
+	case KindString:
+		col, err = rebuildColumn(c.name, KindString, format, c.Width(), codes,
+			0, 0, 0, 0, 0, c.dict.Values(), nullRows)
+	default:
+		col, err = rebuildColumn(c.name, KindCode, format, c.Width(), codes,
+			0, 0, 0, 0, 0, nil, nullRows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.HasZoneMaps() {
+		if bs, ok := byteSliceOf(col.data); ok {
+			bs.BuildZoneMaps()
+		}
+	}
+	if col.wl = c.wl; col.wl == nil {
+		col.wl = &obs.ColumnWorkload{}
+	}
+	return col, nil
 }
 
 // Merge seals the delta into a new Table (with the base's formats, or the
 // override passed via WithFormat) and returns it. The receiver is left
 // unchanged; typical use is d = NewDeltaTable(merged).
 func (d *DeltaTable) Merge(opts ...ColumnOption) (*Table, error) {
+	return d.MergeContext(context.Background(), opts...)
+}
+
+// MergeContext is Merge with cancellation: the context is observed
+// between columns while materialising and rebuilding, so a huge merge can
+// be abandoned mid-build (the receiver is untouched either way). Merged
+// columns keep their zone maps and keep feeding the same workload
+// counters as their sources.
+func (d *DeltaTable) MergeContext(ctx context.Context, opts ...ColumnOption) (*Table, error) {
 	override := applyOpts(opts)
 	cols := make([]*Column, 0, len(d.base.cols))
 	for _, c := range d.base.cols {
-		total := d.base.n + d.deltaLen
-		codes := make([]uint32, total)
-		for i := 0; i < d.base.n; i++ {
-			codes[i] = c.data.Lookup(nilProfile.engine(), i)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
+		total := d.base.n + d.deltaLen
+		baseCodes, err := materializeCodes(c)
+		if err != nil {
+			return nil, queryErr(err)
+		}
+		codes := make([]uint32, total)
+		copy(codes, baseCodes)
 		copy(codes[d.base.n:], d.deltaCodes[c.name])
 
 		var nullRows []int
@@ -209,24 +326,7 @@ func (d *DeltaTable) Merge(opts ...ColumnOption) (*Table, error) {
 		if override.format != "" {
 			format = override.format
 		}
-		var (
-			col *Column
-			err error
-		)
-		switch c.kind {
-		case KindInt:
-			col, err = rebuildColumn(c.name, KindInt, format, c.Width(), codes,
-				c.ints.Min(), c.ints.Max(), 0, 0, 0, nil, nullRows)
-		case KindDecimal:
-			col, err = rebuildColumn(c.name, KindDecimal, format, c.Width(), codes,
-				0, 0, c.decs.Min(), c.decs.Max(), c.decs.Digits(), nil, nullRows)
-		case KindString:
-			col, err = rebuildColumn(c.name, KindString, format, c.Width(), codes,
-				0, 0, 0, 0, 0, c.dict.Values(), nullRows)
-		default:
-			col, err = rebuildColumn(c.name, KindCode, format, c.Width(), codes,
-				0, 0, 0, 0, 0, nil, nullRows)
-		}
+		col, err := rebuildLike(c, format, codes, nullRows)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,232 @@
+package byteslice_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"byteslice"
+)
+
+// TestDeltaMatrix drives every column kind through every storage format
+// and NULL pattern end to end on the in-memory DeltaTable: build base →
+// AppendRow (with NULLs) → query → Merge → query the sealed result.
+func TestDeltaMatrix(t *testing.T) {
+	const n = 37
+	nullEvery := map[string]int{"none": 0, "sparse": 7, "dense": 2}
+	formats := append(byteslice.Formats(), byteslice.FormatByteSliceC)
+	for _, format := range formats {
+		for patName, every := range nullEvery {
+			t.Run(fmt.Sprintf("%s/%s", format, patName), func(t *testing.T) {
+				cols, _ := matrixColumns(t, n, format, nil)
+				base, err := byteslice.NewTable(cols...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := byteslice.NewDeltaTable(base)
+				words := []string{"ant", "bee", "cat", "dog"}
+				const appended = 21
+				for i := 0; i < appended; i++ {
+					row := map[string]any{
+						"i": int64(i - 100),
+						"d": float64(i%70) / 8,
+						"s": words[i%len(words)],
+						"c": uint32(i * 3 % 512),
+					}
+					if every > 0 && i%every == 0 {
+						row["i"] = nil
+						row["d"] = nil
+					}
+					if err := d.AppendRow(row); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				wantRows := func() []int32 {
+					// Base: i*11%400-200 in [-90, -50) → rows 10..13.
+					want := []int32{10, 11, 12, 13}
+					// Delta: i-100 ≥ -90 → i ≥ 10, non-NULL (< -50 always).
+					for i := 10; i < appended; i++ {
+						if every > 0 && i%every == 0 {
+							continue
+						}
+						want = append(want, int32(n+i))
+					}
+					return want
+				}
+				filters := []byteslice.Filter{
+					byteslice.IntFilter("i", byteslice.Ge, -90),
+					byteslice.IntFilter("i", byteslice.Lt, -50),
+				}
+				check := func(stage string, res *byteslice.Result, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("%s: %v", stage, err)
+					}
+					got, want := res.Rows(), wantRows()
+					if len(got) != len(want) {
+						t.Fatalf("%s: %d matches, want %d (%v vs %v)", stage, len(got), len(want), got, want)
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("%s: row[%d] = %d, want %d", stage, j, got[j], want[j])
+						}
+					}
+				}
+
+				res, err := d.Filter(filters)
+				check("pre-merge", res, err)
+				sres, err := d.FilterAny([]byteslice.Filter{
+					byteslice.StringFilter("s", byteslice.Eq, "bee"),
+					byteslice.CodeFilter("c", byteslice.Eq, 0),
+				})
+				if err != nil || sres.Count() == 0 {
+					t.Fatalf("pre-merge strings: %d matches, err %v", sres.Count(), err)
+				}
+
+				merged, err := d.Merge()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if merged.Len() != n+appended {
+					t.Fatalf("merged len = %d", merged.Len())
+				}
+				res, err = merged.Filter(filters)
+				check("post-merge", res, err)
+				// The merged table round-trips the NULL pattern: the trivially
+				// true range still excludes NULL rows.
+				res, err = merged.Filter([]byteslice.Filter{byteslice.IntFilter("i", byteslice.Ge, -200)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nulls := 0
+				for i := 0; i < appended; i++ {
+					if every > 0 && i%every == 0 {
+						nulls++
+					}
+				}
+				if res.Count() != n+appended-nulls {
+					t.Fatalf("post-merge NULL count: %d matched, want %d", res.Count(), n+appended-nulls)
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaFilterBadColumn: predicate resolution failures surface as
+// errors up front instead of being silently swallowed per row (the old
+// per-row resolution path returned false for every delta row).
+func TestDeltaFilterBadColumn(t *testing.T) {
+	d := deltaFixture(t)
+	if err := d.AppendRow(map[string]any{"qty": int64(60), "mode": "SHIP"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Filter([]byteslice.Filter{byteslice.IntFilter("nope", byteslice.Ge, 1)}); err == nil {
+		t.Fatal("filter on a missing column succeeded")
+	}
+	// An out-of-dictionary equality constant is trivially false — it
+	// matches nothing (base or delta) rather than erroring.
+	res, err := d.FilterAny([]byteslice.Filter{byteslice.StringFilter("mode", byteslice.Eq, "TRUCK")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 0 {
+		t.Fatalf("out-of-dictionary Eq matched %d rows", res.Count())
+	}
+}
+
+// TestDeltaContextCancel: the delta-side scan observes WithContext.
+func TestDeltaContextCancel(t *testing.T) {
+	d := deltaFixture(t)
+	for i := 0; i < 10; i++ {
+		if err := d.AppendRow(map[string]any{"qty": int64(i), "mode": "AIR"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := d.Filter(
+		[]byteslice.Filter{byteslice.IntFilter("qty", byteslice.Ge, 5)},
+		byteslice.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled delta filter = %v", err)
+	}
+}
+
+// TestDeltaMergeContextCancel: MergeContext abandons the rebuild.
+func TestDeltaMergeContextCancel(t *testing.T) {
+	d := deltaFixture(t)
+	if err := d.AppendRow(map[string]any{"qty": int64(1), "mode": "AIR"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.MergeContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled merge = %v", err)
+	}
+	// The receiver is untouched; a clean merge still works.
+	if _, err := d.Merge(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaObsStage: the delta scan lands as a "scan(delta)" stage in
+// the query's collector next to the base stages.
+func TestDeltaObsStage(t *testing.T) {
+	d := deltaFixture(t)
+	for i := 0; i < 4; i++ {
+		if err := d.AppendRow(map[string]any{"qty": int64(i), "mode": "AIR"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Filter([]byteslice.Filter{byteslice.IntFilter("qty", byteslice.Ge, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Stats()
+	if qs == nil {
+		t.Fatal("no stats on native delta query")
+	}
+	found := false
+	for _, st := range qs.Stages {
+		if st.Name == "scan(delta)" && st.Kind == "delta" && st.Rows == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no scan(delta) stage in %+v", qs.Stages)
+	}
+}
+
+// TestDeltaMergePreservesZoneMaps: merged columns keep zone maps when
+// their sources carried them.
+func TestDeltaMergePreservesZoneMaps(t *testing.T) {
+	qty := intColumn(t, "qty", []int64{5, 50, 7, 9}, 0, 100, byteslice.WithZoneMaps())
+	tbl, err := byteslice.NewTable(qty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := byteslice.NewDeltaTable(tbl)
+	if err := d.AppendRow(map[string]any{"qty": int64(80)}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := d.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := merged.Column("qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col.HasZoneMaps() {
+		t.Fatal("merge dropped zone maps")
+	}
+	res, err := merged.Filter([]byteslice.Filter{byteslice.IntFilter("qty", byteslice.Ge, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := res.Rows(); len(rows) != 1 || rows[0] != 4 {
+		t.Fatalf("rows = %v, want [4]", rows)
+	}
+}

@@ -1,0 +1,158 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Merger runs the background compaction loop with the failure posture
+// the facade's merge needs: a panicking merge is recovered (never allowed
+// to kill the process from a goroutine no caller can defend), failures
+// retry with bounded exponential backoff, and after the retry budget the
+// merger degrades to a slow steady cadence instead of giving up — the
+// ingest pipeline keeps accepting rows until its delta bound applies
+// backpressure, and a later retry may still succeed (disk freed, fault
+// cleared).
+type Merger struct {
+	run     func() error
+	backoff time.Duration
+	max     time.Duration
+
+	mu       sync.Mutex
+	failures int   // consecutive failures since the last success
+	panics   int64 // lifetime recovered panics
+	merges   int64 // lifetime successful merges
+	lastErr  error
+
+	trigger chan struct{}
+	done    chan struct{}
+	stopped chan struct{}
+	closed  bool
+}
+
+// MergerConfig bounds the retry behaviour.
+type MergerConfig struct {
+	// Backoff is the first retry delay after a failure (default 10ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+}
+
+// NewMerger starts the background loop around run. The loop sleeps until
+// Trigger (or a retry deadline) wakes it; Close stops it.
+func NewMerger(cfg MergerConfig, run func() error) *Merger {
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	m := &Merger{
+		run:     run,
+		backoff: cfg.Backoff,
+		max:     cfg.MaxBackoff,
+		trigger: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// Trigger wakes the merger; coalesced if one is already pending.
+func (m *Merger) Trigger() {
+	select {
+	case m.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// Failures returns the consecutive-failure count since the last success.
+func (m *Merger) Failures() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failures
+}
+
+// Stats returns lifetime successful merges and recovered panics, and the
+// last failure (nil after a success).
+func (m *Merger) Stats() (merges, panics int64, lastErr error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.merges, m.panics, m.lastErr
+}
+
+// Close stops the loop and waits for an in-flight merge to finish.
+func (m *Merger) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.stopped
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+	<-m.stopped
+}
+
+// loop serialises merge attempts: one at a time, retried with backoff
+// after failures, woken immediately by Trigger when healthy.
+func (m *Merger) loop() {
+	defer close(m.stopped)
+	var retry *time.Timer
+	var retryC <-chan time.Time
+	stopRetry := func() {
+		if retry != nil {
+			retry.Stop()
+			retry, retryC = nil, nil
+		}
+	}
+	defer stopRetry()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.trigger:
+		case <-retryC:
+			stopRetry()
+		}
+		err := m.attempt()
+		m.mu.Lock()
+		if err == nil {
+			m.failures = 0
+			m.merges++
+			m.lastErr = nil
+			m.mu.Unlock()
+			continue
+		}
+		m.failures++
+		m.lastErr = err
+		shift := m.failures - 1
+		if shift > 30 {
+			shift = 30
+		}
+		d := m.backoff << uint(shift)
+		if d > m.max || d <= 0 {
+			d = m.max
+		}
+		m.mu.Unlock()
+		stopRetry()
+		retry = time.NewTimer(d)
+		retryC = retry.C
+	}
+}
+
+// attempt runs one merge with panic isolation.
+func (m *Merger) attempt() (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			m.mu.Lock()
+			m.panics++
+			m.mu.Unlock()
+			err = fmt.Errorf("ingest: merge panicked: %v", v)
+		}
+	}()
+	return m.run()
+}

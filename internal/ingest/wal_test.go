@@ -1,0 +1,392 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"byteslice/internal/faultio"
+)
+
+// walFixture creates a WAL with nrows deterministic row payloads and
+// returns its path plus the payloads.
+func walFixture(t testing.TB, nrows int) (string, [][]byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, 3, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]byte
+	for i := 0; i < nrows; i++ {
+		p := []byte(fmt.Sprintf("row-%03d", i))
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, p)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rows
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path, rows := walFixture(t, 10)
+	w, rec, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Epoch() != 3 || w.BaseRows() != 100 {
+		t.Fatalf("header = epoch %d baseRows %d", w.Epoch(), w.BaseRows())
+	}
+	if rec.Truncated != 0 || len(rec.Rows) != len(rows) {
+		t.Fatalf("recovery: %d rows, %d truncated", len(rec.Rows), rec.Truncated)
+	}
+	for i, r := range rec.Rows {
+		if !bytes.Equal(r, rows[i]) {
+			t.Fatalf("row %d = %q, want %q", i, r, rows[i])
+		}
+	}
+	// Appends after recovery continue the log.
+	if err := w.Append([]byte("row-new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err = Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rows) != len(rows)+1 || string(rec.Rows[len(rows)]) != "row-new" {
+		t.Fatalf("after reopen-append: %d rows", len(rec.Rows))
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path, _ := walFixture(t, 1)
+	if _, err := Create(path, 0, 0, true); err == nil {
+		t.Fatal("Create over an existing WAL succeeded")
+	}
+}
+
+// TestWALFaultSweepTruncate cuts the WAL at every byte offset: recovery
+// must either succeed with a strict prefix of the appended rows (torn
+// tail) or fail with a typed error — never a panic, never invented rows.
+func TestWALFaultSweepTruncate(t *testing.T) {
+	path, rows := walFixture(t, 8)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for off := 0; off <= len(full); off++ {
+		cut := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(cut, full[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					t.Fatalf("truncate at %d: Open panicked: %v", off, v)
+				}
+			}()
+			w, rec, err := Open(cut, true)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+					t.Fatalf("truncate at %d: error %v is not typed", off, err)
+				}
+				return
+			}
+			defer w.Close()
+			if len(rec.Rows) > len(rows) {
+				t.Fatalf("truncate at %d: %d rows recovered from %d appended", off, len(rec.Rows), len(rows))
+			}
+			for i, r := range rec.Rows {
+				if !bytes.Equal(r, rows[i]) {
+					t.Fatalf("truncate at %d: recovered row %d = %q, want %q", off, i, r, rows[i])
+				}
+			}
+			// The torn tail must actually have been cut: a second open
+			// sees a clean file with the same rows.
+			if fi, err := os.Stat(cut); err != nil || fi.Size() != w.Size() {
+				t.Fatalf("truncate at %d: file not trimmed to %d", off, w.Size())
+			}
+		}()
+		os.Remove(cut) //nolint:errcheck // recreated next iteration
+	}
+}
+
+// TestWALFaultSweepBitFlip flips one bit at every byte offset: recovery
+// must fail typed (the durable bytes are wrong) or — when the flip lands
+// in a frame length and masquerades as a torn tail — replay a clean
+// prefix. Silently wrong rows are the only forbidden outcome.
+func TestWALFaultSweepBitFlip(t *testing.T) {
+	path, rows := walFixture(t, 8)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, mask := range []byte{0x01, 0x80} {
+		for off := 0; off < len(full); off++ {
+			flipped := faultio.Flip(full, off, mask)
+			cut := filepath.Join(dir, "flip.log")
+			if err := os.WriteFile(cut, flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						t.Fatalf("flip %#x at %d: Open panicked: %v", mask, off, v)
+					}
+				}()
+				w, rec, err := Open(cut, true)
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+						t.Fatalf("flip %#x at %d: error %v is not typed", mask, off, err)
+					}
+					return
+				}
+				defer w.Close()
+				// A flip that still replays must have produced a clean
+				// prefix of the real rows (e.g. a length flip that turned
+				// the tail into a torn frame).
+				if len(rec.Rows) >= len(rows) {
+					t.Fatalf("flip %#x at %d: %d rows accepted from corrupt log", mask, off, len(rec.Rows))
+				}
+				for i, r := range rec.Rows {
+					if !bytes.Equal(r, rows[i]) {
+						t.Fatalf("flip %#x at %d: recovered row %d = %q, want %q", mask, off, i, r, rows[i])
+					}
+				}
+			}()
+			os.Remove(cut) //nolint:errcheck // recreated next iteration
+		}
+	}
+}
+
+// TestWALFaultSweepFailedWrite fails the append stream (hard and short)
+// at every byte offset: the append must report the injected error, and a
+// reopen must recover exactly the rows whose frames became durable.
+func TestWALFaultSweepFailedWrite(t *testing.T) {
+	refPath, rows := walFixture(t, 8)
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { WriterHook = nil }()
+	for _, short := range []bool{false, true} {
+		for off := 0; off <= len(ref); off++ {
+			var fw *faultio.Writer
+			WriterHook = func(w io.Writer) io.Writer {
+				fw = &faultio.Writer{W: w, FailAt: int64(off), Short: short}
+				return fw
+			}
+			dir := t.TempDir()
+			path := filepath.Join(dir, "wal.log")
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						t.Fatalf("write fault (short=%v) at %d: panicked: %v", short, off, v)
+					}
+				}()
+				w, err := Create(path, 3, 100, true)
+				appended := 0
+				if err == nil {
+					for i := 0; i < len(rows); i++ {
+						if err = w.Append(rows[i]); err != nil {
+							break
+						}
+						appended++
+					}
+					w.Close() //nolint:errcheck // stream may be failed
+				}
+				if off < len(ref) && err == nil {
+					t.Fatalf("write fault (short=%v) at %d/%d not reported", short, off, len(ref))
+				}
+				if err != nil && !errors.Is(err, faultio.ErrInjected) {
+					t.Fatalf("write fault at %d: error %v does not wrap the injected fault", off, err)
+				}
+				if _, err := os.Stat(path); err != nil {
+					return // Create failed and cleaned up — nothing to recover
+				}
+				WriterHook = nil
+				w2, rec, err := Open(path, true)
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+						t.Fatalf("recovery after write fault at %d: error %v is not typed", off, err)
+					}
+					return
+				}
+				defer w2.Close()
+				// Every acknowledged append must be durable; unacknowledged
+				// rows may or may not have made it (the failing frame), but
+				// recovered rows are always a clean prefix.
+				if len(rec.Rows) < appended || len(rec.Rows) > appended+1 {
+					t.Fatalf("write fault at %d: %d acknowledged, %d recovered", off, appended, len(rec.Rows))
+				}
+				for i, r := range rec.Rows {
+					if !bytes.Equal(r, rows[i]) {
+						t.Fatalf("write fault at %d: recovered row %d = %q, want %q", off, i, r, rows[i])
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestWALAppendAfterFailureRefused: a WAL that failed a write refuses
+// further appends instead of writing at an unknown offset.
+func TestWALAppendAfterFailureRefused(t *testing.T) {
+	defer func() { WriterHook = nil }()
+	WriterHook = func(w io.Writer) io.Writer {
+		return &faultio.Writer{W: w, FailAt: 1 << 10, Short: true}
+	}
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	payload := bytes.Repeat([]byte("x"), 200)
+	var firstErr error
+	for i := 0; i < 20 && firstErr == nil; i++ {
+		firstErr = w.Append(payload)
+	}
+	if firstErr == nil {
+		t.Fatal("fault never fired")
+	}
+	if err := w.Append(payload); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after failure = %v, want ErrClosed", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Epoch: 7, Base: "base-7.bslc", WAL: "wal-7.log"}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("manifest round trip: %+v != %+v", got, m)
+	}
+	// Overwrite publishes the new epoch atomically.
+	m2 := Manifest{Epoch: 8, Base: "base-8.bslc", WAL: "wal-8.log"}
+	if err := WriteManifest(dir, m2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadManifest(dir); got != m2 {
+		t.Fatalf("manifest overwrite: %+v != %+v", got, m2)
+	}
+}
+
+// TestManifestFaultSweep: truncations and bit flips of the manifest are
+// always detected as typed errors (it is small enough to sweep fully).
+func TestManifestFaultSweep(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, Manifest{Epoch: 7, Base: "b.bslc", WAL: "w.log"}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(what string, data []byte) {
+		t.Helper()
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, ManifestName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(dir2); err == nil {
+			t.Fatalf("%s: corrupt manifest accepted", what)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: error %v is not typed", what, err)
+		}
+	}
+	for off := 0; off < len(full); off++ {
+		check(fmt.Sprintf("truncate@%d", off), full[:off])
+	}
+	for off := 0; off < len(full); off++ {
+		check(fmt.Sprintf("flip@%d", off), faultio.Flip(full, off, 0x40))
+	}
+}
+
+func TestManifestRejectsPathEscapes(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, Manifest{Epoch: 1, Base: "../evil.bslc", WAL: "w.log"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("path-escaping artifact name accepted: %v", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	path, _ := walFixture(t, 4)
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 4 || info.Tail != "clean" || info.Epoch != 3 || info.GoodBytes != info.FileBytes {
+		t.Fatalf("info = %+v", info)
+	}
+	// A torn tail is reported, not truncated.
+	full, _ := os.ReadFile(path)
+	torn := filepath.Join(t.TempDir(), "torn.log")
+	if err := os.WriteFile(torn, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Inspect(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 3 || info.Tail != "torn" {
+		t.Fatalf("torn info = %+v", info)
+	}
+	if fi, _ := os.Stat(torn); fi.Size() != int64(len(full)-3) {
+		t.Fatal("Inspect mutated the file")
+	}
+}
+
+// FuzzWALReplay throws arbitrary byte images at the WAL parser: it must
+// never panic, and whatever it accepts must re-parse identically after
+// the torn tail is cut.
+func FuzzWALReplay(f *testing.F) {
+	path, _ := walFixture(f, 3)
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-2])
+	f.Add([]byte(walMagic))
+	f.Add(faultio.Flip(seed, len(seed)/2, 0x10))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, baseRows, rows, good, err := parseWAL(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if good > int64(len(data)) {
+			t.Fatalf("good offset %d beyond %d input bytes", good, len(data))
+		}
+		// Re-parsing the durable prefix must reproduce the same result.
+		e2, b2, rows2, good2, err := parseWAL(data[:good])
+		if err != nil || e2 != epoch || b2 != baseRows || good2 != good || len(rows2) != len(rows) {
+			t.Fatalf("re-parse of durable prefix diverged: %v (%d/%d rows)", err, len(rows2), len(rows))
+		}
+	})
+}

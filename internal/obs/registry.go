@@ -28,6 +28,9 @@ type Registry struct {
 	StratBaseline       Counter
 	// QueryNs is the histogram of per-query wall times.
 	QueryNs Hist
+	// Ingest aggregates the write path: appends, seals, merges,
+	// backpressure and recovery outcomes, plus current epoch/delta gauges.
+	Ingest IngestStats
 }
 
 // Default is the process-wide registry, published via expvar on first
@@ -75,7 +78,8 @@ type RegistrySnapshot struct {
 		PredicateFirst int64 `json:"predicate_first"`
 		Baseline       int64 `json:"baseline"`
 	} `json:"strategies"`
-	QueryNs HistSnapshot `json:"query_ns"`
+	QueryNs HistSnapshot   `json:"query_ns"`
+	Ingest  IngestSnapshot `json:"ingest"`
 }
 
 // Snapshot captures the registry's current state.
@@ -91,6 +95,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	s.Strategies.PredicateFirst = r.StratPredicateFirst.Load()
 	s.Strategies.Baseline = r.StratBaseline.Load()
 	s.QueryNs = r.QueryNs.Snapshot()
+	s.Ingest = r.Ingest.Snapshot()
 	return s
 }
 

@@ -247,6 +247,39 @@ func LayoutWins(slices int, scanRows, lookupRows int64) bool {
 	return LayoutFor(slices, scanRows, lookupRows).HBP
 }
 
+// Delta-merge constants (the write path's sibling of the layout choice,
+// after Krueger et al.'s merge cost model, cited in the paper's §2):
+// unmerged delta rows are evaluated row-at-a-time through interpreted
+// predicates, merged rows through the SWAR scan, and a merge rewrites
+// every row of base plus delta once.
+const (
+	nsDeltaRow = 15.0 // row-at-a-time delta predicate eval, per row
+	nsMergeRow = 60.0 // materialise + rebuild during a merge, per row
+	// mergeAmortQueries is the number of scans a merge is amortised over:
+	// the advisory assumes roughly this many queries arrive before the
+	// next merge would be due anyway.
+	mergeAmortQueries = 16
+	// minMergeDelta keeps tiny deltas unmerged — below this the fixed
+	// costs of an epoch switch (snapshot write, WAL rotation) dominate
+	// any scan saving.
+	minMergeDelta = 1024
+)
+
+// ShouldMerge is the cost-based merge advisory: true when the scan
+// penalty of keeping deltaRows in the row-at-a-time delta, accumulated
+// over the queries expected before the next merge, exceeds the one-time
+// cost of rewriting base plus delta into a fresh read-optimised epoch.
+// The ingest facade consults it after each append to trigger its
+// background merger; callers with their own cadence can ignore it.
+func ShouldMerge(baseRows, deltaRows int) bool {
+	if deltaRows < minMergeDelta {
+		return false
+	}
+	penalty := mergeAmortQueries * float64(deltaRows) * (nsDeltaRow - nsSegFirst/32)
+	rebuild := float64(baseRows+deltaRows) * nsMergeRow
+	return penalty > rebuild
+}
+
 // perSegCost is the per-segment cost of one predicate inside a generic
 // (per-segment dispatched) kernel — the zoned, pipelined and multi scans —
 // with the zone map resolving its share of segments for free. Compressed

@@ -1,0 +1,800 @@
+package byteslice
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"byteslice/internal/bitvec"
+	"byteslice/internal/ingest"
+	"byteslice/internal/obs"
+	"byteslice/internal/plan"
+)
+
+// IngestTable is the writable facade over the delta-merge design (§2,
+// after Krueger et al.): a single-writer append pipeline whose rows are
+// made durable through a CRC-framed write-ahead log before they become
+// queryable, accumulated in a small row-at-a-time tail, sealed into
+// immutable ByteSlice segments, and periodically merged into a fresh
+// read-optimised base epoch by a background merger.
+//
+// Readers are wait-free: every query loads one atomic epoch-view pointer
+// and sees a consistent snapshot — the base epoch, the sealed segments
+// and a fixed prefix of the tail — no matter how many appends, seals or
+// merges race past it. Writers publish by swapping the pointer; nothing a
+// published view references is ever mutated.
+//
+// Durability is an on-disk directory owned by this table:
+//
+//	MANIFEST        crash-atomic pointer to the current epoch's artifacts
+//	base-<E>.bslc   the epoch's base snapshot (SaveFile format)
+//	wal-<E>.log     the epoch's append-only WAL
+//
+// A merge writes the next epoch's base snapshot, rotates the WAL
+// (re-appending the rows the merge does not cover) and swaps the manifest
+// atomically, so a crash at any byte of the switch leaves either the old
+// complete epoch or the new one — never a mix. OpenIngest replays the
+// WAL to the last intact frame: a torn tail (crash mid-append) is
+// truncated and replay succeeds with every acknowledged row; a full frame
+// that fails its checksum is reported as ErrCorrupt, never papered over.
+//
+// When merging falls behind, appends keep succeeding until the unmerged
+// delta reaches the configured bound, then fail with ErrBackpressure
+// until a merge catches up. The background merger recovers panics,
+// retries with bounded exponential backoff, and never blocks readers or
+// the appender.
+type IngestTable struct {
+	dir string
+	cfg ingestConfig
+
+	// view is the epoch-view pointer readers load; see ingestView. Only
+	// Load/Store touch it (publish happens under mu).
+	view atomic.Pointer[ingestView]
+
+	// mu serialises the write side: appends, seals, merge commits, close.
+	// Queries never take it.
+	mu        sync.Mutex
+	wal       *ingest.WAL
+	tailCodes [][]uint32 // canonical per-column tail arrays (views window them)
+	tailNulls [][]bool
+	closed    bool
+
+	// mergeMu serialises whole merge attempts (background vs MergeNow).
+	mergeMu sync.Mutex
+	merger  *ingest.Merger
+}
+
+// Typed write-path errors, aliased from internal/ingest so errors.Is
+// matches whichever vocabulary the caller imported.
+var (
+	// ErrBackpressure is returned by Append once the unmerged delta has
+	// reached WithDeltaBound and merging hasn't caught up.
+	ErrBackpressure = ingest.ErrBackpressure
+	// ErrTableClosed is returned by Append and MergeNow after Close.
+	ErrTableClosed = ingest.ErrClosed
+)
+
+// ingestView is one immutable published snapshot of the table: readers
+// load it once and never block. tailCodes/tailNulls are per-column
+// (base-column order) windows over the writer's backing arrays, each
+// exactly tailLen long; the writer appends beyond every published
+// window's length and publishes a longer window afterwards, so no
+// published element is ever written again.
+type ingestView struct {
+	epoch     uint64
+	base      *Table
+	sealed    []*Table
+	tailCodes [][]uint32
+	tailNulls [][]bool
+	tailLen   int
+}
+
+// sealedRows is the row count across the sealed (unmerged) segments.
+func (v *ingestView) sealedRows() int {
+	n := 0
+	for _, s := range v.sealed {
+		n += s.n
+	}
+	return n
+}
+
+// deltaRows is the unmerged row count: sealed segments plus tail.
+func (v *ingestView) deltaRows() int { return v.sealedRows() + v.tailLen }
+
+// rows is the total row count the view exposes to queries.
+func (v *ingestView) rows() int { return v.base.n + v.deltaRows() }
+
+// IngestOption configures CreateIngest / OpenIngest.
+type IngestOption func(*ingestConfig)
+
+type ingestConfig struct {
+	sealRows   int
+	deltaBound int
+	autoMerge  bool
+	syncEach   bool
+	merger     ingest.MergerConfig
+}
+
+func ingestDefaults() ingestConfig {
+	return ingestConfig{sealRows: 4096, deltaBound: 1 << 18, autoMerge: true, syncEach: true}
+}
+
+func applyIngestOpts(opts []IngestOption) ingestConfig {
+	cfg := ingestDefaults()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.sealRows < 1 {
+		cfg.sealRows = 1
+	}
+	if cfg.deltaBound < cfg.sealRows {
+		cfg.deltaBound = cfg.sealRows
+	}
+	return cfg
+}
+
+// WithSealRows sets how many tail rows accumulate before they are sealed
+// into an immutable ByteSlice segment (default 4096). Smaller segments
+// cut row-at-a-time tail scanning sooner; larger ones amortise the seal.
+func WithSealRows(n int) IngestOption {
+	return func(c *ingestConfig) { c.sealRows = n }
+}
+
+// WithDeltaBound caps the unmerged delta (sealed segments plus tail, in
+// rows; default 262144). At the bound Append fails with ErrBackpressure
+// — and triggers a merge — instead of growing the delta without limit
+// while the merger is failing or behind.
+func WithDeltaBound(n int) IngestOption {
+	return func(c *ingestConfig) { c.deltaBound = n }
+}
+
+// WithAutoMerge enables (the default) or disables the cost-based merge
+// trigger: after each append the plan.ShouldMerge advisory decides
+// whether to wake the background merger. Disabled, merges happen only at
+// the delta bound or via MergeNow.
+func WithAutoMerge(enabled bool) IngestOption {
+	return func(c *ingestConfig) { c.autoMerge = enabled }
+}
+
+// WithSyncedAppends controls per-append fsync (default true): every
+// acknowledged Append is durable before it returns. Disabled, WAL writes
+// are batched by the OS and fsynced at seals and merges — faster, but a
+// power cut can lose the acknowledged-but-unsynced suffix (never corrupt
+// the prefix).
+func WithSyncedAppends(enabled bool) IngestOption {
+	return func(c *ingestConfig) { c.syncEach = enabled }
+}
+
+// baseName / walName are an epoch's artifact filenames.
+func baseName(e uint64) string { return fmt.Sprintf("base-%d.bslc", e) }
+func walName(e uint64) string  { return fmt.Sprintf("wal-%d.log", e) }
+
+// ingestErr translates an internal/ingest failure into the facade's
+// vocabulary: corruption and version failures additionally wrap the
+// package-level ErrCorrupt / ErrVersion so either sentinel matches.
+func ingestErr(op string, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ingest.ErrCorrupt):
+		return fmt.Errorf("byteslice: %s: %w: %w", op, ErrCorrupt, err)
+	case errors.Is(err, ingest.ErrVersion):
+		return fmt.Errorf("byteslice: %s: %w: %w", op, ErrVersion, err)
+	}
+	return fmt.Errorf("byteslice: %s: %w", op, err)
+}
+
+// CreateIngest initialises dir as a new ingest directory around base
+// (epoch 1: base snapshot, empty WAL, manifest) and returns the writable
+// table. dir is created if missing; a directory that already holds a
+// manifest is refused — use OpenIngest to resume it.
+func CreateIngest(dir string, base *Table, opts ...IngestOption) (*IngestTable, error) {
+	cfg := applyIngestOpts(opts)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("byteslice: create ingest: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ingest.ManifestName)); err == nil {
+		return nil, fmt.Errorf("byteslice: create ingest: %s already holds an ingest manifest (use OpenIngest)", dir)
+	}
+	const epoch = 1
+	if err := base.SaveFile(filepath.Join(dir, baseName(epoch))); err != nil {
+		return nil, err
+	}
+	wal, err := ingest.Create(filepath.Join(dir, walName(epoch)), epoch, uint64(base.Len()), cfg.syncEach)
+	if err != nil {
+		return nil, ingestErr("create ingest", err)
+	}
+	m := ingest.Manifest{Epoch: epoch, Base: baseName(epoch), WAL: walName(epoch)}
+	if err := ingest.WriteManifest(dir, m); err != nil {
+		wal.Close() //nolint:errcheck // already failing
+		return nil, ingestErr("create ingest", err)
+	}
+	return newIngestTable(dir, cfg, base, wal, epoch, nil, nil), nil
+}
+
+// OpenIngest resumes an ingest directory: it reads the manifest, loads
+// the epoch's base snapshot, replays the WAL to the last intact frame
+// (truncating a torn tail) and re-publishes base + replayed rows. A WAL
+// frame whose bytes verify wrong fails with ErrCorrupt; a WAL that does
+// not belong to the base snapshot fails with ingest.ErrMismatch. Orphan
+// artifacts from a crashed epoch switch are removed.
+func OpenIngest(dir string, opts ...IngestOption) (*IngestTable, error) {
+	cfg := applyIngestOpts(opts)
+	m, err := ingest.ReadManifest(dir)
+	if err != nil {
+		return nil, ingestErr("open ingest "+dir, err)
+	}
+	base, err := LoadFile(filepath.Join(dir, m.Base))
+	if err != nil {
+		return nil, err
+	}
+	wal, rec, err := ingest.Open(filepath.Join(dir, m.WAL), cfg.syncEach)
+	if err != nil {
+		return nil, ingestErr("open ingest "+dir, err)
+	}
+	if wal.Epoch() != m.Epoch || wal.BaseRows() != uint64(base.Len()) {
+		wal.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("byteslice: open ingest %s: %w: WAL (epoch %d, %d base rows) vs manifest epoch %d over %d rows",
+			dir, ingest.ErrMismatch, wal.Epoch(), wal.BaseRows(), m.Epoch, base.Len())
+	}
+	codes, nulls, err := decodeRowPayloads(base, rec.Rows)
+	if err != nil {
+		wal.Close() //nolint:errcheck // already failing
+		return nil, ingestErr("open ingest "+dir, err)
+	}
+	obs.Default.Ingest.ReplayedRows.Add(int64(len(rec.Rows)))
+	obs.Default.Ingest.TruncatedBytes.Add(rec.Truncated)
+	t := newIngestTable(dir, cfg, base, wal, m.Epoch, codes, nulls)
+	t.cleanOrphans(m)
+	return t, nil
+}
+
+// newIngestTable assembles the in-memory state, publishes the first view
+// (sealing full replayed segments) and starts the background merger.
+func newIngestTable(dir string, cfg ingestConfig, base *Table, wal *ingest.WAL, epoch uint64, tailCodes [][]uint32, tailNulls [][]bool) *IngestTable {
+	t := &IngestTable{dir: dir, cfg: cfg, wal: wal}
+	if tailCodes == nil {
+		tailCodes = make([][]uint32, len(base.cols))
+		tailNulls = make([][]bool, len(base.cols))
+	}
+	t.tailCodes, t.tailNulls = tailCodes, tailNulls
+	t.mu.Lock()
+	t.publishLocked(epoch, base, nil)
+	for len(t.tailCodes[0]) >= cfg.sealRows {
+		// Replayed rows beyond a full segment seal immediately, so a
+		// recovered table queries as fast as the one that crashed.
+		if err := t.sealRowsLocked(cfg.sealRows); err != nil {
+			break // keep the remainder row-at-a-time; appends still work
+		}
+	}
+	t.mu.Unlock()
+	t.merger = ingest.NewMerger(cfg.merger, t.mergeOnce)
+	t.syncGauges()
+	return t
+}
+
+// cleanOrphans removes epoch artifacts the manifest does not reference —
+// the debris of a crash mid-epoch-switch — so retried merges can recreate
+// them and the directory stays inspectable.
+func (t *IngestTable) cleanOrphans(m ingest.Manifest) {
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		keep := name == ingest.ManifestName || name == m.Base || name == m.WAL
+		orphan := strings.HasPrefix(name, "base-") && strings.HasSuffix(name, ".bslc") ||
+			strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") ||
+			strings.HasSuffix(name, ".tmp")
+		if !keep && orphan {
+			os.Remove(filepath.Join(t.dir, name)) //nolint:errcheck // best-effort
+		}
+	}
+}
+
+// encodeRowPayload frames one row for the WAL: per column (base order),
+// a NULL flag byte then the 4-byte little-endian code.
+func encodeRowPayload(codes []uint32, nulls []bool) []byte {
+	buf := make([]byte, 5*len(codes))
+	for i, c := range codes {
+		if nulls[i] {
+			buf[5*i] = 1
+		}
+		buf[5*i+1] = byte(c)
+		buf[5*i+2] = byte(c >> 8)
+		buf[5*i+3] = byte(c >> 16)
+		buf[5*i+4] = byte(c >> 24)
+	}
+	return buf
+}
+
+// decodeRowPayloads validates replayed WAL rows against the base table's
+// schema and code domains, transposing them into per-column tail arrays.
+// Any violation — wrong width, a code outside its column's domain, a
+// NULL flag with a non-zero code — wraps ingest.ErrCorrupt: the frame's
+// checksum passed, so the log was written by something that disagrees
+// with this schema, which must surface rather than decode as garbage.
+func decodeRowPayloads(base *Table, rows [][]byte) ([][]uint32, [][]bool, error) {
+	ncols := len(base.cols)
+	codes := make([][]uint32, ncols)
+	nulls := make([][]bool, ncols)
+	for r, p := range rows {
+		if len(p) != 5*ncols {
+			return nil, nil, fmt.Errorf("%w: WAL row %d has %d bytes, schema wants %d", ingest.ErrCorrupt, r, len(p), 5*ncols)
+		}
+		for i, c := range base.cols {
+			flag := p[5*i]
+			code := uint32(p[5*i+1]) | uint32(p[5*i+2])<<8 | uint32(p[5*i+3])<<16 | uint32(p[5*i+4])<<24
+			switch {
+			case flag > 1:
+				return nil, nil, fmt.Errorf("%w: WAL row %d column %s: NULL flag %d", ingest.ErrCorrupt, r, c.name, flag)
+			case flag == 1 && code != 0:
+				return nil, nil, fmt.Errorf("%w: WAL row %d column %s: NULL row carries code %d", ingest.ErrCorrupt, r, c.name, code)
+			case flag == 0 && code > c.maxCode():
+				return nil, nil, fmt.Errorf("%w: WAL row %d column %s: code %d exceeds width %d", ingest.ErrCorrupt, r, c.name, code, c.Width())
+			case flag == 0 && c.kind == KindString && int64(code) >= int64(c.dict.Cardinality()):
+				return nil, nil, fmt.Errorf("%w: WAL row %d column %s: code %d outside dictionary", ingest.ErrCorrupt, r, c.name, code)
+			}
+			codes[i] = append(codes[i], code)
+			nulls[i] = append(nulls[i], flag == 1)
+		}
+	}
+	return codes, nulls, nil
+}
+
+// Append appends one row: vals maps column names to native values (as
+// DeltaTable.AppendRow) or nil for NULL. The row is validated and
+// encoded atomically, made durable in the WAL, then published to
+// readers; when Append returns nil the row survives a crash. At the
+// delta bound it fails with ErrBackpressure and wakes the merger.
+func (t *IngestTable) Append(vals map[string]any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("byteslice: append: %w", ErrTableClosed)
+	}
+	v := t.view.Load()
+	if v.deltaRows() >= t.cfg.deltaBound {
+		obs.Default.Ingest.Backpressure.Add(1)
+		t.merger.Trigger()
+		return fmt.Errorf("byteslice: append: %d unmerged delta rows at bound %d: %w",
+			v.deltaRows(), t.cfg.deltaBound, ErrBackpressure)
+	}
+	base := v.base
+	if len(vals) != len(base.cols) {
+		return fmt.Errorf("byteslice: row has %d values, table has %d columns", len(vals), len(base.cols))
+	}
+	codes := make([]uint32, len(base.cols))
+	nulls := make([]bool, len(base.cols))
+	for i, c := range base.cols {
+		val, ok := vals[c.name]
+		if !ok {
+			return fmt.Errorf("byteslice: row is missing column %s", c.name)
+		}
+		if val == nil {
+			nulls[i] = true
+			continue
+		}
+		code, err := c.encodeValue(val)
+		if err != nil {
+			return err
+		}
+		codes[i] = code
+	}
+
+	// Durability before visibility: the WAL frame lands (and, with synced
+	// appends, reaches disk) before the row is published to readers.
+	payload := encodeRowPayload(codes, nulls)
+	if err := t.wal.Append(payload); err != nil {
+		return fmt.Errorf("byteslice: append: %w", err)
+	}
+	for i := range t.tailCodes {
+		t.tailCodes[i] = append(t.tailCodes[i], codes[i])
+		t.tailNulls[i] = append(t.tailNulls[i], nulls[i])
+	}
+	t.publishLocked(v.epoch, base, v.sealed)
+	if len(t.tailCodes[0]) >= t.cfg.sealRows {
+		if err := t.sealRowsLocked(len(t.tailCodes[0])); err != nil {
+			// The row is durable and published; a failed seal only means
+			// it stays on the row-at-a-time path until the next attempt.
+			_ = err
+		}
+	}
+	obs.Default.Ingest.AppendedRows.Add(1)
+	obs.Default.Ingest.AppendedBytes.Add(int64(len(payload)) + 9)
+	obs.Default.Ingest.DeltaRows.Store(int64(t.view.Load().deltaRows()))
+	obs.Default.Ingest.WALBytes.Store(t.wal.Size())
+	if t.cfg.autoMerge && plan.ShouldMerge(base.n, t.view.Load().deltaRows()) {
+		t.merger.Trigger()
+	}
+	return nil
+}
+
+// publishLocked builds and atomically publishes a new view over the
+// current canonical tail arrays. Callers hold mu.
+func (t *IngestTable) publishLocked(epoch uint64, base *Table, sealed []*Table) {
+	n := 0
+	if len(t.tailCodes) > 0 {
+		n = len(t.tailCodes[0])
+	}
+	tc := make([][]uint32, len(t.tailCodes))
+	tn := make([][]bool, len(t.tailNulls))
+	for i := range t.tailCodes {
+		tc[i] = t.tailCodes[i][:n:n]
+		tn[i] = t.tailNulls[i][:n:n]
+	}
+	t.view.Store(&ingestView{epoch: epoch, base: base, sealed: sealed, tailCodes: tc, tailNulls: tn, tailLen: n})
+}
+
+// sealRowsLocked seals the first n tail rows into an immutable ByteSlice
+// segment and publishes the new view. Callers hold mu.
+func (t *IngestTable) sealRowsLocked(n int) error {
+	v := t.view.Load()
+	if n <= 0 || n > len(t.tailCodes[0]) {
+		return nil
+	}
+	cols := make([]*Column, len(v.base.cols))
+	for i, c := range v.base.cols {
+		var nullRows []int
+		for r := 0; r < n; r++ {
+			if t.tailNulls[i][r] {
+				nullRows = append(nullRows, r)
+			}
+		}
+		col, err := rebuildLike(c, c.Format(), t.tailCodes[i][:n:n], nullRows)
+		if err != nil {
+			return err
+		}
+		cols[i] = col
+	}
+	seg, err := NewTable(cols...)
+	if err != nil {
+		return err
+	}
+	for i := range t.tailCodes {
+		t.tailCodes[i] = append([]uint32(nil), t.tailCodes[i][n:]...)
+		t.tailNulls[i] = append([]bool(nil), t.tailNulls[i][n:]...)
+	}
+	sealed := make([]*Table, 0, len(v.sealed)+1)
+	sealed = append(append(sealed, v.sealed...), seg)
+	t.publishLocked(v.epoch, v.base, sealed)
+	obs.Default.Ingest.SealedSegments.Add(1)
+	return nil
+}
+
+// mergeOnce is one merge attempt, the background merger's run function:
+// build the next epoch's base off-lock from immutable data (the sealed
+// segments; the tail is sealed first when nothing is sealed yet, so a
+// forced merge always makes progress), then commit under the writer lock
+// — rotate the WAL, re-appending the rows the merge does not cover
+// (segments sealed after the snapshot, and the tail), swap the manifest
+// atomically and publish the new epoch. A failure at any step leaves the
+// previous epoch intact on disk and in memory; the merger retries with
+// backoff.
+func (t *IngestTable) mergeOnce() error {
+	t.mergeMu.Lock()
+	defer t.mergeMu.Unlock()
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	v := t.view.Load()
+	if len(v.sealed) == 0 && v.tailLen > 0 {
+		if err := t.sealRowsLocked(len(t.tailCodes[0])); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		v = t.view.Load()
+	}
+	covered := len(v.sealed)
+	t.mu.Unlock()
+	if covered == 0 {
+		return nil
+	}
+
+	// Off-lock: the base and sealed segments are immutable, so the build
+	// races nothing. Appends proceed concurrently; whatever they add
+	// lands in segments after `covered` or in the tail, both re-appended
+	// into the rotated WAL at commit.
+	merged, err := mergeTables(v.base, v.sealed[:covered])
+	if err != nil {
+		obs.Default.Ingest.MergeFailures.Add(1)
+		return err
+	}
+	newEpoch := v.epoch + 1
+	basePath := filepath.Join(t.dir, baseName(newEpoch))
+	if err := merged.SaveFile(basePath); err != nil {
+		obs.Default.Ingest.MergeFailures.Add(1)
+		return err
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		os.Remove(basePath) //nolint:errcheck // best-effort cleanup
+		return nil
+	}
+	err = t.commitMergeLocked(merged, newEpoch, covered)
+	if err != nil {
+		obs.Default.Ingest.MergeFailures.Add(1)
+	}
+	return err
+}
+
+// commitMergeLocked rotates the WAL and swaps the manifest to publish
+// newEpoch, whose base covers the first `covered` sealed segments.
+// Callers hold mu. On failure the previous epoch's WAL, base and
+// manifest are untouched and the partial new WAL is removed.
+func (t *IngestTable) commitMergeLocked(merged *Table, newEpoch uint64, covered int) error {
+	walPath := filepath.Join(t.dir, walName(newEpoch))
+	os.Remove(walPath) //nolint:errcheck // clear debris of a failed earlier attempt
+	nw, err := ingest.Create(walPath, newEpoch, uint64(merged.Len()), t.cfg.syncEach)
+	if err != nil {
+		return fmt.Errorf("byteslice: merge: %w", err)
+	}
+	abort := func(err error) error {
+		nw.Close()         //nolint:errcheck // already failing
+		os.Remove(walPath) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("byteslice: merge: %w", err)
+	}
+	v := t.view.Load()
+	for _, seg := range v.sealed[covered:] {
+		if err := appendTableRows(nw, seg); err != nil {
+			return abort(err)
+		}
+	}
+	for r := 0; r < len(t.tailCodes[0]); r++ {
+		row := make([]uint32, len(t.tailCodes))
+		nulls := make([]bool, len(t.tailCodes))
+		for i := range t.tailCodes {
+			row[i] = t.tailCodes[i][r]
+			nulls[i] = t.tailNulls[i][r]
+		}
+		if err := nw.Append(encodeRowPayload(row, nulls)); err != nil {
+			return abort(err)
+		}
+	}
+	if err := nw.Sync(); err != nil {
+		return abort(err)
+	}
+	m := ingest.Manifest{Epoch: newEpoch, Base: baseName(newEpoch), WAL: walName(newEpoch)}
+	if err := ingest.WriteManifest(t.dir, m); err != nil {
+		return abort(err)
+	}
+
+	// The manifest rename committed the switch; everything after is
+	// bookkeeping on the now-stale epoch.
+	old := t.wal
+	t.wal = nw
+	remaining := append([]*Table(nil), v.sealed[covered:]...)
+	t.publishLocked(newEpoch, merged, remaining)
+	oldPath := old.Path()
+	old.Close()                                           //nolint:errcheck // stale epoch
+	os.Remove(oldPath)                                    //nolint:errcheck // best-effort
+	os.Remove(filepath.Join(t.dir, baseName(newEpoch-1))) //nolint:errcheck // best-effort
+	obs.Default.Ingest.Merges.Add(1)
+	obs.Default.Ingest.Epoch.Store(int64(newEpoch))
+	obs.Default.Ingest.DeltaRows.Store(int64(t.view.Load().deltaRows()))
+	obs.Default.Ingest.WALBytes.Store(t.wal.Size())
+	return nil
+}
+
+// mergeTables rebuilds base plus the sealed segments into one fresh
+// Table, column by column, preserving each column's format, encoders,
+// zone maps and workload counters (rebuildLike).
+func mergeTables(base *Table, sealed []*Table) (*Table, error) {
+	total := base.n
+	for _, s := range sealed {
+		total += s.n
+	}
+	cols := make([]*Column, len(base.cols))
+	for i, c := range base.cols {
+		codes := make([]uint32, 0, total)
+		bc, err := materializeCodes(c)
+		if err != nil {
+			return nil, queryErr(err)
+		}
+		codes = append(codes, bc...)
+		var nullRows []int
+		if c.nulls != nil {
+			for _, r := range c.nulls.Positions(nil) {
+				nullRows = append(nullRows, int(r))
+			}
+		}
+		off := base.n
+		for _, s := range sealed {
+			sc, err := materializeCodes(s.cols[i])
+			if err != nil {
+				return nil, queryErr(err)
+			}
+			codes = append(codes, sc...)
+			if s.cols[i].nulls != nil {
+				for _, r := range s.cols[i].nulls.Positions(nil) {
+					nullRows = append(nullRows, off+int(r))
+				}
+			}
+			off += s.n
+		}
+		col, err := rebuildLike(c, c.Format(), codes, nullRows)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return NewTable(cols...)
+}
+
+// appendTableRows re-frames a sealed segment's rows into a WAL — the
+// rotation path for segments a merge does not cover.
+func appendTableRows(w *ingest.WAL, seg *Table) error {
+	colCodes := make([][]uint32, len(seg.cols))
+	for i, c := range seg.cols {
+		codes, err := materializeCodes(c)
+		if err != nil {
+			return queryErr(err)
+		}
+		colCodes[i] = codes
+	}
+	row := make([]uint32, len(seg.cols))
+	nulls := make([]bool, len(seg.cols))
+	for r := 0; r < seg.n; r++ {
+		for i := range seg.cols {
+			if seg.cols[i].IsNull(r) {
+				row[i], nulls[i] = 0, true
+			} else {
+				row[i], nulls[i] = colCodes[i][r], false
+			}
+		}
+		if err := w.Append(encodeRowPayload(row, nulls)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter evaluates the conjunction of the filters over one consistent
+// view: the base epoch with its storage layouts, the sealed segments
+// with theirs, the tail row-at-a-time. Row numbers are stable across
+// appends and merges (base order, then append order). Readers never
+// block: concurrent appends, seals and merges affect only later calls.
+func (t *IngestTable) Filter(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return t.eval(filters, false, opts)
+}
+
+// FilterAny evaluates the disjunction over the same consistent view.
+func (t *IngestTable) FilterAny(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return t.eval(filters, true, opts)
+}
+
+func (t *IngestTable) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Result, error) {
+	v := t.view.Load()
+	var baseRes *Result
+	var err error
+	if disjunct {
+		baseRes, err = v.base.FilterAny(filters, opts...)
+	} else {
+		baseRes, err = v.base.Filter(filters, opts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := bitvec.New(v.rows())
+	out.CopyBits(baseRes.bv)
+
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	// Sealed segments scan with their native layouts. Their evaluations
+	// run with per-query observability off so a logical query counts once
+	// in the process-wide registry (the base evaluation).
+	segOpts := append(append([]QueryOption(nil), opts...), WithObservability(false))
+	off := v.base.n
+	for _, seg := range v.sealed {
+		var segRes *Result
+		if disjunct {
+			segRes, err = seg.FilterAny(filters, segOpts...)
+		} else {
+			segRes, err = seg.Filter(filters, segOpts...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range segRes.bv.Positions(nil) {
+			out.Set(off+int(r), true)
+		}
+		off += seg.n
+	}
+
+	// Tail rows: hoisted predicates, row-at-a-time, cancellable.
+	preds, err := resolveDeltaPreds(v.base, filters)
+	if err != nil {
+		return nil, err
+	}
+	st, done := cfg.stage(baseRes.stats, "scan(delta)", "delta")
+	defer done()
+	for r := 0; r < v.tailLen; r++ {
+		if r%8192 == 0 {
+			if err := cfg.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
+		match := evalDeltaRow(preds, disjunct, func(p deltaPred) (uint32, bool) {
+			return v.tailCodes[p.idx][r], v.tailNulls[p.idx][r]
+		})
+		out.Set(off+r, match)
+	}
+	if st != nil {
+		st.AddRows(int64(v.tailLen), int64(v.tailLen*5*len(preds)))
+	}
+	return &Result{bv: out, explain: baseRes.explain, zoneSkipped: baseRes.zoneSkipped, stats: baseRes.stats}, nil
+}
+
+// Len returns the total queryable rows (base epoch + unmerged delta).
+func (t *IngestTable) Len() int { return t.view.Load().rows() }
+
+// DeltaLen returns the unmerged rows (sealed segments + tail).
+func (t *IngestTable) DeltaLen() int { return t.view.Load().deltaRows() }
+
+// Epoch returns the current epoch number.
+func (t *IngestTable) Epoch() uint64 { return t.view.Load().epoch }
+
+// Base returns the current epoch's immutable base table.
+func (t *IngestTable) Base() *Table { return t.view.Load().base }
+
+// MergeNow runs one synchronous merge attempt (serialised with the
+// background merger) and reports its outcome.
+func (t *IngestTable) MergeNow() error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("byteslice: merge: %w", ErrTableClosed)
+	}
+	return t.mergeOnce()
+}
+
+// MergeStats reports the background merger's lifetime successful merges
+// and recovered panics, and its last failure (nil after a success).
+func (t *IngestTable) MergeStats() (merges, panics int64, lastErr error) {
+	return t.merger.Stats()
+}
+
+// Close stops the background merger (waiting out an in-flight merge),
+// syncs and closes the WAL. Queries keep working on the last published
+// view; appends and merges fail with ErrTableClosed.
+func (t *IngestTable) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	// Outside mu: the merger's in-flight attempt needs the lock to
+	// observe closed and bail.
+	t.merger.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.wal.Close(); err != nil {
+		return fmt.Errorf("byteslice: close ingest: %w", err)
+	}
+	return nil
+}
+
+// syncGauges publishes the pipeline's position to the process-wide
+// registry (last table wins when several are open).
+func (t *IngestTable) syncGauges() {
+	v := t.view.Load()
+	obs.Default.Ingest.Epoch.Store(int64(v.epoch))
+	obs.Default.Ingest.DeltaRows.Store(int64(v.deltaRows()))
+	obs.Default.Ingest.WALBytes.Store(t.wal.Size())
+}
