@@ -48,7 +48,8 @@ func main() {
 		snapshot = flag.String("snapshot", "", "benchmark crash-atomic SaveFile/LoadFile on a generated table written to this path")
 		ingestAx = flag.Bool("ingest", false, "with -json: also benchmark the write path — WAL-durable append throughput and scan latency while a delta is live")
 		stats    = flag.Bool("stats", false, "after the run, print the process-wide query-observability snapshot as JSON")
-		serve    = flag.String("serve", "", "after the run, serve the observability registry over HTTP on this address (e.g. :8080; /stats and expvar's /debug/vars)")
+		serveAx  = flag.Bool("serve", false, "with -json: also benchmark the serving layer — qps and p50/p99 request latency at 1/8/64 concurrent HTTP clients")
+		obsServe = flag.String("obs-serve", "", "after the run, serve the observability registry over HTTP on this address (e.g. :8080; /stats and expvar's /debug/vars)")
 	)
 	flag.Parse()
 
@@ -58,8 +59,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" && *jsonOut == "" && *snapshot == "" && *serve == "" {
-		fmt.Fprintln(os.Stderr, "bsbench: -exp, -json, -snapshot or -serve is required (try -list)")
+	if *exp == "" && *jsonOut == "" && *snapshot == "" && *obsServe == "" {
+		fmt.Fprintln(os.Stderr, "bsbench: -exp, -json, -snapshot or -obs-serve is required (try -list)")
 		os.Exit(2)
 	}
 
@@ -97,7 +98,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *exp == "" && *jsonOut == "" {
-			finish(*stats, *serve)
+			finish(*stats, *obsServe)
 			return
 		}
 	}
@@ -135,6 +136,14 @@ func main() {
 			}
 			res.Results = append(res.Results, entries...)
 		}
+		if *serveAx {
+			entries, err := serveBench(cfg.N, cfg.Seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bsbench:", err)
+				os.Exit(1)
+			}
+			res.Results = append(res.Results, entries...)
+		}
 		buf, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bsbench:", err)
@@ -147,13 +156,13 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d measurements in %v)\n", *jsonOut, len(res.Results), time.Since(start).Round(time.Millisecond))
 		if *exp == "" {
-			finish(*stats, *serve)
+			finish(*stats, *obsServe)
 			return
 		}
 	}
 
-	if *exp == "" { // -stats / -serve with no other work
-		finish(*stats, *serve)
+	if *exp == "" { // -stats / -obs-serve with no other work
+		finish(*stats, *obsServe)
 		return
 	}
 	ids := []string{*exp}
@@ -180,12 +189,12 @@ func main() {
 			fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
-	finish(*stats, *serve)
+	finish(*stats, *obsServe)
 }
 
 // finish handles the observability flags after the requested work ran:
-// -stats prints the process-wide registry snapshot, -serve blocks serving
-// it over HTTP (the library's ObsHandler on /stats, plus expvar's
+// -stats prints the process-wide registry snapshot, -obs-serve blocks
+// serving it over HTTP (the library's ObsHandler on /stats, plus expvar's
 // /debug/vars, which carries the same snapshot under the "byteslice" key).
 func finish(stats bool, serve string) {
 	if stats {

@@ -70,15 +70,24 @@ func renderGroup(op string, exprs []Expr) string {
 	return s + ")"
 }
 
+// filterEvaluator evaluates flat conjunctions and disjunctions of
+// filters. Table implements it directly; IngestTable implements it
+// through a pinned view (Pin), so boolean trees evaluate identically —
+// and over one consistent row set — on immutable and live tables.
+type filterEvaluator interface {
+	Filter(filters []Filter, opts ...QueryOption) (*Result, error)
+	FilterAny(filters []Filter, opts ...QueryOption) (*Result, error)
+}
+
 // Query evaluates the expression over the table. The returned Result's
 // Explain joins the plans of every homogeneous group the expression split
 // into (one plan block per Filter/FilterAny evaluation), and ZoneSkipped
 // sums their zone-map pruning.
 func (t *Table) Query(e Expr, opts ...QueryOption) (*Result, error) {
-	return t.evalExpr(e, opts)
+	return evalExpr(t, e, opts)
 }
 
-func (t *Table) evalExpr(e Expr, opts []QueryOption) (*Result, error) {
+func evalExpr(t filterEvaluator, e Expr, opts []QueryOption) (*Result, error) {
 	switch {
 	case e.leaf != nil:
 		return t.Filter([]Filter{*e.leaf}, opts...)
@@ -148,7 +157,7 @@ func (t *Table) evalExpr(e Expr, opts []QueryOption) (*Result, error) {
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			res, err := t.evalExpr(child, opts)
+			res, err := evalExpr(t, child, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -11,6 +11,10 @@ type Gauge struct{ v atomic.Int64 }
 // Store sets the gauge.
 func (g *Gauge) Store(n int64) { g.v.Store(n) }
 
+// Add adjusts the gauge by delta and returns the new value — the shape
+// in-flight tracking needs (increment on admit, decrement on finish).
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

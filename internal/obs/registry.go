@@ -31,6 +31,11 @@ type Registry struct {
 	// Ingest aggregates the write path: appends, seals, merges,
 	// backpressure and recovery outcomes, plus current epoch/delta gauges.
 	Ingest IngestStats
+	// Serve aggregates the serving layer's counters (admission, result
+	// cache, deadlines, reloads); Tenants its per-tenant accounting. Both
+	// stay zero/empty for library users who never serve.
+	Serve   ServeStats
+	Tenants TenantSet
 }
 
 // Default is the process-wide registry, published via expvar on first
@@ -78,8 +83,10 @@ type RegistrySnapshot struct {
 		PredicateFirst int64 `json:"predicate_first"`
 		Baseline       int64 `json:"baseline"`
 	} `json:"strategies"`
-	QueryNs HistSnapshot   `json:"query_ns"`
-	Ingest  IngestSnapshot `json:"ingest"`
+	QueryNs HistSnapshot              `json:"query_ns"`
+	Ingest  IngestSnapshot            `json:"ingest"`
+	Serve   ServeSnapshot             `json:"serve"`
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
 }
 
 // Snapshot captures the registry's current state.
@@ -96,6 +103,8 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	s.Strategies.Baseline = r.StratBaseline.Load()
 	s.QueryNs = r.QueryNs.Snapshot()
 	s.Ingest = r.Ingest.Snapshot()
+	s.Serve = r.Serve.Snapshot()
+	s.Tenants = r.Tenants.Snapshot()
 	return s
 }
 

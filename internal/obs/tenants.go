@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TenantStats aggregates one tenant's activity at the serving layer. All
+// fields are atomic; request handlers on any number of goroutines update
+// them concurrently with observers snapshotting.
+type TenantStats struct {
+	// Queries counts requests admitted for this tenant; Errors the subset
+	// that failed (bad predicates, faults, deadlines); Overloads the
+	// requests rejected at the admission bound before touching the worker
+	// pool.
+	Queries   Counter
+	Errors    Counter
+	Overloads Counter
+	// CacheHits / CacheMisses count result-cache outcomes for the
+	// tenant's cacheable queries.
+	CacheHits   Counter
+	CacheMisses Counter
+	// RowsReturned accumulates result rows shipped to the tenant.
+	RowsReturned Counter
+	// QueryNs is the tenant's end-to-end request wall-time histogram.
+	QueryNs Hist
+}
+
+// TenantSnapshot is the JSON shape of one tenant's counters.
+type TenantSnapshot struct {
+	Queries      int64        `json:"queries"`
+	Errors       int64        `json:"errors"`
+	Overloads    int64        `json:"overloads"`
+	CacheHits    int64        `json:"cache_hits"`
+	CacheMisses  int64        `json:"cache_misses"`
+	RowsReturned int64        `json:"rows_returned"`
+	QueryNs      HistSnapshot `json:"query_ns"`
+}
+
+// Snapshot captures the tenant's current counters.
+func (t *TenantStats) Snapshot() TenantSnapshot {
+	return TenantSnapshot{
+		Queries:      t.Queries.Load(),
+		Errors:       t.Errors.Load(),
+		Overloads:    t.Overloads.Load(),
+		CacheHits:    t.CacheHits.Load(),
+		CacheMisses:  t.CacheMisses.Load(),
+		RowsReturned: t.RowsReturned.Load(),
+		QueryNs:      t.QueryNs.Snapshot(),
+	}
+}
+
+// TenantSet is the registry's per-tenant accounting: a lazily populated
+// map from tenant name to its stats. Get is cheap after the first call
+// for a name (one RLock + map probe); tenants are never evicted, so the
+// set is bounded by the number of distinct names the serving layer admits
+// (cap enforced there, not here).
+type TenantSet struct {
+	mu sync.RWMutex
+	m  map[string]*TenantStats
+}
+
+// Lookup returns the named tenant's stats, or nil when the name has not
+// been seen — the non-creating probe cap enforcement needs.
+func (s *TenantSet) Lookup(name string) *TenantStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[name]
+}
+
+// Get returns the named tenant's stats, creating them on first use.
+func (s *TenantSet) Get(name string) *TenantStats {
+	s.mu.RLock()
+	t := s.m[name]
+	s.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t = s.m[name]; t != nil {
+		return t
+	}
+	if s.m == nil {
+		s.m = make(map[string]*TenantStats)
+	}
+	t = &TenantStats{}
+	s.m[name] = t
+	return t
+}
+
+// Names returns the known tenant names in sorted order.
+func (s *TenantSet) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.m))
+	for n := range s.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures every tenant's counters. The map is nil when no
+// tenant has been seen, keeping the JSON surface unchanged for library
+// users who never serve.
+func (s *TenantSet) Snapshot() map[string]TenantSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.m) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantSnapshot, len(s.m))
+	for n, t := range s.m {
+		out[n] = t.Snapshot()
+	}
+	return out
+}
+
+// ServeStats aggregates the serving layer's own counters process-wide —
+// the cross-tenant totals the admission controller, scheduler and result
+// cache feed.
+type ServeStats struct {
+	// Admitted counts requests past admission; Overloads requests
+	// rejected at the in-flight bound.
+	Admitted  Counter
+	Overloads Counter
+	// CacheHits / CacheMisses count result-cache outcomes across all
+	// tenants; CacheBypass counts queries that skipped the cache (live
+	// ingest-path reads, whose version cannot be captured atomically with
+	// the result).
+	CacheHits   Counter
+	CacheMisses Counter
+	CacheBypass Counter
+	// Deadlines counts queries that exceeded their per-query deadline;
+	// Reloads counts catalog reloads (snapshot remounts and ingest
+	// rematerialisations).
+	Deadlines Counter
+	Reloads   Counter
+	// Inflight is the current number of admitted, unfinished queries.
+	Inflight Gauge
+}
+
+// ServeSnapshot is the JSON shape of ServeStats.
+type ServeSnapshot struct {
+	Admitted    int64 `json:"admitted"`
+	Overloads   int64 `json:"overloads"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheBypass int64 `json:"cache_bypass"`
+	Deadlines   int64 `json:"deadlines"`
+	Reloads     int64 `json:"reloads"`
+	Inflight    int64 `json:"inflight"`
+}
+
+// Snapshot captures the serving counters' current state.
+func (s *ServeStats) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		Admitted:    s.Admitted.Load(),
+		Overloads:   s.Overloads.Load(),
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
+		CacheBypass: s.CacheBypass.Load(),
+		Deadlines:   s.Deadlines.Load(),
+		Reloads:     s.Reloads.Load(),
+		Inflight:    s.Inflight.Load(),
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cacheable result: the table name, the version
+// the result was computed at, and the canonical query rendering. The
+// version is the pair (epoch, rows) — for ingest mounts the epoch alone
+// is not enough because appends grow the visible row set within an
+// epoch, but rows grow monotonically within an epoch and merges bump the
+// epoch, so the pair uniquely identifies a visible row set. For snapshot
+// mounts epoch is the reload generation and rows is constant, which
+// degenerates to the same guarantee.
+type cacheKey struct {
+	table string
+	epoch uint64
+	rows  int
+	query string
+}
+
+// resultCache is a plain LRU over completed responses. Entries are
+// immutable once inserted; hits hand back the stored *Response, and the
+// exec layer shallow-copies before stamping per-request fields (tenant,
+// elapsed, cache outcome) so cached content is never mutated.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	m   map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *Response
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key cacheKey) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry past
+// capacity.
+func (c *resultCache) put(key cacheKey, res *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the resident entry count (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"byteslice"
+)
+
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	q := ts.URL + "/query"
+
+	code, body := postJSON(t, q, `{"table":"t","where":{"col":"qty","op":"ge","args":[50]}}`)
+	if code != http.StatusOK {
+		t.Fatalf("good query: %d %s", code, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil || resp.Count != 3 {
+		t.Fatalf("good query body: %s (err %v)", body, err)
+	}
+
+	checkErr := func(wantCode int, wantErrCode, body string) {
+		t.Helper()
+		code, raw := postJSON(t, q, body)
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("error body %s: %v", raw, err)
+		}
+		if code != wantCode || er.Code != wantErrCode {
+			t.Fatalf("got %d/%q, want %d/%q (%s)", code, er.Code, wantCode, wantErrCode, raw)
+		}
+	}
+	checkErr(http.StatusNotFound, "not_found", `{"table":"missing","where":{"col":"qty","op":"ge","args":[50]}}`)
+	checkErr(http.StatusBadRequest, "bad_query", `{"table":"t","where":{"col":"qty","op":"frobnicate","args":[50]}}`)
+	checkErr(http.StatusBadRequest, "bad_query", `{"table":"t","where":{"col":"qty","op":"eq","args":["not-a-number"]}}`)
+	checkErr(http.StatusGatewayTimeout, "deadline", `{"table":"t","timeout_ms":-1,"where":{"col":"qty","op":"ge","args":[50]}}`)
+
+	// Overload: hold the single admission slot, then hit the server.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	s.testHook = func(ctx context.Context) { held <- struct{}{}; <-release }
+	holderDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(q, "application/json",
+			bytes.NewReader([]byte(`{"table":"t","where":{"col":"qty","op":"ge","args":[50]}}`)))
+		if err == nil {
+			resp.Body.Close() //nolint:errcheck // status only
+		}
+		holderDone <- err
+	}()
+	<-held
+	s.testHook = nil
+	checkErr(http.StatusTooManyRequests, "overloaded", `{"table":"t","where":{"col":"qty","op":"ge","args":[50]}}`)
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	dir := t.TempDir()
+	it, err := byteslice.CreateIngest(dir, testTable(t), byteslice.WithAutoMerge(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.cat.add(&mount{name: "live", kind: "ingest", path: dir, ing: it}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// /tables lists both mounts with schemas.
+	resp, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []TableInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // read side
+	if len(infos) != 2 || infos[0].Name != "live" || infos[1].Name != "t" {
+		t.Fatalf("tables = %+v", infos)
+	}
+	if infos[0].Kind != "ingest" || len(infos[0].Columns) != 3 {
+		t.Fatalf("live info = %+v", infos[0])
+	}
+
+	// /append feeds the live mount; NULLs and all kinds convert.
+	code, body := postJSON(t, ts.URL+"/append",
+		`{"table":"live","rows":[{"qty":90,"price":5.25,"mode":"AIR"},{"qty":null,"price":1.0,"mode":"SHIP"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("append: %d %s", code, body)
+	}
+	var ap struct {
+		Appended int    `json:"appended"`
+		Rows     int    `json:"rows"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &ap); err != nil || ap.Appended != 2 || ap.Rows != 8 {
+		t.Fatalf("append body: %s (err %v)", body, err)
+	}
+
+	// Appending to a non-ingest mount is a typed client error.
+	code, body = postJSON(t, ts.URL+"/append", `{"table":"t","rows":[{"qty":1,"price":1.0,"mode":"AIR"}]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("append to mem mount: %d %s", code, body)
+	}
+
+	// /merge bumps the epoch.
+	code, body = postJSON(t, ts.URL+"/merge", `{"table":"live"}`)
+	if code != http.StatusOK {
+		t.Fatalf("merge: %d %s", code, body)
+	}
+	var mg struct {
+		Epoch uint64 `json:"epoch"`
+		Rows  int    `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &mg); err != nil || mg.Epoch != ap.Epoch+1 || mg.Rows != 8 {
+		t.Fatalf("merge body: %s (err %v, append epoch %d)", body, err, ap.Epoch)
+	}
+
+	// The appended row is queryable: qty >= 50 now matches 4 rows.
+	code, body = postJSON(t, ts.URL+"/query", `{"table":"live","where":{"col":"qty","op":"ge","args":[50]}}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var qr Response
+	if err := json.Unmarshal(body, &qr); err != nil || qr.Count != 4 {
+		t.Fatalf("query body: %s (err %v)", body, err)
+	}
+
+	// /reload with no snapshot mounts is a no-op.
+	code, body = postJSON(t, ts.URL+"/reload", ``)
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"reloaded":0`)) {
+		t.Fatalf("reload: %d %s", code, body)
+	}
+
+	// /stats exposes the serving counters; /healthz and /debug/vars answer.
+	for _, path := range []string{"/stats", "/healthz", "/debug/vars"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck // read side
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+
+	// GET on a POST endpoint is rejected without panicking.
+	resp, err = http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // read side
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /query: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPTenantHeader(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		bytes.NewReader([]byte(`{"table":"t","where":{"col":"qty","op":"ge","args":[50]}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body Response
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // read side
+	if body.Tenant != "acme" {
+		t.Fatalf("tenant = %q, want acme", body.Tenant)
+	}
+	if ten := s.cfg.Registry.Tenants.Lookup("acme"); ten == nil || ten.Queries.Load() != 1 {
+		t.Fatalf("tenant accounting missing: %v", ten)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	// Explain off: requests asking for it get plain responses.
+	s := newTestServer(t, Config{})
+	resp := mustDo(t, s, &Request{Table: "t", Explain: true, Where: leaf("qty", "ge", 50)})
+	if resp.Explain != "" {
+		t.Fatalf("explain leaked with the flag off: %q", resp.Explain)
+	}
+
+	// Explain on: the plan rendering arrives and the cache is bypassed.
+	s2 := newTestServer(t, Config{Explain: true})
+	resp = mustDo(t, s2, &Request{Table: "t", Explain: true, Where: leaf("qty", "ge", 50)})
+	if resp.Explain == "" {
+		t.Fatal("explain missing with the flag on")
+	}
+	if resp.Cache != "bypass" {
+		t.Fatalf("explain request cache = %q, want bypass", resp.Cache)
+	}
+	if got := s2.stats().CacheBypass.Load(); got != 1 {
+		t.Fatalf("bypass counter = %d, want 1", got)
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	s := newTestServer(t, Config{CacheEntries: -1}) // cache off: every run computes fresh
+	var first string
+	for i := 0; i < 3; i++ {
+		resp := mustDo(t, s, &Request{Table: "t", Op: "rows", Cols: []string{"qty", "mode"}, Where: leaf("qty", "ge", 50)})
+		if resp.Cache != "off" {
+			t.Fatalf("cache = %q, want off", resp.Cache)
+		}
+		if i == 0 {
+			first = resp.Checksum
+			continue
+		}
+		if resp.Checksum != first {
+			t.Fatalf("run %d checksum %q != %q", i, resp.Checksum, first)
+		}
+	}
+	if first == "" || first == fmt.Sprintf("%016x", 0) {
+		t.Fatalf("degenerate checksum %q", first)
+	}
+}

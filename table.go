@@ -239,6 +239,12 @@ func (c *Column) withLayout(f Format) (*Column, error) {
 	return &nc, nil
 }
 
+// Columns returns the table's columns in schema order. The slice is a
+// fresh copy; the columns themselves are shared (they are immutable).
+func (t *Table) Columns() []*Column {
+	return append([]*Column(nil), t.cols...)
+}
+
 // Column returns the named column.
 func (t *Table) Column(name string) (*Column, error) {
 	c, ok := t.byName[name]

@@ -673,8 +673,63 @@ func (t *IngestTable) FilterAny(filters []Filter, opts ...QueryOption) (*Result,
 	return t.eval(filters, true, opts)
 }
 
+// Query evaluates a boolean expression tree over one consistent view,
+// exactly as Table.Query does over an immutable table.
+func (t *IngestTable) Query(e Expr, opts ...QueryOption) (*Result, error) {
+	return t.Pin().Query(e, opts...)
+}
+
+// Pinned is one immutable published view of an IngestTable: the epoch's
+// base, the sealed segments and a fixed tail prefix. Every query through
+// the same Pinned sees exactly the same rows no matter how many appends,
+// seals or merges race past it — Epoch and Len are the consistency anchor
+// a result cache can key on, because the row set a Pinned exposes is
+// fully determined by (Epoch, Len): appends grow Len within an epoch and
+// merges bump Epoch without changing Len, and published rows are never
+// mutated.
+type Pinned struct {
+	t *IngestTable
+	v *ingestView
+}
+
+// Pin captures the table's current published view.
+func (t *IngestTable) Pin() Pinned { return Pinned{t: t, v: t.view.Load()} }
+
+// Epoch returns the pinned view's epoch.
+func (p Pinned) Epoch() uint64 { return p.v.epoch }
+
+// Len returns the pinned view's total row count.
+func (p Pinned) Len() int { return p.v.rows() }
+
+// DeltaLen returns the pinned view's unmerged row count.
+func (p Pinned) DeltaLen() int { return p.v.deltaRows() }
+
+// Base returns the pinned epoch's immutable base table — the schema
+// authority for resolving filters against this view.
+func (p Pinned) Base() *Table { return p.v.base }
+
+// Filter evaluates the conjunction over the pinned view.
+func (p Pinned) Filter(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return p.t.evalView(p.v, filters, false, opts)
+}
+
+// FilterAny evaluates the disjunction over the pinned view.
+func (p Pinned) FilterAny(filters []Filter, opts ...QueryOption) (*Result, error) {
+	return p.t.evalView(p.v, filters, true, opts)
+}
+
+// Query evaluates a boolean expression tree over the pinned view. Unlike
+// IngestTable.Query called repeatedly, the sub-evaluations of one
+// expression cannot straddle an append or merge: they all see this view.
+func (p Pinned) Query(e Expr, opts ...QueryOption) (*Result, error) {
+	return evalExpr(p, e, opts)
+}
+
 func (t *IngestTable) eval(filters []Filter, disjunct bool, opts []QueryOption) (*Result, error) {
-	v := t.view.Load()
+	return t.evalView(t.view.Load(), filters, disjunct, opts)
+}
+
+func (t *IngestTable) evalView(v *ingestView, filters []Filter, disjunct bool, opts []QueryOption) (*Result, error) {
 	var baseRes *Result
 	var err error
 	if disjunct {
