@@ -1,6 +1,7 @@
-// Command bsvet runs the ByteSlice static-analysis suite: the hotloop,
-// kernelparity, atomicfield, and boundedalloc analyzers from
-// internal/analysis, plus the compiler-output BCE/escape gate.
+// Command bsvet runs the ByteSlice static-analysis suite from
+// internal/analysis — hotloop, kernelparity, atomicfield, boundedalloc,
+// epochsafe, goroutinelife, ctxflow, and errsentinel — plus the
+// compiler-output BCE/escape gate.
 //
 // Standalone (the common case):
 //
@@ -10,6 +11,12 @@
 // functions, against the committed bsvet.allow):
 //
 //	go run ./cmd/bsvet -gcflags ./internal/kernel ./internal/core
+//
+// With -ratchet the gate also hard-fails on allowlist entries that are
+// stale (match nothing) or slack (cap above the observed count), so the
+// allowlist can only shrink toward what the compiler actually emits:
+//
+//	go run ./cmd/bsvet -gcflags -ratchet ./internal/kernel
 //
 // As a go vet tool (unit-checker protocol):
 //
@@ -54,6 +61,7 @@ func run(args []string) int {
 		tests   = fs.Bool("tests", true, "also analyze test files")
 		gcflags = fs.Bool("gcflags", false, "run the compiler BCE/escape gate instead of the AST analyzers")
 		allow   = fs.String("allow", "bsvet.allow", "allowlist file for the -gcflags gate")
+		ratchet = fs.Bool("ratchet", false, "fail the -gcflags gate on stale or slack allowlist entries instead of warning")
 		dir     = fs.String("C", "", "run in this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,7 +80,7 @@ func run(args []string) int {
 	cfg := analysis.LoadConfig{Dir: *dir, Tests: *tests}
 
 	if *gcflags {
-		return runGate(cfg, *allow, patterns)
+		return runGate(cfg, *allow, *ratchet, patterns)
 	}
 
 	analyzers, err := analysis.ByName(*checks)
@@ -105,20 +113,31 @@ func run(args []string) int {
 	return 0
 }
 
-func runGate(cfg analysis.LoadConfig, allow string, patterns []string) int {
-	findings, stale, err := analysis.Gate(cfg, allow, patterns...)
+func runGate(cfg analysis.LoadConfig, allow string, ratchet bool, patterns []string) int {
+	findings, stale, slack, err := analysis.Gate(cfg, allow, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsvet:", err)
 		return 1
 	}
+	severity := "warning"
+	if ratchet {
+		severity = "error"
+	}
 	for _, s := range stale {
-		fmt.Fprintf(os.Stderr, "bsvet: warning: stale allowlist entry (prune it): %s\n", s)
+		fmt.Fprintf(os.Stderr, "bsvet: %s: stale allowlist entry (prune it): %s\n", severity, s)
+	}
+	for _, s := range slack {
+		fmt.Fprintf(os.Stderr, "bsvet: %s: slack allowlist entry (tighten the cap): %s\n", severity, s)
 	}
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "bsvet: %d compiler diagnostics above the %s caps\n", len(findings), allow)
+		return 2
+	}
+	if ratchet && len(stale)+len(slack) > 0 {
+		fmt.Fprintf(os.Stderr, "bsvet: ratchet: %d allowlist entries need pruning or tightening in %s\n", len(stale)+len(slack), allow)
 		return 2
 	}
 	return 0

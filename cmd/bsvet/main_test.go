@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -74,6 +75,108 @@ func TestSeededMissingCtxVariantFails(t *testing.T) {
 	}
 	if !strings.Contains(out, "has an Obs variant but no SoloCtx") {
 		t.Errorf("output does not name the missing Ctx variant:\n%s", out)
+	}
+}
+
+// TestSeededFixturesFail runs the suite over each remaining seeded
+// fixture and checks the diagnostic class it must surface.
+func TestSeededFixturesFail(t *testing.T) {
+	bin := buildTool(t)
+	cases := []struct {
+		fixture string
+		needle  string
+	}{
+		{"epochsafe", "outside a //bsvet:builder function"},
+		{"goroutinelife", "has no visible stop path"},
+		{"ctxflow", "needs a //bsvet:rootctx annotation"},
+		{"errsentinel", "loses its identity"},
+	}
+	for _, tc := range cases {
+		out, code := runTool(t, bin, "./internal/analysis/testdata/src/"+tc.fixture)
+		if code == 0 {
+			t.Errorf("bsvet passed the seeded %s fixture:\n%s", tc.fixture, out)
+			continue
+		}
+		if !strings.Contains(out, tc.needle) {
+			t.Errorf("%s output does not contain %q:\n%s", tc.fixture, tc.needle, out)
+		}
+	}
+}
+
+// TestVettoolCrossPackageFacts proves annotation facts survive the .vetx
+// round trip of the go vet protocol: the epochsafe fixture imports a
+// dependency package whose //bsvet:sealed annotation go vet only sees
+// through the dependency's fact file, and the goroutinelife fixture
+// launches a dependency's stopper function, whose evidence must arrive
+// the same way (a lost stopper fact would false-positive go lifedep.Run).
+func TestVettoolCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over fixture packages")
+	}
+	bin := buildTool(t)
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, pkg)
+		cmd.Dir = "../.."
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./internal/analysis/testdata/src/epochsafe")
+	if err == nil {
+		t.Fatalf("go vet passed the epochsafe fixture:\n%s", out)
+	}
+	if !strings.Contains(out, "epochdep.View") {
+		t.Errorf("epochsafe vet output lost the cross-package sealed fact (no epochdep.View diagnostic):\n%s", out)
+	}
+	if !strings.Contains(out, "store to field Count") {
+		t.Errorf("epochsafe vet output does not flag the imported-field store:\n%s", out)
+	}
+
+	out, err = vet("./internal/analysis/testdata/src/goroutinelife")
+	if err == nil {
+		t.Fatalf("go vet passed the goroutinelife fixture:\n%s", out)
+	}
+	if !strings.Contains(out, "lifedep.Orphan") {
+		t.Errorf("goroutinelife vet output lost the cross-package orphan:\n%s", out)
+	}
+	if strings.Contains(out, "lifedep.Run") {
+		t.Errorf("goroutinelife vet output false-positives on the imported stopper (lifedep.Run's fact was lost):\n%s", out)
+	}
+}
+
+// TestGcflagsRatchet seeds an allowlist with one stale and one slack
+// entry against the bcegate fixture: a warning-only run exits 0 between
+// caps, the -ratchet run exits 2 and names both.
+func TestGcflagsRatchet(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	allow := filepath.Join(dir, "allow")
+	content := "byteslice/internal/analysis/testdata/src/bcegate sumFirst bounds 9\n" +
+		"byteslice/internal/analysis/testdata/src/bcegate gone bounds 1\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := runTool(t, bin, "-gcflags", "-allow", allow,
+		"./internal/analysis/testdata/src/bcegate")
+	if code != 0 {
+		t.Fatalf("warning-mode gate = exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "warning: stale allowlist entry") || !strings.Contains(out, "warning: slack allowlist entry") {
+		t.Errorf("warning-mode gate did not report stale and slack entries:\n%s", out)
+	}
+
+	out, code = runTool(t, bin, "-gcflags", "-ratchet", "-allow", allow,
+		"./internal/analysis/testdata/src/bcegate")
+	if code != 2 {
+		t.Fatalf("ratchet gate = exit %d; want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "error: stale allowlist entry") || !strings.Contains(out, "gone") {
+		t.Errorf("ratchet output does not name the stale entry:\n%s", out)
+	}
+	if !strings.Contains(out, "error: slack allowlist entry") || !strings.Contains(out, "(observed") {
+		t.Errorf("ratchet output does not name the slack entry with its observed count:\n%s", out)
 	}
 }
 

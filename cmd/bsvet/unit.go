@@ -24,10 +24,10 @@ type unitConfig struct {
 }
 
 // runUnit executes one compilation unit of the go vet protocol: scan
-// this unit's //bsvet:hotloop annotations, merge facts from dependency
-// .vetx files, ALWAYS write the unit's own .vetx (cmd/go requires it,
-// even for fact-only dependency units), and — unless VetxOnly — run the
-// analyzers and report.
+// this unit's annotation facts (hotloop/sealed/builder/stopper), merge
+// facts from dependency .vetx files, ALWAYS write the unit's own .vetx
+// (cmd/go requires it, even for fact-only dependency units), and —
+// unless VetxOnly — run the analyzers and report.
 func runUnit(cfgPath, checks string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -43,16 +43,14 @@ func runUnit(cfgPath, checks string) int {
 	// Facts visible to this unit: dependencies' tables plus our own.
 	// Re-exporting dependency facts makes them transitive, matching how
 	// annotated kernels call annotated helpers across packages.
-	facts := map[string]bool{}
+	facts := analysis.NewFacts()
 	for _, vetx := range cfg.PackageVetx {
 		deps, err := analysis.ReadFactsFile(vetx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bsvet:", err)
 			return 1
 		}
-		for k := range deps {
-			facts[k] = true
-		}
+		facts.Merge(deps)
 	}
 
 	// Fact-only units (dependencies) never need type information.
@@ -62,9 +60,7 @@ func runUnit(cfgPath, checks string) int {
 			fmt.Fprintln(os.Stderr, "bsvet:", err)
 			return 1
 		}
-		for k := range own {
-			facts[k] = true
-		}
+		facts.Merge(own)
 		return writeVetx(cfg.VetxOutput, facts)
 	}
 
@@ -73,9 +69,7 @@ func runUnit(cfgPath, checks string) int {
 		fmt.Fprintln(os.Stderr, "bsvet:", err)
 		return 1
 	}
-	for k := range pkg.HotloopFacts {
-		facts[k] = true
-	}
+	facts.Merge(pkg.Facts)
 	if code := writeVetx(cfg.VetxOutput, facts); code != 0 {
 		return code
 	}
@@ -93,7 +87,7 @@ func runUnit(cfgPath, checks string) int {
 		fmt.Fprintln(os.Stderr, "bsvet:", err)
 		return 1
 	}
-	pkg.HotloopFacts = facts // full table, not just this unit's
+	pkg.Facts = facts // full table, not just this unit's
 	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
@@ -104,7 +98,7 @@ func runUnit(cfgPath, checks string) int {
 	return 0
 }
 
-func writeVetx(path string, facts map[string]bool) int {
+func writeVetx(path string, facts *analysis.Facts) int {
 	if path == "" {
 		return 0
 	}

@@ -38,7 +38,7 @@ type CSVOptions struct {
 // formatted. Empty fields of nullable columns become NULL rows.
 func ReadCSV(r io.Reader, schema []CSVColumn, opts CSVOptions) (*Table, error) {
 	if len(schema) == 0 {
-		return nil, fmt.Errorf("byteslice: empty CSV schema")
+		return nil, fmt.Errorf("%w: empty CSV schema", ErrSchema)
 	}
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
@@ -63,7 +63,7 @@ func ReadCSV(r io.Reader, schema []CSVColumn, opts CSVOptions) (*Table, error) {
 		for i, c := range schema {
 			idx, ok := byName[c.Name]
 			if !ok {
-				return nil, fmt.Errorf("byteslice: CSV has no column %q (header %v)", c.Name, header)
+				return nil, fmt.Errorf("%w: CSV has no column %q (header %v)", ErrSchema, c.Name, header)
 			}
 			fieldOf[i] = idx
 		}
@@ -83,7 +83,7 @@ func ReadCSV(r io.Reader, schema []CSVColumn, opts CSVOptions) (*Table, error) {
 		}
 		for i, c := range schema {
 			if fieldOf[i] >= len(rec) {
-				return nil, fmt.Errorf("byteslice: row %d has %d fields, column %q wants field %d", row, len(rec), c.Name, fieldOf[i])
+				return nil, fmt.Errorf("%w: row %d has %d fields, column %q wants field %d", ErrSchema, row, len(rec), c.Name, fieldOf[i])
 			}
 			v := rec[fieldOf[i]]
 			if v == "" && c.Nullable {
@@ -94,7 +94,7 @@ func ReadCSV(r io.Reader, schema []CSVColumn, opts CSVOptions) (*Table, error) {
 		row++
 	}
 	if row == 0 {
-		return nil, fmt.Errorf("byteslice: CSV has no data rows")
+		return nil, fmt.Errorf("%w: CSV has no data rows", ErrSchema)
 	}
 
 	cols := make([]*Column, 0, len(schema))

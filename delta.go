@@ -283,6 +283,8 @@ func rebuildLike(c *Column, format Format, codes []uint32, nullRows []int) (*Col
 // Merge seals the delta into a new Table (with the base's formats, or the
 // override passed via WithFormat) and returns it. The receiver is left
 // unchanged; typical use is d = NewDeltaTable(merged).
+//
+//bsvet:rootctx Merge is the no-cancellation compatibility wrapper; callers wanting cancellation use MergeContext
 func (d *DeltaTable) Merge(opts ...ColumnOption) (*Table, error) {
 	return d.MergeContext(context.Background(), opts...)
 }
@@ -302,7 +304,7 @@ func (d *DeltaTable) MergeContext(ctx context.Context, opts ...ColumnOption) (*T
 			}
 		}
 		total := d.base.n + d.deltaLen
-		baseCodes, err := materializeCodes(c)
+		baseCodes, err := materializeCodes(ctx, c)
 		if err != nil {
 			return nil, queryErr(err)
 		}

@@ -130,8 +130,10 @@ func ctxErrOf(ctx context.Context) error {
 
 // materializeCodes stitches every row's code back out of the column using
 // its native lookup kernel (modelled layouts fall back to the engine) —
-// the first half of a re-layout.
-func materializeCodes(c *Column) ([]uint32, error) {
+// the first half of a re-layout. A nil ctx disables cancellation (the
+// kernels' usual convention); merge paths forward their caller's ctx so a
+// huge rebuild can be abandoned mid-column.
+func materializeCodes(ctx context.Context, c *Column) ([]uint32, error) {
 	n := c.Len()
 	rows := make([]int32, n)
 	for i := range rows {
@@ -139,7 +141,7 @@ func materializeCodes(c *Column) ([]uint32, error) {
 	}
 	codes := make([]uint32, n)
 	if lk := nativeKernelOf(c); lk != nil {
-		if err := lk.lookupMany(context.Background(), c, rows, codes, nil); err != nil {
+		if err := lk.lookupMany(ctx, c, rows, codes, nil); err != nil {
 			return nil, err
 		}
 		return codes, nil

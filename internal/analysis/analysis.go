@@ -1,8 +1,8 @@
 // Package analysis is bsvet's static-analysis suite: a small, stdlib-only
 // re-implementation of the golang.org/x/tools/go/analysis driver model
 // (this module is dependency-free by policy, so the framework is grown
-// here rather than imported) plus the four analyzers that mechanise the
-// kernel's hand-checked performance and safety invariants:
+// here rather than imported) plus the eight analyzers that mechanise the
+// kernel's hand-checked performance, safety and lifecycle invariants:
 //
 //   - hotloop: functions annotated //bsvet:hotloop must stay tight — no
 //     heap allocations, interface conversions, defers, closures, or calls
@@ -14,6 +14,18 @@
 //     fields must be alignment-safe on 32-bit platforms.
 //   - boundedalloc: allocation sizes decoded from untrusted input must
 //     flow through a bound check before make/io.ReadFull.
+//   - epochsafe: sealed types (annotated //bsvet:sealed, or published
+//     through an atomic.Pointer epoch swap) may only be written inside
+//     //bsvet:builder functions — published epochs are read-only.
+//   - goroutinelife: every go statement in non-test library code must
+//     have a visible stop path, and goroutine closures must not capture
+//     loop variables by reference.
+//   - ctxflow: context.Background()/TODO() in library code needs a
+//     //bsvet:rootctx annotation, and an exported function that accepts
+//     a context.Context must forward it.
+//   - errsentinel: in packages that declare Err* sentinels, errors on
+//     exported paths must wrap with %w, and formatting an error through
+//     %v/%s/Sprintf (dropping its identity) is flagged.
 //
 // The compiler-output gate (gate.go) complements the AST analyzers by
 // compiling //bsvet:hotloop packages with -d=ssa/check_bce and -m and
@@ -21,13 +33,33 @@
 //
 // # Annotation grammar
 //
-// Two pragmas, both ordinary line comments:
+// Five pragmas, all ordinary line comments:
 //
 //	//bsvet:hotloop
 //	    In the doc comment of a function or method declaration. Marks the
 //	    function as a hot loop: the hotloop analyzer enforces its body and
 //	    the BCE gate watches its compiled form. Annotated functions may
 //	    call each other across packages.
+//
+//	//bsvet:sealed
+//	    In the doc comment of a type declaration. Marks the type as
+//	    publication-immutable: epochsafe reports any store through its
+//	    fields (or elements reached through its fields) outside a
+//	    //bsvet:builder function. Element types of atomic.Pointer[T]
+//	    fields are sealed implicitly — they are exactly the values an
+//	    epoch swap publishes.
+//
+//	//bsvet:builder
+//	    In the doc comment of a function or method declaration. Marks the
+//	    function as a constructor of not-yet-published sealed values;
+//	    epochsafe permits its stores. The fact crosses packages.
+//
+//	//bsvet:rootctx <reason>
+//	    In the doc comment of a function declaration. Declares that the
+//	    function legitimately mints a root context (program entry point,
+//	    compatibility wrapper, detached background task); ctxflow then
+//	    accepts its context.Background()/TODO() calls. The reason is
+//	    mandatory.
 //
 //	//bsvet:ignore <analyzer> <reason>
 //	    Suppresses every diagnostic the named analyzer would report on
@@ -57,7 +89,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotloopAnalyzer, KernelParityAnalyzer, AtomicFieldAnalyzer, BoundedAllocAnalyzer}
+	return []*Analyzer{
+		HotloopAnalyzer, KernelParityAnalyzer, AtomicFieldAnalyzer, BoundedAllocAnalyzer,
+		EpochSafeAnalyzer, GoroutineLifeAnalyzer, CtxFlowAnalyzer, ErrSentinelAnalyzer,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("hotloop,atomicfield").
@@ -99,11 +134,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
-	// Hotloop holds the cross-package annotation facts: the object keys
-	// (see ObjKey) of every //bsvet:hotloop-annotated function visible to
-	// this pass — the analyzed package, its module-local dependencies, and
-	// in vettool mode the facts recovered from dependency .vetx files.
-	Hotloop map[string]bool
+	// Facts holds the cross-package annotation facts visible to this pass
+	// — the analyzed package, its module-local dependencies, and in
+	// vettool mode the facts recovered from dependency .vetx files.
+	Facts *Facts
 
 	ignores []ignoreDirective
 	diags   *[]Diagnostic
@@ -138,6 +172,9 @@ type ignoreDirective struct {
 const (
 	pragmaHotloop = "//bsvet:hotloop"
 	pragmaIgnore  = "//bsvet:ignore"
+	pragmaSealed  = "//bsvet:sealed"
+	pragmaBuilder = "//bsvet:builder"
+	pragmaRootctx = "//bsvet:rootctx"
 )
 
 // parseIgnores collects the ignore pragmas of a file set. Malformed
@@ -226,34 +263,15 @@ func astFuncKey(pkgPath string, d *ast.FuncDecl) string {
 	return pkgPath + "." + d.Name.Name
 }
 
-// ScanAnnotations collects the hotloop fact keys of one parsed package.
-func ScanAnnotations(pkgPath string, files []*ast.File) map[string]bool {
-	facts := map[string]bool{}
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if hasPragma(fd.Doc, pragmaHotloop) {
-				facts[astFuncKey(pkgPath, fd)] = true
-			}
-		}
-	}
-	return facts
-}
-
 // RunAnalyzers applies the analyzers to every target package and returns
 // the deduplicated, position-sorted diagnostics.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	// Build the cross-package hotloop fact table from every loaded
-	// module-local package (targets and dependencies alike), then merge
-	// any externally supplied facts (vettool mode).
-	facts := map[string]bool{}
+	// Build the cross-package fact table from every loaded module-local
+	// package (targets and dependencies alike), then merge any externally
+	// supplied facts (vettool mode).
+	facts := NewFacts()
 	for _, p := range pkgs {
-		for k := range p.HotloopFacts {
-			facts[k] = true
-		}
+		facts.Merge(p.Facts)
 	}
 	var diags []Diagnostic
 	for _, p := range pkgs {
@@ -268,7 +286,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    p.Files,
 				Pkg:      p.Types,
 				Info:     p.Info,
-				Hotloop:  facts,
+				Facts:    facts,
 				ignores:  ignores,
 				diags:    &diags,
 			}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowAnalyzer enforces context plumbing in non-test library code
+// (package main legitimately mints the process root context and is
+// exempt):
+//
+//   - context.Background() and context.TODO() sever cancellation: a
+//     caller's deadline or disconnect can no longer reach the work
+//     below. Library functions that genuinely need a root context
+//     (compatibility wrappers, build-time code, detached maintenance
+//     tasks) declare it with //bsvet:rootctx <reason> in their doc
+//     comment; everything else is a diagnostic. Minting a fresh root
+//     while a ctx parameter is in scope gets a sharper message — the
+//     fix is almost always to forward it.
+//   - An exported function that accepts a context.Context must use it.
+//     An ignored ctx parameter advertises cancellation the function
+//     does not deliver; name it _ if it exists only to satisfy an
+//     interface.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "check that library code forwards context.Context instead of minting " +
+		"unannotated roots via context.Background/TODO",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFlow(p, fd)
+		}
+	}
+}
+
+func checkCtxFlow(p *Pass, fd *ast.FuncDecl) {
+	rooted, malformed := rootctxState(fd)
+	if malformed {
+		p.Reportf(fd.Pos(), "malformed //bsvet:rootctx: want \"//bsvet:rootctx <reason>\"")
+	}
+	ctxParams := contextParams(p, fd)
+
+	if !rooted {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := typeutilCallee(p.Info, call).(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			if len(ctxParams) > 0 {
+				p.Reportf(call.Pos(), "context.%s() severs cancellation while %s already receives a ctx parameter; forward it (or annotate //bsvet:rootctx with a reason)", fn.Name(), fd.Name.Name)
+			} else {
+				p.Reportf(call.Pos(), "context.%s() in library code needs a //bsvet:rootctx annotation (callers cannot cancel work below this point)", fn.Name())
+			}
+			return true
+		})
+	}
+
+	// Unused-ctx check: exported entry points only (methods count when
+	// the receiver type is exported too).
+	if !exportedEntry(fd) {
+		return
+	}
+	for _, obj := range ctxParams {
+		if paramUsed(p, fd.Body, obj) {
+			continue
+		}
+		p.Reportf(obj.Pos(), "exported %s accepts ctx but never forwards it; plumb it through (or name it _ if the signature is fixed)", fd.Name.Name)
+	}
+}
+
+// rootctxState parses the //bsvet:rootctx pragma off fd's doc comment:
+// has reports its presence, malformed a pragma with no reason. A
+// malformed pragma still roots the function — its own diagnostic is the
+// signal, not a cascade of Background findings below it.
+func rootctxState(fd *ast.FuncDecl) (has, malformed bool) {
+	if fd.Doc == nil {
+		return false, false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text != pragmaRootctx && !strings.HasPrefix(text, pragmaRootctx+" ") {
+			continue
+		}
+		if len(strings.Fields(strings.TrimPrefix(text, pragmaRootctx))) == 0 {
+			return true, true
+		}
+		return true, false
+	}
+	return false, false
+}
+
+// contextParams returns the named, non-blank context.Context parameter
+// objects of fd.
+func contextParams(p *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(p.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := p.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// exportedEntry reports whether fd is an exported entry point: an
+// exported function, or an exported method on an exported type.
+func exportedEntry(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func paramUsed(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochSafeAnalyzer enforces the RCU-style publication invariant the
+// scan path's wait-freedom rests on: once a value is published through
+// an atomic.Pointer epoch swap, readers traverse it without locks, so
+// it must never be written again.
+//
+// A type is sealed when its declaration carries //bsvet:sealed or when
+// it appears as the element of an atomic.Pointer[T] anywhere in the
+// loaded packages (the implicit case — those are exactly the values a
+// Store publishes). Outside functions annotated //bsvet:builder, any
+// store whose destination is reached through a sealed type's field —
+// plain assignment, compound assignment, ++/--, an element store
+// through a field slice or map, or the destination of builtin copy — is
+// a diagnostic. Construction by composite literal is fine: a fresh
+// value is unpublished until the Store. Sealed and builder facts cross
+// packages, so internal/serve cannot mutate a view it pinned from the
+// facade.
+//
+// Test files are exempt: tests build and tear down sealed values
+// directly.
+var EpochSafeAnalyzer = &Analyzer{
+	Name: "epochsafe",
+	Doc: "check that sealed (epoch-published) types are only written inside " +
+		"//bsvet:builder functions",
+	Run: runEpochSafe,
+}
+
+func runEpochSafe(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.Facts.Builder[astFuncKey(p.Pkg.Path(), fd)] {
+				continue // builders construct not-yet-published values
+			}
+			checkSealedStores(p, fd)
+		}
+	}
+}
+
+// checkSealedStores walks one non-builder body. Closures inherit the
+// enclosing function's non-builder status: a goroutine or callback
+// defined inside ordinary code is still post-publication code.
+func checkSealedStores(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportSealedStore(p, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportSealedStore(p, n.X)
+		case *ast.CallExpr:
+			// copy(dst, ...) and delete(m, k) mutate their first argument.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "copy" || b.Name() == "delete") {
+					reportSealedStore(p, n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportSealedStore reports when the store destination is reached
+// through a field of a sealed type. The chain unwraps indexing,
+// dereference and parens, and checks every field selection on the way:
+// `v.tailCodes[i][r] = x` and `resp.Data[name] = d` both resolve to a
+// field owned by the sealed value.
+func reportSealedStore(p *Pass, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if key, field := sealedField(p.Info, x); key != "" && p.Facts.Sealed[key] {
+				p.Reportf(x.Pos(), "store to field %s of sealed type %s outside a //bsvet:builder function (published epochs are read-only)", field, key)
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// sealedField resolves a selector to (owner type key, field name) when
+// it selects a struct field whose owner type is sealed.
+func sealedField(info *types.Info, sel *ast.SelectorExpr) (key, field string) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", ""
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name(), sel.Sel.Name
+}

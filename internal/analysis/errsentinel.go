@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrSentinelAnalyzer enforces typed-error hygiene in packages that
+// declare error sentinels (package-level Err* variables of type error).
+// Sentinels exist so callers classify failures with errors.Is; both
+// rules below catch the ways a formatting call silently severs that
+// chain. Packages without sentinels — internal tooling, the analyzers
+// themselves — are out of scope, and test files are exempt.
+//
+//   - Identity loss: an error-typed argument formatted by fmt.Errorf
+//     through any verb but %w, by fmt.Sprintf at all, or through a
+//     package-local printf-style wrapper (format string, args ...any)
+//     flattens the cause to text; errors.Is on the result finds
+//     nothing.
+//   - Mixed exported path: an exported function that wraps with %w (or
+//     returns a sentinel) on some returns must not return a raw
+//     fmt.Errorf on others — callers that can classify the first
+//     failure mode deserve to classify them all.
+var ErrSentinelAnalyzer = &Analyzer{
+	Name: "errsentinel",
+	Doc: "check that errors crossing package boundaries wrap declared sentinels " +
+		"with %w instead of flattening them to text",
+	Run: runErrSentinel,
+}
+
+func runErrSentinel(p *Pass) {
+	if p.Pkg.Name() == "main" || !declaresSentinels(p.Pkg) {
+		return
+	}
+	wrappers := printfWrappers(p)
+	reported := map[ast.Node]bool{}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkIdentityLoss(p, fd, wrappers, reported)
+			checkMixedPath(p, fd, reported)
+		}
+	}
+}
+
+// declaresSentinels reports whether the package declares at least one
+// package-level Err* variable of an error type (including aliases of
+// another package's sentinels).
+func declaresSentinels(pkg *types.Package) bool {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		if v, ok := scope.Lookup(name).(*types.Var); ok && implementsError(v.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func implementsError(t types.Type) bool {
+	iface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}
+
+// printfWrappers collects this package's printf-style helpers: funcs
+// whose signature is exactly (format string, args ...any). Passing an
+// error through one flattens it with %s/%v no matter the verb.
+func printfWrappers(p *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || !sig.Variadic() || sig.Params().Len() != 2 {
+				continue
+			}
+			first, _ := sig.Params().At(0).Type().Underlying().(*types.Basic)
+			if first == nil || first.Info()&types.IsString == 0 {
+				continue
+			}
+			variadic, _ := sig.Params().At(1).Type().(*types.Slice)
+			if variadic == nil {
+				continue
+			}
+			if iface, ok := variadic.Elem().Underlying().(*types.Interface); !ok || !iface.Empty() {
+				continue
+			}
+			out[fn] = true
+		}
+	}
+	return out
+}
+
+// checkIdentityLoss flags formatting calls that flatten an error-typed
+// argument: fmt.Errorf with a non-%w verb, fmt.Sprintf, and the
+// package's own printf wrappers.
+func checkIdentityLoss(p *Pass, fd *ast.FuncDecl, wrappers map[*types.Func]bool, reported map[ast.Node]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := typeutilCallee(p.Info, call).(*types.Func)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case isFmtCall(fn, "Errorf"):
+			verbs, ok := formatVerbs(p, call, 0)
+			if !ok {
+				return true
+			}
+			for i, verb := range verbs {
+				argIdx := i + 1
+				if argIdx >= len(call.Args) || verb == 'w' {
+					continue
+				}
+				if implementsError(p.Info.TypeOf(call.Args[argIdx])) {
+					reported[call] = true
+					p.Reportf(call.Args[argIdx].Pos(), "error formatted with %%%c loses its identity; wrap it with %%w so errors.Is still matches", verb)
+				}
+			}
+		case isFmtCall(fn, "Sprintf"):
+			for _, arg := range call.Args[1:] {
+				if implementsError(p.Info.TypeOf(arg)) {
+					p.Reportf(arg.Pos(), "error flattened through fmt.Sprintf loses its identity; wrap it with %%w in an Errorf instead")
+				}
+			}
+		case wrappers[fn]:
+			for _, arg := range call.Args[1:] {
+				if implementsError(p.Info.TypeOf(arg)) {
+					p.Reportf(arg.Pos(), "error passed through printf-style %s loses its identity; use a %%w-wrapping helper so errors.Is still matches", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFmtCall(fn *types.Func, name string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == name
+}
+
+// checkMixedPath flags raw fmt.Errorf returns inside exported functions
+// that wrap elsewhere. The per-function scope keeps the rule
+// principled: a consistently raw helper is untouched, but a path whose
+// callers already classify one failure mode must let them classify all.
+func checkMixedPath(p *Pass, fd *ast.FuncDecl, reported map[ast.Node]bool) {
+	if !exportedEntry(fd) {
+		return
+	}
+	wraps := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, _ := typeutilCallee(p.Info, n).(*types.Func); fn != nil && isFmtCall(fn, "Errorf") {
+				if format, ok := formatLiteral(p, n, 0); ok && strings.Contains(format, "%w") {
+					wraps = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isSentinelRef(p, res) {
+					wraps = true
+				}
+			}
+		}
+		return !wraps
+	})
+	if !wraps {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok || reported[call] {
+				continue
+			}
+			fn, _ := typeutilCallee(p.Info, call).(*types.Func)
+			if fn == nil || !isFmtCall(fn, "Errorf") {
+				continue
+			}
+			format, ok := formatLiteral(p, call, 0)
+			if !ok || strings.Contains(format, "%w") {
+				continue
+			}
+			p.Reportf(call.Pos(), "exported %s mixes wrapped and raw errors: this return has no %%w; wrap a sentinel so callers can classify it", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// isSentinelRef reports whether the expression is a bare reference to a
+// package-level Err* variable.
+func isSentinelRef(p *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && strings.HasPrefix(v.Name(), "Err")
+}
+
+// formatLiteral extracts the call's format string when it is a constant
+// string literal at argIdx (concatenations and variables are skipped —
+// the analyzer refuses to guess).
+func formatLiteral(p *Pass, call *ast.CallExpr, argIdx int) (string, bool) {
+	if argIdx >= len(call.Args) {
+		return "", false
+	}
+	tv, ok := p.Info.Types[call.Args[argIdx]]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// formatVerbs parses the format string into the verb consuming each
+// subsequent argument. Width/precision stars consume an argument slot
+// (recorded as '*'); explicit argument indexes (%[n]d) abort the parse.
+func formatVerbs(p *Pass, call *ast.CallExpr, argIdx int) ([]rune, bool) {
+	format, ok := formatLiteral(p, call, argIdx)
+	if !ok {
+		return nil, false
+	}
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// Flags, width, precision; a star consumes an argument.
+		for i < len(runes) {
+			r := runes[i]
+			if r == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if r == '[' {
+				return nil, false // explicit index: don't guess
+			}
+			if strings.ContainsRune("+-# 0.", r) || (r >= '0' && r <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(runes) {
+			verbs = append(verbs, runes[i])
+		}
+	}
+	return verbs, true
+}

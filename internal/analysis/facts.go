@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Facts is the cross-package annotation table the analyzers share. All
+// four maps key objects the ObjKey way: "pkgpath.Func" or
+// "pkgpath.Recv.Method" for functions, "pkgpath.TypeName" for types.
+// Every map is scanned syntactically (no type information needed), so
+// fact-only dependency units in vettool mode can produce the full table
+// from a bare parse.
+type Facts struct {
+	// Hotloop: functions annotated //bsvet:hotloop.
+	Hotloop map[string]bool
+	// Sealed: types annotated //bsvet:sealed, plus every element type of
+	// an atomic.Pointer[T] — the values an epoch swap publishes.
+	Sealed map[string]bool
+	// Builder: functions annotated //bsvet:builder, allowed to store
+	// through sealed types (they construct not-yet-published values).
+	Builder map[string]bool
+	// Stopper: functions whose bodies carry a syntactic termination
+	// signal (select, channel receive/send/close, a Done() call, or a
+	// context.Context parameter); `go pkg.F()` is accepted when F is one.
+	Stopper map[string]bool
+}
+
+// NewFacts returns an empty fact table.
+func NewFacts() *Facts {
+	return &Facts{
+		Hotloop: map[string]bool{},
+		Sealed:  map[string]bool{},
+		Builder: map[string]bool{},
+		Stopper: map[string]bool{},
+	}
+}
+
+// Merge folds g's facts into f. A nil g is a no-op.
+func (f *Facts) Merge(g *Facts) {
+	if g == nil {
+		return
+	}
+	for k := range g.Hotloop {
+		f.Hotloop[k] = true
+	}
+	for k := range g.Sealed {
+		f.Sealed[k] = true
+	}
+	for k := range g.Builder {
+		f.Builder[k] = true
+	}
+	for k := range g.Stopper {
+		f.Stopper[k] = true
+	}
+}
+
+// ScanAnnotations collects the fact table of one parsed package: pragma
+// annotations on functions and types, implicit sealing of atomic.Pointer
+// element types, and the stop-signal scan behind goroutinelife.
+func ScanAnnotations(pkgPath string, files []*ast.File) *Facts {
+	facts := NewFacts()
+	for _, f := range files {
+		scanAtomicElems(pkgPath, f, facts.Sealed)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				key := astFuncKey(pkgPath, d)
+				if hasPragma(d.Doc, pragmaHotloop) {
+					facts.Hotloop[key] = true
+				}
+				if hasPragma(d.Doc, pragmaBuilder) {
+					facts.Builder[key] = true
+				}
+				if funcHasStopSignal(d) {
+					facts.Stopper[key] = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					// The pragma sits on the grouped decl's doc for a single
+					// `type X ...` and on the spec's own doc inside a block.
+					if hasPragma(d.Doc, pragmaSealed) || hasPragma(ts.Doc, pragmaSealed) {
+						facts.Sealed[pkgPath+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// scanAtomicElems records T as sealed for every atomic.Pointer[T] type
+// expression in the file: Store on such a pointer is the epoch-swap
+// publication site, so the element type must never be mutated after
+// construction. Both local (atomic.Pointer[view]) and imported
+// (atomic.Pointer[pkg.View]) element types resolve syntactically through
+// the file's import table.
+func scanAtomicElems(pkgPath string, f *ast.File, sealed map[string]bool) {
+	atomicName := ""               // file-local name of sync/atomic
+	imports := map[string]string{} // local name -> import path
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		imports[name] = path
+		if path == "sync/atomic" {
+			atomicName = name
+		}
+	}
+	if atomicName == "" || atomicName == "_" || atomicName == "." {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := idx.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Pointer" {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != atomicName {
+			return true
+		}
+		switch e := idx.Index.(type) {
+		case *ast.Ident:
+			sealed[pkgPath+"."+e.Name] = true
+		case *ast.SelectorExpr:
+			if p, ok := e.X.(*ast.Ident); ok {
+				if ipath, ok := imports[p.Name]; ok {
+					sealed[ipath+"."+e.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// funcHasStopSignal reports whether fd's body (or parameter list) shows
+// a way for the function to observe shutdown when run as a goroutine.
+func funcHasStopSignal(fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			if isContextTypeExpr(p.Type) {
+				return true
+			}
+		}
+	}
+	return bodyHasStopSignal(fd.Body)
+}
+
+// bodyHasStopSignal is the syntactic termination-evidence scan shared by
+// the stopper fact producer and goroutinelife's closure check: a select
+// statement, a channel receive or send, a close call, or a Done() call
+// (sync.WaitGroup registration or a ctx.Done probe).
+func bodyHasStopSignal(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextTypeExpr matches the syntactic spelling context.Context.
+func isContextTypeExpr(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// isTestFile reports whether the file is a _test.go file; the lifecycle
+// analyzers (epochsafe, goroutinelife, ctxflow, errsentinel) skip them —
+// tests legitimately build sealed values, leak short-lived goroutines
+// into t.Cleanup, and return ad-hoc errors.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -67,12 +67,16 @@ type allowEntry struct {
 
 // Gate compiles every pattern-matched package that declares hotloop
 // functions and returns the findings that exceed the allowlist. The
-// returned strings describe allowlist entries that no longer match
-// anything (stale entries must be pruned, or the list only grows).
-func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []GateFinding, stale []string, err error) {
+// returned stale strings describe allowlist entries that no longer match
+// anything (they must be pruned, or the list only grows); slack strings
+// describe entries whose cap sits above the observed count (the ratchet:
+// a cap that is never tightened lets regressions hide under old
+// headroom). Both are advisory by default and hard errors under
+// `bsvet -gcflags -ratchet`.
+func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []GateFinding, stale, slack []string, err error) {
 	allow, err := readAllowlist(allowPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	args := []string{"list", "-e", "-export", "-deps", "-json"}
@@ -83,22 +87,22 @@ func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []Gate
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 	listed, err := decodeList(out)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	targets, err := listTargets(cfg, patterns)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// One importcfg covering the whole dependency closure serves every
 	// compile; extra entries are harmless.
 	tmp, err := os.MkdirTemp("", "bsvet-gate-*")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer os.RemoveAll(tmp)
 	var cfgBuf bytes.Buffer
@@ -109,7 +113,7 @@ func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []Gate
 	}
 	importcfg := filepath.Join(tmp, "importcfg")
 	if err := os.WriteFile(importcfg, cfgBuf.Bytes(), 0o644); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	counts := map[allowEntry]int{} // keyed with max=0: observed totals
@@ -119,14 +123,14 @@ func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []Gate
 		}
 		fns, files, perr := annotatedRanges(lp)
 		if perr != nil {
-			return nil, nil, perr
+			return nil, nil, nil, perr
 		}
 		if len(fns) == 0 {
 			continue // nothing to gate in this package
 		}
 		diags, cerr := compileForDiagnostics(tmp, importcfg, lp, files)
 		if cerr != nil {
-			return nil, nil, cerr
+			return nil, nil, nil, cerr
 		}
 		for _, d := range diags {
 			fn := enclosing(fns, d.file, d.line)
@@ -144,11 +148,15 @@ func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []Gate
 	}
 
 	for key, max := range allow {
-		if counts[key] == 0 && max > 0 {
+		switch observed := counts[key]; {
+		case observed == 0 && max > 0:
 			stale = append(stale, fmt.Sprintf("%s %s %s %d", key.pkg, key.fn, key.kind, max))
+		case observed > 0 && observed < max:
+			slack = append(slack, fmt.Sprintf("%s %s %s %d (observed %d)", key.pkg, key.fn, key.kind, max, observed))
 		}
 	}
 	sort.Strings(stale)
+	sort.Strings(slack)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -156,7 +164,7 @@ func Gate(cfg LoadConfig, allowPath string, patterns ...string) (findings []Gate
 		}
 		return a.Line < b.Line
 	})
-	return findings, stale, nil
+	return findings, stale, slack, nil
 }
 
 func decodeList(out []byte) ([]*listPackage, error) {

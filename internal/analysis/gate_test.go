@@ -3,6 +3,7 @@ package analysis
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -27,12 +28,15 @@ func fixtureBoundsLine(t *testing.T) int {
 }
 
 func TestGateFindsSeededBoundsCheck(t *testing.T) {
-	findings, stale, err := Gate(LoadConfig{}, "", bceFixture)
+	findings, stale, slack, err := Gate(LoadConfig{}, "", bceFixture)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(stale) != 0 {
 		t.Errorf("stale = %v; want none", stale)
+	}
+	if len(slack) != 0 {
+		t.Errorf("slack = %v; want none", slack)
 	}
 	if len(findings) == 0 {
 		t.Fatal("gate reported no findings on the seeded bounds check")
@@ -60,7 +64,7 @@ func TestGateAllowlistCapsAndStaleness(t *testing.T) {
 	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	findings, stale, err := Gate(LoadConfig{}, allow, bceFixture)
+	findings, stale, slack, err := Gate(LoadConfig{}, allow, bceFixture)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +73,45 @@ func TestGateAllowlistCapsAndStaleness(t *testing.T) {
 	}
 	if len(stale) != 1 || !strings.Contains(stale[0], "gone") {
 		t.Errorf("stale = %v; want the unused 'gone' entry", stale)
+	}
+	// The sumFirst cap of 8 sits above the single observed bounds check:
+	// the ratchet must surface it with both numbers.
+	if len(slack) != 1 || !strings.Contains(slack[0], "sumFirst") || !strings.Contains(slack[0], "8 (observed") {
+		t.Errorf("slack = %v; want the over-capped sumFirst entry with cap and observed count", slack)
+	}
+}
+
+// TestGateTightCapHasNoSlack pins the ratchet's fixed point: a cap equal
+// to the observed count is neither a finding nor slack.
+func TestGateTightCapHasNoSlack(t *testing.T) {
+	// Learn the observed count from an uncapped run first.
+	findings, _, _, err := Gate(LoadConfig{}, "", bceFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := 0
+	for _, f := range findings {
+		if f.Func == "sumFirst" && f.Kind == "bounds" {
+			observed++
+		}
+	}
+	if observed == 0 {
+		t.Fatal("fixture produced no sumFirst bounds findings")
+	}
+
+	dir := t.TempDir()
+	allow := filepath.Join(dir, "allow")
+	content := "byteslice/internal/analysis/testdata/src/bcegate sumFirst bounds " +
+		strconv.Itoa(observed) + "\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, stale, slack, err := Gate(LoadConfig{}, allow, bceFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 || len(stale) != 0 || len(slack) != 0 {
+		t.Errorf("tight cap: findings=%v stale=%v slack=%v; want all empty", findings, stale, slack)
 	}
 }
 
@@ -99,7 +142,7 @@ func TestGateCleanOnAnnotatedTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, _, err := Gate(LoadConfig{Dir: root}, filepath.Join(root, "bsvet.allow"),
+	findings, _, _, err := Gate(LoadConfig{Dir: root}, filepath.Join(root, "bsvet.allow"),
 		"./internal/kernel", "./internal/core", "./internal/bitvec")
 	if err != nil {
 		t.Fatal(err)

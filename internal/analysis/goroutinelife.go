@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLifeAnalyzer enforces goroutine lifecycle discipline in
+// non-test library code (package main owns its process lifetime and is
+// exempt):
+//
+//   - Every go statement must show a stop path. A launched closure
+//     passes when its body carries termination evidence — a select
+//     statement, a channel receive or send, a close call, or a Done()
+//     call (sync.WaitGroup registration, ctx.Done probe). A launched
+//     named function passes when its declaration carries the same
+//     evidence or takes a context.Context; the evidence travels across
+//     packages as a stopper fact, so `go merger.loop()` resolves even
+//     when loop lives elsewhere.
+//   - A launched closure must not capture an enclosing for/range
+//     iteration variable by reference: pass it as an argument so the
+//     per-goroutine value is explicit in the data flow.
+//   - go through a function value is flagged outright: nothing can be
+//     verified about its lifetime.
+var GoroutineLifeAnalyzer = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "check that every go statement in library code has a visible stop path " +
+		"and captures no loop variables",
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(p, fd.Body)
+		}
+	}
+}
+
+// checkGoStmts walks one body tracking the enclosing loop iteration
+// variables (ast.Inspect signals subtree exit with a nil node, so a
+// plain stack recovers the path).
+func checkGoStmts(p *Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if g, ok := n.(*ast.GoStmt); ok {
+			checkGoStmt(p, g, loopVarsOf(p, stack))
+		}
+		return true
+	})
+}
+
+// loopVarsOf collects the iteration-variable objects of every for/range
+// statement on the current traversal path.
+func loopVarsOf(p *Pass, stack []ast.Node) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				addIdent(n.Key)
+			}
+			if n.Value != nil {
+				addIdent(n.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					addIdent(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+func checkGoStmt(p *Pass, g *ast.GoStmt, loopVars map[types.Object]bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		reportLoopCaptures(p, g, lit, loopVars)
+		if !bodyHasStopSignal(lit.Body) && !litTakesContext(lit) {
+			p.Reportf(g.Pos(), "goroutine has no visible stop path (no select, channel op, Done call, or context); tie it to a WaitGroup, done channel, or lifecycle owner")
+		}
+		return
+	}
+	callee, _ := typeutilCallee(p.Info, g.Call).(*types.Func)
+	if callee == nil {
+		p.Reportf(g.Pos(), "goroutine launches through a function value; its stop path cannot be verified — launch a named function or closure with a visible stop signal")
+		return
+	}
+	if !p.Facts.Stopper[ObjKey(callee)] {
+		p.Reportf(g.Pos(), "goroutine %s has no visible stop path (no select, channel op, Done call, or context parameter); tie it to a lifecycle owner", ObjKey(callee))
+	}
+}
+
+// litTakesContext reports a closure that receives its own ctx argument.
+func litTakesContext(lit *ast.FuncLit) bool {
+	if lit.Type.Params == nil {
+		return false
+	}
+	for _, f := range lit.Type.Params.List {
+		if isContextTypeExpr(f.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportLoopCaptures flags enclosing iteration variables the closure
+// body references; call arguments evaluate at launch and are fine.
+func reportLoopCaptures(p *Pass, g *ast.GoStmt, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	if len(loopVars) == 0 {
+		return
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || !loopVars[obj] || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		p.Reportf(g.Pos(), "goroutine closure captures loop variable %s by reference; pass it as an argument", obj.Name())
+		return true
+	})
+}

@@ -115,7 +115,7 @@ func (w *hotloopWalker) call(call *ast.CallExpr) bool {
 		if callee.Pkg() == nil || intrinsicPkgs[callee.Pkg().Path()] {
 			return true
 		}
-		if !w.p.Hotloop[ObjKey(callee)] {
+		if !w.p.Facts.Hotloop[ObjKey(callee)] {
 			w.p.Reportf(call.Pos(), "hotloop %s: call to %s, which is not //bsvet:hotloop or intrinsic", w.fn, ObjKey(callee))
 		}
 	default:

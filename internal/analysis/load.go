@@ -27,8 +27,8 @@ type Package struct {
 	// Analyze marks packages the analyzers run on; module-local
 	// dependencies are loaded parse-only for annotation facts.
 	Analyze bool
-	// HotloopFacts are the //bsvet:hotloop object keys declared here.
-	HotloopFacts map[string]bool
+	// Facts is the annotation table declared here (see ScanAnnotations).
+	Facts *Facts
 	// TypeErr records a type-check failure (the package is then skipped
 	// by the analyzers but still contributes annotation facts).
 	TypeErr error
@@ -130,12 +130,12 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 			files = append(files, f)
 		}
 		pkg := &Package{
-			ImportPath:   lp.ImportPath,
-			Dir:          lp.Dir,
-			Fset:         fset,
-			Files:        files,
-			Analyze:      isTarget,
-			HotloopFacts: ScanAnnotations(strip(lp.ImportPath), files),
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Analyze:    isTarget,
+			Facts:      ScanAnnotations(strip(lp.ImportPath), files),
 		}
 		if isTarget {
 			pkg.Types, pkg.Info, pkg.TypeErr = typeCheck(fset, lp, files, exports)

@@ -1,0 +1,75 @@
+// Package ctxflow is a bsvet test fixture; // want comments mark the
+// diagnostics the ctxflow analyzer must produce.
+package ctxflow
+
+import "context"
+
+// Process forwards its ctx — the clean path.
+func Process(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Detached mints a root with a declared reason — clean.
+//
+//bsvet:rootctx fixture: detached maintenance loop owns its own lifetime
+func Detached() {
+	ctx := context.Background()
+	_ = work(ctx)
+}
+
+// badBackground mints an unannotated root.
+func badBackground() {
+	_ = work(context.Background()) // want `context.Background\(\) in library code needs a //bsvet:rootctx annotation`
+}
+
+// badTODO: TODO is a root too.
+func badTODO() {
+	_ = work(context.TODO()) // want `context.TODO\(\) in library code needs a //bsvet:rootctx annotation`
+}
+
+// badSever receives a ctx but mints a fresh root anyway — the sharper
+// message.
+func badSever(ctx context.Context) {
+	_ = work(ctx)
+	_ = work(context.Background()) // want `context.Background\(\) severs cancellation while badSever already receives a ctx parameter`
+}
+
+// badPragma has a reason-less annotation: the pragma itself is the
+// diagnostic, and it still roots the function (no Background cascade).
+//
+//bsvet:rootctx
+func badPragma() { // want `malformed //bsvet:rootctx`
+	_ = work(context.Background())
+}
+
+// Ignores accepts ctx on an exported signature but never forwards it.
+func Ignores(ctx context.Context, n int) int { // want `exported Ignores accepts ctx but never forwards it`
+	return n * 2
+}
+
+// Blank is the sanctioned spelling for a fixed signature.
+func Blank(_ context.Context, n int) int {
+	return n * 2
+}
+
+// inner is unexported, so its method is not an exported entry point even
+// though the method name is.
+type inner struct{}
+
+func (inner) Handle(ctx context.Context) {}
+
+// Conn is exported; its exported method must use its ctx.
+type Conn struct{}
+
+func (Conn) Query(ctx context.Context) error { // want `exported Query accepts ctx but never forwards it`
+	return nil
+}
+
+func (Conn) Exec(ctx context.Context) error {
+	return work(ctx)
+}

@@ -1,0 +1,24 @@
+// Package epochdep exports a sealed type for the cross-package half of
+// the epochsafe fixture: the importing package must not be able to
+// mutate a View even though the annotation lives here.
+package epochdep
+
+// View is an epoch-published snapshot; fields are read-only after
+// publication.
+//
+//bsvet:sealed
+type View struct {
+	Rows  []uint32
+	Count int
+	ByKey map[string]int
+}
+
+// NewView is the construction path.
+//
+//bsvet:builder
+func NewView(rows []uint32) *View {
+	v := &View{ByKey: map[string]int{}}
+	v.Rows = rows // ok: builder function, value not yet published
+	v.Count = len(rows)
+	return v
+}

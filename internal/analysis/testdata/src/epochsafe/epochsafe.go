@@ -1,0 +1,80 @@
+// Package epochsafe is a bsvet test fixture; // want comments mark the
+// diagnostics the epochsafe analyzer must produce.
+package epochsafe
+
+import (
+	"sync/atomic"
+
+	"byteslice/internal/analysis/testdata/src/epochsafe/epochdep"
+)
+
+// snap is implicitly sealed: it is the element type of an
+// atomic.Pointer, so a Store publishes it to lock-free readers.
+type snap struct {
+	codes []uint32
+	byKey map[string]int
+	n     int
+}
+
+var current atomic.Pointer[snap]
+
+// scratch is not sealed; writes to it are nobody's business.
+type scratch struct {
+	n     int
+	codes []uint32
+}
+
+// publish is the legal pattern: composite-literal construction of a
+// fresh value, then the atomic Store.
+func publish(codes []uint32) {
+	s := &snap{codes: codes, n: len(codes), byKey: map[string]int{}}
+	current.Store(s)
+}
+
+// rebuild constructs a replacement snapshot; the annotation marks it as
+// pre-publication code.
+//
+//bsvet:builder
+func rebuild(codes []uint32) *snap {
+	s := &snap{}
+	s.codes = codes // ok: builder
+	s.n = len(codes)
+	return s
+}
+
+func mutateAfterPublish(other []uint32) {
+	s := current.Load()
+	s.n = 0                 // want `store to field n of sealed type .*epochsafe\.snap outside a //bsvet:builder function`
+	s.codes[0] = 1          // want `store to field codes of sealed type .*epochsafe\.snap`
+	s.n++                   // want `store to field n of sealed type .*epochsafe\.snap`
+	copy(s.codes, other)    // want `store to field codes of sealed type .*epochsafe\.snap`
+	delete(s.byKey, "gone") // want `store to field byKey of sealed type .*epochsafe\.snap`
+	(*s).n = 2              // want `store to field n of sealed type .*epochsafe\.snap`
+	s.codes[1], s.n = 3, 4  // want `store to field codes of sealed type .*epochsafe\.snap` `store to field n of sealed type .*epochsafe\.snap`
+}
+
+// mutateImported exercises the cross-package fact: View's seal is
+// declared in epochdep, not here.
+func mutateImported(v *epochdep.View) {
+	v.Count = 0          // want `store to field Count of sealed type .*epochdep\.View`
+	v.Rows[0] = 9        // want `store to field Rows of sealed type .*epochdep\.View`
+	delete(v.ByKey, "k") // want `store to field ByKey of sealed type .*epochdep\.View`
+}
+
+// mutateScratch is the control: same shapes, unsealed type, no
+// diagnostics.
+func mutateScratch(s *scratch, other []uint32) {
+	s.n = 0
+	s.codes[0] = 1
+	copy(s.codes, other)
+}
+
+// readsAreFine: loads and field reads of sealed values never report.
+func readsAreFine() int {
+	s := current.Load()
+	total := s.n
+	for _, c := range s.codes {
+		total += int(c)
+	}
+	return total
+}

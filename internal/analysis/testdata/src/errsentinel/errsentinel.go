@@ -1,0 +1,88 @@
+// Package errsentinel is a bsvet test fixture; // want comments mark
+// the diagnostics the errsentinel analyzer must produce. The package
+// declares a sentinel, which opts it into the analyzer.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the fixture sentinel.
+var ErrBad = errors.New("errsentinel: bad")
+
+// wrapf is a printf-style wrapper: exactly (format string, args ...any),
+// so an error passed through it flattens no matter the verb.
+func wrapf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// Wrap is the good path: %w preserves the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("%w: while wrapping: %w", ErrBad, err)
+}
+
+// flattenVerb loses the cause through %v.
+func flattenVerb(err error) error {
+	return fmt.Errorf("oops: %v", err) // want `error formatted with %v loses its identity`
+}
+
+// flattenS loses the cause through %s.
+func flattenS(err error) error {
+	return fmt.Errorf("oops: %s", err) // want `error formatted with %s loses its identity`
+}
+
+// flattenSprintf flattens through Sprintf — no verb is safe there.
+func flattenSprintf(err error) string {
+	return fmt.Sprintf("oops: %v", err) // want `error flattened through fmt.Sprintf`
+}
+
+// flattenWrapper flattens through the package's own printf helper.
+func flattenWrapper(err error) error {
+	return wrapf("oops: %v", err) // want `error passed through printf-style wrapf`
+}
+
+// starWidth: width stars consume argument slots; the error is still
+// found at its shifted position.
+func starWidth(err error) error {
+	return fmt.Errorf("pad %*d: %v", 8, 42, err) // want `error formatted with %v loses its identity`
+}
+
+// Mixed wraps on one return and hands back a raw Errorf on another:
+// callers that can classify the first failure deserve the second.
+func Mixed(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative %d", ErrBad, n)
+	}
+	return fmt.Errorf("unclassified: %d", n) // want `exported Mixed mixes wrapped and raw errors`
+}
+
+// SentinelReturn returns the bare sentinel on one path, so its raw
+// Errorf on the other is a mixed path too.
+func SentinelReturn(n int) error {
+	if n < 0 {
+		return ErrBad
+	}
+	return fmt.Errorf("unclassified: %d", n) // want `exported SentinelReturn mixes wrapped and raw errors`
+}
+
+// ConsistentRaw never wraps anywhere; a uniformly raw exported helper is
+// out of the mixed-path rule's scope.
+func ConsistentRaw(n int) error {
+	return fmt.Errorf("plain: %d", n)
+}
+
+// mixed is unexported: the mixed-path rule applies to exported entry
+// points only.
+func mixed(n int) error {
+	if n < 0 {
+		return ErrBad
+	}
+	return fmt.Errorf("plain: %d", n)
+}
+
+// dynamicFormat: non-constant format strings are skipped, not guessed
+// at.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}

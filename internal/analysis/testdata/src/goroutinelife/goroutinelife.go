@@ -1,0 +1,125 @@
+// Package goroutinelife is a bsvet test fixture; // want comments mark
+// the diagnostics the goroutinelife analyzer must produce.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+
+	"byteslice/internal/analysis/testdata/src/goroutinelife/lifedep"
+)
+
+// okSelect: the closure's select is its stop path.
+func okSelect(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// okWaitGroup: a Done() call is registration evidence.
+func okWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// okCtxClosure: a closure that receives its own ctx argument passes.
+func okCtxClosure(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+// okClose: closing a channel is termination evidence too.
+func okClose(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// orphanClosure has no stop path at all.
+func orphanClosure() {
+	go func() { // want `goroutine has no visible stop path`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// rangeCapture launches per-item goroutines that close over the
+// iteration variables instead of taking them as arguments.
+func rangeCapture(items []int, stop chan struct{}) {
+	for i, v := range items {
+		go func() { // want `captures loop variable i by reference` `captures loop variable v by reference`
+			_ = i + v
+			<-stop
+		}()
+	}
+}
+
+// forCapture: three-clause loops count too.
+func forCapture(n int, stop chan struct{}) {
+	for j := 0; j < n; j++ {
+		go func() { // want `captures loop variable j by reference`
+			_ = j
+			<-stop
+		}()
+	}
+}
+
+// argNotCapture: passing the loop variable as an argument is the fix.
+func argNotCapture(items []int, stop chan struct{}) {
+	for _, v := range items {
+		go func(v int) {
+			_ = v
+			<-stop
+		}(v)
+	}
+}
+
+// loop is a local named stopper: its select travels as a fact.
+func loop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		}
+	}
+}
+
+// spin is a local named orphan.
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func okNamed(done chan struct{}) {
+	go loop(done)
+}
+
+func badNamed() {
+	go spin() // want `goroutine .*goroutinelife\.spin has no visible stop path`
+}
+
+// badFuncValue: nothing can be verified about a function value.
+func badFuncValue(f func()) {
+	go f() // want `goroutine launches through a function value`
+}
+
+// okImported / badImported exercise the cross-package stopper fact.
+func okImported(done chan struct{}) {
+	go lifedep.Run(done)
+}
+
+func badImported() {
+	go lifedep.Orphan() // want `goroutine .*lifedep\.Orphan has no visible stop path`
+}

@@ -1,0 +1,21 @@
+// Package lifedep supplies named goroutine targets for the
+// cross-package half of the goroutinelife fixture: stopper evidence
+// must travel with the function, not with the call site.
+package lifedep
+
+// Run loops until its done channel closes — a stopper.
+func Run(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		}
+	}
+}
+
+// Orphan spins with no stop path.
+func Orphan() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

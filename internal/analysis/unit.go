@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -13,15 +14,18 @@ import (
 // Support for the go vet unit-checker protocol: cmd/go hands the tool
 // one compilation unit at a time (explicit file list, import map, and
 // export-data paths), and facts flow between units through .vetx files.
-// bsvet's only cross-package fact is the //bsvet:hotloop annotation
-// table, serialized as a sorted JSON array of object keys.
+// bsvet's cross-package facts are the four annotation tables of Facts
+// (hotloop/sealed/builder/stopper), serialized as a JSON object whose
+// values are sorted key arrays. The pre-epochsafe format — a bare JSON
+// array of hotloop keys — still reads, so a stale .vetx from an older
+// tool build cannot wedge the cache.
 
 // CheckFiles parses and type-checks one explicitly described
 // compilation unit. importMap translates source import paths to
 // canonical ones (test variants); packageFile maps canonical paths to
 // export-data files. The returned package has Analyze set and its own
-// annotation facts scanned; merge dependency facts into HotloopFacts
-// before running analyzers.
+// annotation facts scanned; merge dependency facts into Facts before
+// running analyzers.
 func CheckFiles(importPath string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
 	fset := token.NewFileSet()
 	lp := &listPackage{ImportPath: importPath, ImportMap: importMap}
@@ -30,11 +34,11 @@ func CheckFiles(importPath string, goFiles []string, importMap, packageFile map[
 		return nil, err
 	}
 	pkg := &Package{
-		ImportPath:   importPath,
-		Fset:         fset,
-		Files:        parsed,
-		Analyze:      true,
-		HotloopFacts: ScanAnnotations(strip(importPath), parsed),
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      parsed,
+		Analyze:    true,
+		Facts:      ScanAnnotations(strip(importPath), parsed),
 	}
 	pkg.Types, pkg.Info, pkg.TypeErr = typeCheck(fset, lp, parsed, packageFile)
 	return pkg, nil
@@ -42,7 +46,7 @@ func CheckFiles(importPath string, goFiles []string, importMap, packageFile map[
 
 // ScanFilesForFacts is the parse-only path for fact-gathering units
 // (VetxOnly): no type information, just the annotation table.
-func ScanFilesForFacts(importPath string, goFiles []string) (map[string]bool, error) {
+func ScanFilesForFacts(importPath string, goFiles []string) (*Facts, error) {
 	fset := token.NewFileSet()
 	parsed, err := parseFiles(fset, goFiles)
 	if err != nil {
@@ -63,37 +67,76 @@ func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
 	return files, nil
 }
 
+// factsFile is the on-disk .vetx shape.
+type factsFile struct {
+	Hotloop []string `json:"hotloop"`
+	Sealed  []string `json:"sealed"`
+	Builder []string `json:"builder"`
+	Stopper []string `json:"stopper"`
+}
+
 // ReadFactsFile loads one .vetx annotation table; empty or missing
-// content yields an empty table.
-func ReadFactsFile(path string) (map[string]bool, error) {
+// content yields an empty table. A legacy bare-array file is read as a
+// hotloop-only table.
+func ReadFactsFile(path string) (*Facts, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	facts := map[string]bool{}
-	if len(data) == 0 {
+	facts := NewFacts()
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
 		return facts, nil
 	}
-	var keys []string
-	if err := json.Unmarshal(data, &keys); err != nil {
+	if trimmed[0] == '[' {
+		var keys []string
+		if err := json.Unmarshal(trimmed, &keys); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		for _, k := range keys {
+			facts.Hotloop[k] = true
+		}
+		return facts, nil
+	}
+	var ff factsFile
+	if err := json.Unmarshal(trimmed, &ff); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	for _, k := range keys {
-		facts[k] = true
+	for _, k := range ff.Hotloop {
+		facts.Hotloop[k] = true
+	}
+	for _, k := range ff.Sealed {
+		facts.Sealed[k] = true
+	}
+	for _, k := range ff.Builder {
+		facts.Builder[k] = true
+	}
+	for _, k := range ff.Stopper {
+		facts.Stopper[k] = true
 	}
 	return facts, nil
 }
 
 // WriteFactsFile persists an annotation table as its .vetx form.
-func WriteFactsFile(path string, facts map[string]bool) error {
-	keys := make([]string, 0, len(facts))
-	for k := range facts {
-		keys = append(keys, k)
+func WriteFactsFile(path string, facts *Facts) error {
+	ff := factsFile{
+		Hotloop: sortedKeys(facts.Hotloop),
+		Sealed:  sortedKeys(facts.Sealed),
+		Builder: sortedKeys(facts.Builder),
+		Stopper: sortedKeys(facts.Stopper),
 	}
-	sort.Strings(keys)
-	data, err := json.Marshal(keys)
+	data, err := json.Marshal(ff)
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, data, 0o666)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -74,7 +74,7 @@ func fig13(cfg Config) []*Report {
 					profiles[w] = prof
 					part := codes[lo:hi]
 					wg.Add(1)
-					go func() {
+					go func(name string, k int) {
 						defer wg.Done()
 						l := layouts.Builders[name](part, k, cache.NewArena(64))
 						e := simd.New(prof)
@@ -82,7 +82,7 @@ func fig13(cfg Config) []*Report {
 						// Single cold-cache scan: the paper's table is far
 						// larger than L3, so steady state is streaming.
 						l.Scan(e, p, out)
-					}()
+					}(name, k)
 				}
 				wg.Wait()
 

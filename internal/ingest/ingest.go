@@ -49,4 +49,7 @@ var (
 	// must retry later (or force a merge) instead of growing the delta
 	// without limit.
 	ErrBackpressure = errors.New("ingest: delta bound reached, backpressure")
+	// ErrTooLarge is returned by WAL.Append for a row payload that
+	// exceeds the frame limit; the row can never be made durable.
+	ErrTooLarge = errors.New("ingest: row payload exceeds frame limit")
 )

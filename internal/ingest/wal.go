@@ -263,7 +263,7 @@ func (w *WAL) Append(payload []byte) error {
 	case w.failed:
 		return fmt.Errorf("%w: WAL failed a previous write; reopen to recover", ErrClosed)
 	case len(payload) > maxFramePayload:
-		return fmt.Errorf("ingest: row payload %d bytes exceeds frame limit", len(payload))
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
 	if err := w.writeFrame(frameRow, payload); err != nil {
 		w.failed = true

@@ -31,6 +31,11 @@ type resultCache struct {
 	m   map[cacheKey]*list.Element
 }
 
+// cacheEntry pairs a key with its cached response. Entries are shared
+// with every reader that hits the cache, so outside put (which swaps the
+// response pointer under the mutex) they are read-only.
+//
+//bsvet:sealed
 type cacheEntry struct {
 	key cacheKey
 	res *Response
@@ -58,6 +63,8 @@ func (c *resultCache) get(key cacheKey) (*Response, bool) {
 
 // put stores res under key, evicting the least recently used entry past
 // capacity.
+//
+//bsvet:builder
 func (c *resultCache) put(key cacheKey, res *Response) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

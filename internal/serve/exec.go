@@ -15,6 +15,8 @@ const defaultRowLimit = 100
 // Do runs one request end to end: admission, binding, deadline, cache,
 // scheduling, execution, accounting. ctx is the transport's context
 // (client disconnect); the per-query deadline is layered on top of it.
+//
+//bsvet:builder Do stamps per-request fields on a fresh shallow copy
 func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
@@ -60,6 +62,8 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 // exec runs the admitted request. The returned Response has every field
 // set except Tenant and ElapsedMs (stamped per request by Do, including
 // on cache hits).
+//
+//bsvet:builder exec constructs the Response it returns
 func (s *Server) exec(ctx context.Context, req *Request, tenant string) (*Response, error) {
 	b, err := s.cat.bind(req.Table)
 	if err != nil {
@@ -158,6 +162,8 @@ func (s *Server) exec(ctx context.Context, req *Request, tenant string) (*Respon
 // asked, capped by the limit) plus the requested projected columns.
 // Projections need the immutable facade table; live ingest bindings
 // support ids only.
+//
+//bsvet:builder execRows fills the under-construction Response
 func (s *Server) execRows(req *Request, b binding, res *byteslice.Result, resp *Response, opts []byteslice.QueryOption) error {
 	limit := req.Limit
 	if limit == 0 {
@@ -196,7 +202,7 @@ func (s *Server) execRows(req *Request, b binding, res *byteslice.Result, resp *
 	for _, name := range req.Cols {
 		col, err := b.tbl.Column(name)
 		if err != nil {
-			return badQuery("%v", err)
+			return badQueryErr(err)
 		}
 		d := &ColumnData{}
 		switch col.Kind() {
@@ -244,13 +250,15 @@ func (s *Server) execRows(req *Request, b binding, res *byteslice.Result, resp *
 // execAggregate runs sum/avg/min/max over Col, restricted to the filter
 // result. Aggregates run on the facade table; live ingest bindings are
 // rejected (their tail rows live outside the sealed base table).
+//
+//bsvet:builder execAggregate fills the under-construction Response
 func (s *Server) execAggregate(req *Request, b binding, res *byteslice.Result, resp *Response, opts []byteslice.QueryOption) error {
 	if b.live {
 		return errUnsupported("op %q needs a snapshot table, not a live ingest mount", req.Op)
 	}
 	col, err := b.tbl.Column(req.Col)
 	if err != nil {
-		return badQuery("%v", err)
+		return badQueryErr(err)
 	}
 
 	switch req.Op {
@@ -347,7 +355,7 @@ func wrapFacadeErr(err error) error {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return err
 	}
-	return badQuery("%v", err)
+	return badQueryErr(err)
 }
 
 // errUnsupported wraps an operation the binding cannot run.

@@ -77,7 +77,7 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, badQuery("reading body: %v", err))
+		writeError(w, badQueryErr(fmt.Errorf("reading body: %w", err)))
 		return nil, false
 	}
 	return body, true
@@ -151,7 +151,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	dec.UseNumber()
 	var req AppendRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, badQuery("%v", err))
+		writeError(w, badQueryErr(err))
 		return
 	}
 	m, err := s.cat.lookup(req.Table)
@@ -187,7 +187,7 @@ func convertRow(schema *byteslice.Table, row map[string]any) (map[string]any, er
 	for name, v := range row {
 		col, err := schema.Column(name)
 		if err != nil {
-			return nil, badQuery("%v", err)
+			return nil, badQueryErr(err)
 		}
 		if v == nil {
 			vals[name] = nil
@@ -249,7 +249,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 	var req MergeRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, badQuery("%v", err))
+		writeError(w, badQueryErr(err))
 		return
 	}
 	m, err := s.cat.lookup(req.Table)

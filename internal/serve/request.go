@@ -70,7 +70,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 	dec.DisallowUnknownFields()
 	var req Request
 	if err := dec.Decode(&req); err != nil {
-		return nil, badQuery("%v", err)
+		return nil, badQueryErr(err)
 	}
 	return &req, nil
 }
@@ -233,7 +233,7 @@ func buildGroup(schema *byteslice.Table, nodes []Node) ([]byteslice.Expr, error)
 func buildFilter(schema *byteslice.Table, n *Node) (byteslice.Filter, error) {
 	col, err := schema.Column(n.Col)
 	if err != nil {
-		return byteslice.Filter{}, badQuery("%v", err)
+		return byteslice.Filter{}, badQueryErr(err)
 	}
 	op, ok := ops[n.Op]
 	if !ok {
@@ -347,7 +347,13 @@ type ColumnData struct {
 	Strings  []string  `json:"strings,omitempty"`
 }
 
-// Response is the JSON body of a successful query.
+// Response is the JSON body of a successful query. Responses are shared
+// through the epoch-keyed result cache, so once exec returns one it is
+// read-only: only the builder functions below (Do, exec, execRows,
+// execAggregate) may set fields, and Do stamps per-request fields on a
+// shallow copy, never on the cached value.
+//
+//bsvet:sealed
 type Response struct {
 	Table string `json:"table"`
 	// Epoch is the table version the result was computed at (ingest

@@ -293,7 +293,16 @@ func errCode(err error) string {
 }
 
 // badQuery wraps a parse/validation failure with the ErrBadQuery
-// sentinel.
+// sentinel. Never pass an error through its format verbs — that
+// flattens the cause; use badQueryErr so errors.Is keeps matching.
 func badQuery(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadQuery, fmt.Sprintf(format, args...))
+}
+
+// badQueryErr tags a failure as a bad query while preserving the
+// cause's identity: both ErrBadQuery and the original error stay
+// matchable through errors.Is/As. The rendered message is identical to
+// badQuery("%v", err).
+func badQueryErr(err error) error {
+	return fmt.Errorf("%w: %w", ErrBadQuery, err)
 }

@@ -327,7 +327,7 @@ func (s *columnSpec) rebuild(codes []uint32, override columnConfig) (*Column, er
 		if errors.Is(err, ErrCorrupt) {
 			return nil, err
 		}
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	col.wl = &obs.ColumnWorkload{}
 	return col, nil
@@ -381,7 +381,7 @@ func readTableV2(br *bufio.Reader, opts []ColumnOption) (*Table, error) {
 	}
 	tbl, err := NewTable(cols...)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return tbl, nil
 }
@@ -772,7 +772,7 @@ func readTableV1(br *bufio.Reader, opts []ColumnOption) (*Table, error) {
 	}
 	tbl, err := NewTable(cols...)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return tbl, nil
 }

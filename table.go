@@ -37,7 +37,7 @@ func queryErr(err error) error {
 	}
 	var pe *kernel.PanicError
 	if errors.As(err, &pe) {
-		return fmt.Errorf("%w: %v", ErrQueryFault, pe)
+		return fmt.Errorf("%w: %w", ErrQueryFault, pe)
 	}
 	return err
 }
@@ -111,6 +111,8 @@ func (t *Table) WithCompression(names ...string) (*Table, error) {
 // withCompression re-encodes a raw ByteSlice column through the build-time
 // compression decision, sharing the encoders, NULL vector and histogram of
 // the receiver. Already-compressed columns pass through unchanged.
+//
+//bsvet:rootctx build-time re-encode with no caller-facing cancellation; table construction is synchronous
 func (c *Column) withCompression() (*Column, error) {
 	if _, ok := compressedOf(c.data); ok {
 		return c, nil
@@ -230,7 +232,7 @@ func (c *Column) withLayout(f Format) (*Column, error) {
 	if err != nil {
 		return nil, err
 	}
-	codes, err := materializeCodes(c)
+	codes, err := materializeCodes(nil, c) // nil ctx: build-time re-layout, no caller cancellation
 	if err != nil {
 		return nil, err
 	}

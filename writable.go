@@ -78,6 +78,10 @@ var (
 	ErrTableClosed = ingest.ErrClosed
 )
 
+// ErrSchema is returned when input rows do not match the table schema —
+// wrong value count, missing or unknown columns, malformed CSV shape.
+var ErrSchema = errors.New("byteslice: schema mismatch")
+
 // ingestView is one immutable published snapshot of the table: readers
 // load it once and never block. tailCodes/tailNulls are per-column
 // (base-column order) windows over the writer's backing arrays, each
@@ -198,7 +202,7 @@ func CreateIngest(dir string, base *Table, opts ...IngestOption) (*IngestTable, 
 		return nil, fmt.Errorf("byteslice: create ingest: %w", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, ingest.ManifestName)); err == nil {
-		return nil, fmt.Errorf("byteslice: create ingest: %s already holds an ingest manifest (use OpenIngest)", dir)
+		return nil, fmt.Errorf("byteslice: create ingest: %w: %s already holds an ingest manifest (use OpenIngest)", os.ErrExist, dir)
 	}
 	const epoch = 1
 	if err := base.SaveFile(filepath.Join(dir, baseName(epoch))); err != nil {
@@ -367,14 +371,14 @@ func (t *IngestTable) Append(vals map[string]any) error {
 	}
 	base := v.base
 	if len(vals) != len(base.cols) {
-		return fmt.Errorf("byteslice: row has %d values, table has %d columns", len(vals), len(base.cols))
+		return fmt.Errorf("%w: row has %d values, table has %d columns", ErrSchema, len(vals), len(base.cols))
 	}
 	codes := make([]uint32, len(base.cols))
 	nulls := make([]bool, len(base.cols))
 	for i, c := range base.cols {
 		val, ok := vals[c.name]
 		if !ok {
-			return fmt.Errorf("byteslice: row is missing column %s", c.name)
+			return fmt.Errorf("%w: row is missing column %s", ErrSchema, c.name)
 		}
 		if val == nil {
 			nulls[i] = true
@@ -597,7 +601,7 @@ func mergeTables(base *Table, sealed []*Table) (*Table, error) {
 	cols := make([]*Column, len(base.cols))
 	for i, c := range base.cols {
 		codes := make([]uint32, 0, total)
-		bc, err := materializeCodes(c)
+		bc, err := materializeCodes(nil, c) // nil ctx: background merge has no caller to cancel it
 		if err != nil {
 			return nil, queryErr(err)
 		}
@@ -610,7 +614,7 @@ func mergeTables(base *Table, sealed []*Table) (*Table, error) {
 		}
 		off := base.n
 		for _, s := range sealed {
-			sc, err := materializeCodes(s.cols[i])
+			sc, err := materializeCodes(nil, s.cols[i])
 			if err != nil {
 				return nil, queryErr(err)
 			}
@@ -636,7 +640,7 @@ func mergeTables(base *Table, sealed []*Table) (*Table, error) {
 func appendTableRows(w *ingest.WAL, seg *Table) error {
 	colCodes := make([][]uint32, len(seg.cols))
 	for i, c := range seg.cols {
-		codes, err := materializeCodes(c)
+		codes, err := materializeCodes(nil, c)
 		if err != nil {
 			return queryErr(err)
 		}
@@ -687,6 +691,8 @@ func (t *IngestTable) Query(e Expr, opts ...QueryOption) (*Result, error) {
 // fully determined by (Epoch, Len): appends grow Len within an epoch and
 // merges bump Epoch without changing Len, and published rows are never
 // mutated.
+//
+//bsvet:sealed
 type Pinned struct {
 	t *IngestTable
 	v *ingestView
